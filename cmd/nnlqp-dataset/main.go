@@ -1,0 +1,118 @@
+// Command nnlqp-dataset builds a latency dataset the way the paper's §8.1
+// does — N variants per model family, measured per platform through the
+// query system (so everything also lands in the evolving database) — and
+// exports it as JSON lines for downstream use.
+//
+// Usage:
+//
+//	nnlqp-dataset -per-family 100 -platforms gpu-gtx1660-trt7.1-fp32 \
+//	    -db ./nnlqp-data -out dataset.jsonl
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"strings"
+	"time"
+
+	"nnlqp/internal/db"
+	"nnlqp/internal/graphhash"
+	"nnlqp/internal/hwsim"
+	"nnlqp/internal/models"
+	"nnlqp/internal/query"
+)
+
+// Record is one exported dataset row.
+type Record struct {
+	Model     string  `json:"model"`
+	Family    string  `json:"family"`
+	Hash      string  `json:"hash"`
+	Platform  string  `json:"platform"`
+	BatchSize int     `json:"batch_size"`
+	Ops       int     `json:"ops"`
+	GFLOPs    float64 `json:"gflops"`
+	LatencyMS float64 `json:"latency_ms"`
+}
+
+func main() {
+	perFamily := flag.Int("per-family", 50, "variants per model family")
+	familiesFlag := flag.String("families", "", "comma-separated families (default: all ten)")
+	platformsFlag := flag.String("platforms", hwsim.DatasetPlatform, "comma-separated platforms")
+	batch := flag.Int("batch", 1, "batch size")
+	seed := flag.Int64("seed", 1, "random seed")
+	dbDir := flag.String("db", "", "database directory (empty = in-memory)")
+	out := flag.String("out", "dataset.jsonl", "output JSONL file")
+	flag.Parse()
+
+	fams := models.Families
+	if *familiesFlag != "" {
+		fams = strings.Split(*familiesFlag, ",")
+	}
+	plats := strings.Split(*platformsFlag, ",")
+
+	store, err := db.OpenStore(*dbDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer store.Close()
+	sys := query.New(store, &hwsim.LocalFarm{Farm: hwsim.NewDefaultFarm(2)})
+
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	defer w.Flush()
+	enc := json.NewEncoder(w)
+
+	start := time.Now()
+	written, skipped := 0, 0
+	for _, plat := range plats {
+		rng := rand.New(rand.NewSource(*seed))
+		for _, fam := range fams {
+			for i := 0; i < *perFamily; i++ {
+				g, err := models.Variant(fam, rng, *batch)
+				if err != nil {
+					log.Fatal(err)
+				}
+				g.Name = fmt.Sprintf("%s-%05d", fam, i)
+				res, err := sys.Query(g, plat)
+				if err != nil {
+					var unsupported *hwsim.UnsupportedOpError
+					if errors.As(err, &unsupported) {
+						skipped++
+						continue
+					}
+					log.Fatal(err)
+				}
+				cost, err := g.Cost(4)
+				if err != nil {
+					log.Fatal(err)
+				}
+				rec := Record{
+					Model: g.Name, Family: fam,
+					Hash:     graphhash.MustGraphKey(g).String(),
+					Platform: plat, BatchSize: *batch,
+					Ops: g.NumNodes(), GFLOPs: float64(cost.FLOPs) / 1e9,
+					LatencyMS: res.LatencyMS,
+				}
+				if err := enc.Encode(&rec); err != nil {
+					log.Fatal(err)
+				}
+				written++
+			}
+		}
+	}
+	m, p, l := store.Counts()
+	fmt.Printf("wrote %d records to %s in %s (%d unsupported skipped)\n",
+		written, *out, time.Since(start).Round(time.Millisecond), skipped)
+	fmt.Printf("database: %d models, %d platforms, %d latencies, %.1f KiB\n",
+		m, p, l, float64(store.StorageBytes())/1024)
+}

@@ -1,0 +1,119 @@
+// Command nnlqp-db inspects an evolving-database directory: table
+// cardinalities and storage, stored models, per-model latency records, and
+// model export.
+//
+// Usage:
+//
+//	nnlqp-db -db ./nnlqp-data stats
+//	nnlqp-db -db ./nnlqp-data models
+//	nnlqp-db -db ./nnlqp-data latencies -hash 9a605ea185b3ee1d
+//	nnlqp-db -db ./nnlqp-data export -hash 9a605ea185b3ee1d -out model.nnlqp
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+
+	"nnlqp/internal/db"
+	"nnlqp/internal/graphhash"
+)
+
+func main() {
+	dbDir := flag.String("db", "", "database directory (required)")
+	hash := flag.String("hash", "", "graph hash (hex) for latencies/export")
+	out := flag.String("out", "model.nnlqp", "output path for export")
+	limit := flag.Int("limit", 50, "max rows to print")
+	flag.Parse()
+
+	if *dbDir == "" || flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: nnlqp-db -db DIR {stats|models|platforms|latencies|export} [flags]")
+		os.Exit(2)
+	}
+	store, err := db.OpenStore(*dbDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer store.Close()
+
+	switch flag.Arg(0) {
+	case "stats":
+		m, p, l := store.Counts()
+		fmt.Printf("models:    %d\nplatforms: %d\nlatencies: %d\nstorage:   %.1f KiB\n",
+			m, p, l, float64(store.StorageBytes())/1024)
+	case "models":
+		tbl, err := store.DB().Table(db.TableModel)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s %-18s %-28s %-14s %s\n", "ID", "HASH", "NAME", "FAMILY", "BYTES")
+		n := 0
+		tbl.Scan(func(row db.Row) bool {
+			fmt.Printf("%-8d %016x %-28s %-14s %d\n",
+				row[0].(uint64), row[1].(uint64), trunc(row[2].(string), 28), row[3].(string), len(row[4].([]byte)))
+			n++
+			return n < *limit
+		})
+	case "platforms":
+		tbl, err := store.DB().Table(db.TablePlatform)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-6s %-28s %-10s %-10s %s\n", "ID", "NAME", "HARDWARE", "SOFTWARE", "DTYPE")
+		tbl.Scan(func(row db.Row) bool {
+			fmt.Printf("%-6d %-28s %-10s %-10s %s\n",
+				row[0].(uint64), row[1].(string), row[2].(string), row[3].(string), row[4].(string))
+			return true
+		})
+	case "latencies":
+		rec := mustModel(store, *hash)
+		lats, err := store.LatenciesForModel(rec.ID)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("model %s (%s): %d latency records\n", rec.Hash, rec.Name, len(lats))
+		fmt.Printf("%-12s %-8s %-12s %-6s %s\n", "PLATFORM_ID", "BATCH", "LATENCY_MS", "RUNS", "PEAK_MEM")
+		for _, l := range lats {
+			fmt.Printf("%-12d %-8d %-12.4f %-6d %d\n", l.PlatformID, l.BatchSize, l.LatencyMS, l.Runs, l.PeakMemBytes)
+		}
+	case "export":
+		rec := mustModel(store, *hash)
+		data, err := rec.Graph.EncodeBinary()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s (%d bytes, %d ops)\n", *out, len(data), rec.Graph.NumNodes())
+	default:
+		log.Fatalf("unknown subcommand %q", flag.Arg(0))
+	}
+}
+
+func mustModel(store *db.Store, hexHash string) *db.ModelRecord {
+	if hexHash == "" {
+		log.Fatal("-hash required")
+	}
+	v, err := strconv.ParseUint(hexHash, 16, 64)
+	if err != nil {
+		log.Fatalf("bad hash %q: %v", hexHash, err)
+	}
+	rec, ok, err := store.FindModelByHash(graphhash.Key(v))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !ok {
+		log.Fatalf("no model with hash %s", hexHash)
+	}
+	return rec
+}
+
+func trunc(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}

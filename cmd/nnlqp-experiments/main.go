@@ -1,0 +1,70 @@
+// Command nnlqp-experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	nnlqp-experiments -run table3              # one experiment, quick scale
+//	nnlqp-experiments -run all -scale paper    # everything at paper scale
+//	nnlqp-experiments -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"nnlqp/internal/experiments"
+)
+
+func main() {
+	run := flag.String("run", "all", "experiment id (fig2, table2, ..., or 'all')")
+	scale := flag.String("scale", "quick", "quick or paper")
+	perFamily := flag.Int("per-family", 0, "override variants per family")
+	epochs := flag.Int("epochs", 0, "override training epochs")
+	hidden := flag.Int("hidden", 0, "override GNN hidden width")
+	seed := flag.Int64("seed", 1, "random seed")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(experiments.Names(), "\n"))
+		return
+	}
+	var opts experiments.Options
+	switch *scale {
+	case "quick":
+		opts = experiments.Quick()
+	case "paper":
+		opts = experiments.Paper()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	if *perFamily > 0 {
+		opts.PerFamily = *perFamily
+		opts.TrainPerFamily = *perFamily * 3 / 4
+		opts.TestPerFamily = *perFamily - opts.TrainPerFamily
+	}
+	if *epochs > 0 {
+		opts.Epochs = *epochs
+	}
+	if *hidden > 0 {
+		opts.Hidden = *hidden
+	}
+	opts.Seed = *seed
+	opts.Out = os.Stdout
+
+	start := time.Now()
+	var err error
+	if *run == "all" {
+		err = experiments.RunAll(opts)
+	} else {
+		err = experiments.Run(*run, opts)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\ndone in %s\n", time.Since(start).Round(time.Millisecond))
+}

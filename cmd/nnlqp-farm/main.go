@@ -1,0 +1,39 @@
+// Command nnlqp-farm serves the simulated device farm over net/rpc,
+// mirroring the paper's remote device management: query servers acquire
+// devices, run the measurement pipeline, and release them, all through RPC.
+//
+// Usage:
+//
+//	nnlqp-farm -addr 127.0.0.1:9090 -devices 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+
+	"nnlqp/internal/hwsim"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:9090", "listen address")
+	devices := flag.Int("devices", 2, "devices per platform")
+	flag.Parse()
+
+	farm := hwsim.NewDefaultFarm(*devices)
+	srv, err := hwsim.ServeFarm(farm, *addr)
+	if err != nil {
+		log.Fatalf("serve farm: %v", err)
+	}
+	defer srv.Close()
+	fmt.Printf("nnlqp-farm serving %d platforms x %d devices on %s\n",
+		len(hwsim.Platforms()), *devices, srv.Addr())
+	fmt.Print(hwsim.FleetSummary())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	log.Println("shutting down")
+}

@@ -1,0 +1,105 @@
+// Command nnlqp-query is the CLI face of the unified invoking interface
+// (§7): query or predict the latency of a model on a platform.
+//
+// Usage:
+//
+//	nnlqp-query -model model.nnlqp -platform gpu-T4-trt7.1-fp32
+//	nnlqp-query -family ResNet -seed 3 -platform cpu-openppl-fp32 -batch 8
+//	nnlqp-query -family MobileNetV2 -platform gpu-T4-trt7.1-int8 \
+//	    -predict -predictor pred.gob
+//	nnlqp-query -platforms            # list the fleet
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"nnlqp"
+
+	"nnlqp/internal/hwsim"
+)
+
+func main() {
+	modelPath := flag.String("model", "", "serialized model file (.nnlqp binary or .json)")
+	family := flag.String("family", "", "build a zoo model instead of loading one")
+	seed := flag.Int64("seed", 0, "variant seed for -family (0 = canonical architecture)")
+	batch := flag.Int("batch", 1, "batch size")
+	platform := flag.String("platform", "", "target platform")
+	dbDir := flag.String("db", "", "database directory (empty = in-memory)")
+	predict := flag.Bool("predict", false, "predict with NNLP instead of measuring")
+	predictorPath := flag.String("predictor", "", "trained predictor file (for -predict)")
+	listPlatforms := flag.Bool("platforms", false, "list platforms and exit")
+	profile := flag.Bool("profile", false, "print a per-kernel latency breakdown")
+	flag.Parse()
+
+	if *listPlatforms {
+		fmt.Print(hwsim.FleetSummary())
+		return
+	}
+
+	var model *nnlqp.Model
+	var err error
+	switch {
+	case *modelPath != "":
+		model, err = nnlqp.LoadModel(*modelPath)
+	case *family != "":
+		if *seed == 0 {
+			model, err = nnlqp.Canonical(*family, *batch)
+		} else {
+			model, err = nnlqp.NewVariant(*family, *seed, *batch)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "need -model or -family")
+		os.Exit(2)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *platform == "" {
+		fmt.Fprintln(os.Stderr, "need -platform (see -platforms)")
+		os.Exit(2)
+	}
+
+	client, err := nnlqp.New(nnlqp.Options{DBDir: *dbDir, PredictorPath: *predictorPath})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	st, err := model.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("model: %s\n  hash %s | %d ops | %.2f GFLOPs | %.2f MParams | %.1f MiB MAC\n",
+		model, model.Hash(), st.Operators, st.GFLOPs, st.MParams, st.MACMB)
+
+	params := nnlqp.Params{Model: model, BatchSize: *batch, PlatformName: *platform}
+	if *profile {
+		out, err := client.Profile(model, *platform)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(out)
+		return
+	}
+	if *predict {
+		v, err := client.Predict(params)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("predicted latency on %s: %.3f ms\n", *platform, v)
+		return
+	}
+	res, err := client.QueryDetailed(params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	src := "measured on device farm"
+	if res.CacheHit {
+		src = "database cache hit"
+	}
+	fmt.Printf("true latency on %s: %.3f ms (%s; pipeline cost %.1fs)\n",
+		*platform, res.LatencyMS, src, res.PipelineSeconds)
+}

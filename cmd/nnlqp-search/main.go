@@ -1,0 +1,111 @@
+// Command nnlqp-search runs hardware-aware neural architecture search over
+// the OFA-style supernet space, screening candidates with the NNLP latency
+// predictor (fast) or the device farm (slow but exact) — the workflow the
+// paper's §8.7/§9 motivates.
+//
+// Usage:
+//
+//	nnlqp-search -platform gpu-T4-trt7.1-int8 -budget-ms 1.5
+//	nnlqp-search -platform gpu-T4-trt7.1-int8 -budget-ms 1.5 -oracle measure
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"nnlqp/internal/core"
+	"nnlqp/internal/hwsim"
+	"nnlqp/internal/models"
+	"nnlqp/internal/nas"
+	"nnlqp/internal/onnx"
+)
+
+func main() {
+	platform := flag.String("platform", "gpu-T4-trt7.1-int8", "target platform")
+	budget := flag.Float64("budget-ms", 1.5, "latency budget (ms)")
+	oracle := flag.String("oracle", "predict", "latency oracle: predict or measure")
+	trainN := flag.Int("train", 150, "measured samples to train the predictor (oracle=predict)")
+	pop := flag.Int("population", 64, "population size")
+	gens := flag.Int("generations", 8, "generations")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	p, err := hwsim.PlatformByName(*platform)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var latency nas.LatencyOracle
+	switch *oracle {
+	case "measure":
+		latency = func(g *onnx.Graph) (float64, error) { return p.TrueLatencyMS(g) }
+	case "predict":
+		fmt.Printf("training predictor on %d measured OFA sub-networks...\n", *trainN)
+		pred, err := trainPredictor(p, *trainN, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		latency = func(g *onnx.Graph) (float64, error) { return pred.Predict(g, p.Name) }
+	default:
+		log.Fatalf("unknown oracle %q", *oracle)
+	}
+
+	cfg := nas.DefaultSearchConfig(*budget)
+	cfg.Population = *pop
+	cfg.Generations = *gens
+	cfg.Seed = *seed
+
+	start := time.Now()
+	res, err := nas.EvolutionarySearch(cfg, latency, models.SyntheticAccuracy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	truth, err := p.TrueLatencyMS(res.BestGraph)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nbest architecture after %d evaluations (%s):\n", res.Evaluated, elapsed.Round(time.Millisecond))
+	fmt.Printf("  resolution %d, depths %v, kernels %v, expands %v\n",
+		res.BestSpec.Resolution, res.BestSpec.Depths, res.BestSpec.Kernels, res.BestSpec.Expands)
+	fmt.Printf("  accuracy %.2f%%   oracle latency %.3f ms   true latency %.3f ms (budget %.3f)\n",
+		res.BestAccuracy, res.BestLatencyMS, truth, *budget)
+	fmt.Printf("  per-generation best accuracy: %v\n", fmtHistory(res.History))
+}
+
+func trainPredictor(p *hwsim.Platform, n int, seed int64) (*core.Predictor, error) {
+	cfg := core.DefaultConfig()
+	cfg.Hidden, cfg.Depth, cfg.HeadHidden, cfg.Epochs, cfg.LR, cfg.Seed = 32, 2, 32, 25, 2e-3, seed
+	pred := core.New(cfg)
+	var train []core.Sample
+	r := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		g := models.BuildOFA(models.RandomOFASpec(r, 1))
+		g.Name = fmt.Sprintf("search-train-%04d", i)
+		ms, err := p.TrueLatencyMS(g)
+		if err != nil {
+			return nil, err
+		}
+		s, err := core.NewSample(g, ms, p.Name)
+		if err != nil {
+			return nil, err
+		}
+		train = append(train, s)
+	}
+	return pred, pred.Fit(train)
+}
+
+func fmtHistory(h []float64) string {
+	out := "["
+	for i, v := range h {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%.2f", v)
+	}
+	return out + "]"
+}

@@ -1,0 +1,78 @@
+// Command nnlqp-server runs the NNLQP HTTP service: latency query backed by
+// the evolving database and the (simulated) device farm, plus latency
+// prediction when a trained predictor is supplied.
+//
+// Usage:
+//
+//	nnlqp-server -addr :8080 -db ./nnlqp-data -predictor pred.gob
+//	nnlqp-server -addr :8080 -farm 127.0.0.1:9090   # remote device farm
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+
+	"nnlqp/internal/core"
+	"nnlqp/internal/db"
+	"nnlqp/internal/hwsim"
+	"nnlqp/internal/query"
+	"nnlqp/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	dbDir := flag.String("db", "", "database directory (empty = in-memory)")
+	predictorPath := flag.String("predictor", "", "trained predictor file (optional)")
+	farmAddr := flag.String("farm", "", "remote device farm address (empty = in-process farm)")
+	devices := flag.Int("devices", 2, "devices per platform for the in-process farm")
+	flag.Parse()
+
+	store, err := db.OpenStore(*dbDir)
+	if err != nil {
+		log.Fatalf("open store: %v", err)
+	}
+	defer store.Close()
+
+	var farm query.Measurer
+	if *farmAddr != "" {
+		rf, err := hwsim.DialFarm(*farmAddr)
+		if err != nil {
+			log.Fatalf("dial farm: %v", err)
+		}
+		defer rf.Close()
+		farm = rf
+	} else {
+		farm = &hwsim.LocalFarm{Farm: hwsim.NewDefaultFarm(*devices)}
+	}
+
+	var pred *core.Predictor
+	if *predictorPath != "" {
+		f, err := os.Open(*predictorPath)
+		if err != nil {
+			log.Fatalf("open predictor: %v", err)
+		}
+		pred, err = core.Load(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("load predictor: %v", err)
+		}
+		log.Printf("predictor loaded: platforms %v", pred.Platforms())
+	}
+
+	srv := server.New(store, farm, pred)
+	bound, stop, err := srv.Serve(*addr)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	defer stop()
+	fmt.Printf("nnlqp-server listening on http://%s\n", bound)
+	fmt.Print(hwsim.FleetSummary())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	log.Println("shutting down")
+}

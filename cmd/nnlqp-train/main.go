@@ -1,0 +1,69 @@
+// Command nnlqp-train builds a latency dataset through the query system
+// (growing the evolving database), trains the multi-platform NNLP
+// predictor, and saves it for nnlqp-server / nnlqp-query -predict.
+//
+// Usage:
+//
+//	nnlqp-train -out pred.gob -per-platform 200 -epochs 30
+//	nnlqp-train -out pred.gob -platforms gpu-T4-trt7.1-fp32,cpu-openppl-fp32
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"nnlqp"
+)
+
+func main() {
+	out := flag.String("out", "predictor.gob", "output predictor file")
+	dbDir := flag.String("db", "", "database directory (empty = in-memory)")
+	platformsFlag := flag.String("platforms", "", "comma-separated platforms (default: the 9 eval platforms)")
+	perPlatform := flag.Int("per-platform", 200, "models measured per platform")
+	epochs := flag.Int("epochs", 30, "training epochs")
+	hidden := flag.Int("hidden", 48, "GNN hidden width")
+	depth := flag.Int("depth", 3, "GNN depth")
+	seed := flag.Int64("seed", 1, "random seed")
+	evalN := flag.Int("eval", 40, "fresh models per platform for post-training evaluation (0 = skip)")
+	flag.Parse()
+
+	client, err := nnlqp.New(nnlqp.Options{DBDir: *dbDir})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	opts := nnlqp.TrainOptions{
+		PerPlatform: *perPlatform, Epochs: *epochs, Hidden: *hidden,
+		Depth: *depth, Seed: *seed,
+	}
+	if *platformsFlag != "" {
+		opts.Platforms = strings.Split(*platformsFlag, ",")
+	}
+
+	start := time.Now()
+	fmt.Printf("measuring %d models per platform and training...\n", *perPlatform)
+	if err := client.TrainPredictor(opts); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained in %s; heads: %v\n", time.Since(start).Round(time.Second), client.PredictorPlatforms())
+
+	if *evalN > 0 {
+		for _, plat := range client.PredictorPlatforms() {
+			mape, acc, err := client.EvaluatePredictor(plat, *evalN, *seed+999)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %-26s MAPE %6.2f%%  Acc(10%%) %6.2f%%\n", plat, mape, acc)
+		}
+	}
+	if err := client.SavePredictor(*out); err != nil {
+		log.Fatal(err)
+	}
+	st := client.Stats()
+	fmt.Printf("saved %s; database now holds %d models / %d latency records (%.1f KiB)\n",
+		*out, st.Models, st.Latencies, float64(st.StorageBytes)/1024)
+}

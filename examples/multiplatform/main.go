@@ -1,0 +1,91 @@
+// Multiplatform: measure one model across the whole (simulated) fleet and
+// derive the model-design guidance of the paper's §9 — device choice,
+// data-type choice, operator support — then demonstrate that the database
+// evolves across process lifetimes.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"nnlqp"
+)
+
+func main() {
+	dbDir := filepath.Join(os.TempDir(), "nnlqp-multiplatform-example")
+	os.RemoveAll(dbDir)
+
+	client, err := nnlqp.New(nnlqp.Options{DBDir: dbDir})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	model, err := nnlqp.Canonical("ResNet", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("measuring %s on every platform:\n\n", model.Name())
+
+	type row struct {
+		platform string
+		ms       float64
+	}
+	var rows []row
+	for _, plat := range client.Platforms() {
+		lat, err := client.Query(nnlqp.Params{Model: model, PlatformName: plat})
+		if err != nil {
+			fmt.Printf("  %-28s FAILED: %v\n", plat, err)
+			continue
+		}
+		rows = append(rows, row{plat, lat})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].ms < rows[j].ms })
+	for _, r := range rows {
+		fmt.Printf("  %-28s %10.3f ms\n", r.platform, r.ms)
+	}
+
+	// §9-style design guidance.
+	get := func(p string) float64 {
+		for _, r := range rows {
+			if r.platform == p {
+				return r.ms
+			}
+		}
+		return 0
+	}
+	fmt.Println("\ndesign guidance (as in paper §9):")
+	if t4, p4 := get("gpu-T4-trt7.1-int8"), get("gpu-P4-trt7.1-int8"); t4 > 0 && p4 > 0 {
+		fmt.Printf("  - moving int8 inference from P4 to T4 is a %.1fx speedup\n", p4/t4)
+	}
+	if fp, i8 := get("gpu-T4-trt7.1-fp32"), get("gpu-T4-trt7.1-int8"); fp > 0 && i8 > 0 {
+		fmt.Printf("  - int8 vs fp32 on T4: %.1fx faster (weigh against accuracy loss)\n", fp/i8)
+	}
+	if at, ml := get("atlas300-acl-fp16"), get("mlu270-neuware-int8"); at > 0 && ml > 0 && at < ml {
+		fmt.Printf("  - atlas300 beats mlu270 for this model (%.3f vs %.3f ms)\n", at, ml)
+	}
+	mnv3, _ := nnlqp.Canonical("MobileNetV3", 1)
+	if _, err := client.Query(nnlqp.Params{Model: mnv3, PlatformName: "cpu-openppl-fp32"}); err != nil {
+		fmt.Printf("  - MobileNetV3 cannot deploy on cpu-openppl-fp32: %v\n", err)
+	}
+
+	st := client.Stats()
+	fmt.Printf("\nsession 1 database: %d models, %d latency records\n", st.Models, st.Latencies)
+	client.Close()
+
+	// Session 2: the evolving database answers instantly from disk.
+	client2, err := nnlqp.New(nnlqp.Options{DBDir: dbDir})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client2.Close()
+	defer os.RemoveAll(dbDir)
+	r, err := client2.QueryDetailed(nnlqp.Params{Model: model, PlatformName: rows[0].platform})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("session 2 re-query on %s: %.3f ms, cache hit = %v (cost %.1fs vs %.0fs cold)\n",
+		rows[0].platform, r.LatencyMS, r.CacheHit, r.PipelineSeconds, 60.0)
+}

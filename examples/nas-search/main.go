@@ -1,0 +1,108 @@
+// NAS search: use the latency predictor to screen thousands of candidate
+// architectures against a latency budget (the paper's §8.7 / Fig. 9
+// workflow), and compare the architecture it finds against a FLOPs-proxy
+// search at the same budget.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"nnlqp/internal/core"
+	"nnlqp/internal/hwsim"
+	"nnlqp/internal/models"
+	"nnlqp/internal/nas"
+)
+
+const (
+	platform  = "gpu-T4-trt7.1-int8"
+	trainN    = 150
+	candN     = 300
+	epochs    = 25
+	latBudget = 1.2 // ms
+)
+
+func main() {
+	p, err := hwsim.PlatformByName(platform)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+
+	// Phase 1: measure a small corpus and train the predictor.
+	fmt.Printf("measuring %d OFA sub-networks on %s and training NNLP...\n", trainN, platform)
+	var train []core.Sample
+	for i := 0; i < trainN; i++ {
+		g := models.BuildOFA(models.RandomOFASpec(rng, 1))
+		g.Name = fmt.Sprintf("train-%03d", i)
+		ms, err := p.TrueLatencyMS(g)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s, err := core.NewSample(g, ms, platform)
+		if err != nil {
+			log.Fatal(err)
+		}
+		train = append(train, s)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Hidden, cfg.Depth, cfg.HeadHidden, cfg.Epochs, cfg.LR = 32, 2, 32, epochs, 2e-3
+	pred := core.New(cfg)
+	if err := pred.Fit(train); err != nil {
+		log.Fatal(err)
+	}
+
+	// Phase 2: screen candidates with the predictor (cheap) instead of
+	// measuring each one (1000x more expensive).
+	fmt.Printf("screening %d candidates against a %.1f ms budget...\n\n", candN, latBudget)
+	var cands []nas.Candidate
+	for i := 0; i < candN; i++ {
+		spec := models.RandomOFASpec(rng, 1)
+		g := models.BuildOFA(spec)
+		g.Name = fmt.Sprintf("cand-%03d", i)
+		pd, err := pred.Predict(g, platform)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cost, _ := g.Cost(4)
+		truth, _ := p.TrueLatencyMS(g) // oracle, used only for reporting
+		cands = append(cands, nas.Candidate{
+			Graph: g, Accuracy: models.SyntheticAccuracy(spec),
+			TrueLatMS: truth, PredMS: pd, FLOPs: float64(cost.FLOPs),
+		})
+	}
+
+	// Choose with the predictor vs with a FLOPs budget of equal true cost.
+	byPred, ok := nas.BestAccuracyUnder(cands, func(c nas.Candidate) float64 { return c.PredMS }, latBudget)
+	if !ok {
+		log.Fatal("no candidate under budget")
+	}
+	// FLOPs proxy: allow the same FLOPs as the median model under budget.
+	var flopsCap float64
+	var n int
+	for _, c := range cands {
+		if c.TrueLatMS <= latBudget {
+			flopsCap += c.FLOPs
+			n++
+		}
+	}
+	flopsCap /= float64(n)
+	byFLOPs, _ := nas.BestAccuracyUnder(cands, func(c nas.Candidate) float64 { return c.FLOPs }, flopsCap)
+
+	fmt.Printf("predictor pick: acc %.2f%%  true latency %.3f ms (within budget: %v)\n",
+		byPred.Accuracy, byPred.TrueLatMS, byPred.TrueLatMS <= latBudget*1.1)
+	fmt.Printf("FLOPs-proxy pick: acc %.2f%%  true latency %.3f ms\n", byFLOPs.Accuracy, byFLOPs.TrueLatMS)
+	fmt.Printf("accuracy gain from accurate latency feedback: %+.2f points\n\n",
+		byPred.Accuracy-byFLOPs.Accuracy)
+
+	// Rank-correlation summary, as in Fig. 9.
+	var truth, pd, fl []float64
+	for _, c := range cands {
+		truth = append(truth, c.TrueLatMS)
+		pd = append(pd, c.PredMS)
+		fl = append(fl, c.FLOPs)
+	}
+	fmt.Printf("Kendall tau vs true latency: predictor %.2f, FLOPs %.2f\n",
+		nas.KendallTau(pd, truth), nas.KendallTau(fl, truth))
+}

@@ -1,0 +1,73 @@
+// Quickstart: the unified invoking interface of the paper's §7 — query a
+// model's true latency (measured on the simulated device farm, cached in
+// the evolving database) and predict it with the GNN-based NNLP predictor.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nnlqp"
+)
+
+func main() {
+	client, err := nnlqp.New(nnlqp.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	// A ResNet-18 at batch size 1, like loading "model.onnx".
+	model, err := nnlqp.Canonical("ResNet", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st, _ := model.Stats()
+	fmt.Printf("model %s: %d ops, %.2f GFLOPs, hash %s\n\n",
+		model.Name(), st.Operators, st.GFLOPs, model.Hash())
+
+	params := nnlqp.Params{
+		Model:        model,
+		BatchSize:    1,
+		PlatformName: "gpu-T4-trt7.1-fp32",
+	}
+
+	// First query: cache miss -> full measurement pipeline on the farm.
+	r1, err := client.QueryDetailed(params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("query #1: %.3f ms  (hit=%v, pipeline would cost %.1fs on real hardware)\n",
+		r1.LatencyMS, r1.CacheHit, r1.PipelineSeconds)
+
+	// Second query: served from the evolving database.
+	r2, err := client.QueryDetailed(params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("query #2: %.3f ms  (hit=%v, cost %.1fs)\n\n", r2.LatencyMS, r2.CacheHit, r2.PipelineSeconds)
+
+	// Train a small single-platform predictor, then predict.
+	fmt.Println("training a small NNLP predictor (ResNet+SqueezeNet, one platform)...")
+	err = client.TrainPredictor(nnlqp.TrainOptions{
+		Platforms:   []string{"gpu-T4-trt7.1-fp32"},
+		Families:    []string{"ResNet", "SqueezeNet"},
+		PerPlatform: 120,
+		Epochs:      30,
+		Hidden:      24,
+		Depth:       2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pred, err := client.Predict(params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("predicted: %.3f ms (true %.3f ms, error %+.1f%%)\n",
+		pred, r1.LatencyMS, (pred-r1.LatencyMS)/r1.LatencyMS*100)
+
+	s := client.Stats()
+	fmt.Printf("\ndatabase: %d models, %d latency records, hit ratio %.0f%%\n",
+		s.Models, s.Latencies, s.HitRatio*100)
+}

@@ -1,0 +1,71 @@
+// Transfer learning: extend a multi-platform predictor to an unseen
+// platform with only a handful of measurements (the paper's §8.6 / Fig. 7
+// workflow), and compare against training from scratch on the same few
+// samples.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nnlqp"
+)
+
+func main() {
+	const (
+		newPlatform = "gpu-P4-trt7.1-int8"
+		fewSamples  = 24
+	)
+	pretrainPlatforms := []string{"gpu-T4-trt7.1-fp32", "gpu-T4-trt7.1-int8", "hi3559A-nnie11-int8"}
+	families := []string{"ResNet", "SqueezeNet", "MobileNetV2"}
+
+	// Pre-train a shared-backbone multi-head predictor on three platforms.
+	pre, err := nnlqp.New(nnlqp.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer pre.Close()
+	fmt.Printf("pre-training on %v...\n", pretrainPlatforms)
+	err = pre.TrainPredictor(nnlqp.TrainOptions{
+		Platforms: pretrainPlatforms, Families: families,
+		PerPlatform: 50, Epochs: 20, Hidden: 24, Depth: 2, Seed: 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Fine-tune onto the unseen platform with few samples.
+	fmt.Printf("fine-tuning onto unseen platform %s with %d samples...\n", newPlatform, fewSamples)
+	if err := pre.FineTuneOnPlatform(newPlatform, fewSamples, 30, 77); err != nil {
+		log.Fatal(err)
+	}
+	tMAPE, tAcc, err := pre.EvaluatePredictor(newPlatform, 30, 555, families...)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Baseline: train from scratch with the same few samples.
+	scratch, err := nnlqp.New(nnlqp.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer scratch.Close()
+	fmt.Printf("training from scratch with the same %d samples...\n\n", fewSamples)
+	err = scratch.TrainPredictor(nnlqp.TrainOptions{
+		Platforms: []string{newPlatform}, Families: families,
+		PerPlatform: fewSamples, Epochs: 30, Hidden: 24, Depth: 2, Seed: 77,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sMAPE, sAcc, err := scratch.EvaluatePredictor(newPlatform, 30, 555, families...)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-22s %10s %10s\n", "regime", "MAPE", "Acc(10%)")
+	fmt.Printf("%-22s %9.2f%% %9.2f%%\n", "scratch (few)", sMAPE, sAcc)
+	fmt.Printf("%-22s %9.2f%% %9.2f%%\n", "pre-trained + few", tMAPE, tAcc)
+	fmt.Println("\nthe pre-trained backbone transfers latency knowledge learned on other")
+	fmt.Println("platforms, which matters most when target-platform samples are scarce.")
+}

@@ -1,0 +1,3 @@
+module nnlqp
+
+go 1.22

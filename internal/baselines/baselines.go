@@ -1,0 +1,48 @@
+// Package baselines implements the latency predictors NNLP is compared
+// against in Table 3 and Table 5 (paper §8.3, Appendix E):
+//
+//   - FLOPs / FLOPs+MAC: linear regression on global statistics.
+//   - nn-Meter: per-kernel-family random-forest regression over engineered
+//     kernel features, kernel latencies summed and then linearly corrected
+//     (the correction compensating the unreliable additivity assumption).
+//   - TPU: per-kernel GraphSAGE latency prediction, summed and linearly
+//     corrected.
+//   - BRP-NAS: a GCN over the whole graph's node features, without static
+//     features (the official backbone applied to NNLP's node features, as
+//     Appendix E describes).
+package baselines
+
+import (
+	"fmt"
+
+	"nnlqp/internal/onnx"
+)
+
+// ModelSample is one whole-model training/evaluation record.
+type ModelSample struct {
+	Graph     *onnx.Graph
+	LatencyMS float64
+}
+
+// Predictor is the common interface all baselines (and NNLP adapters)
+// satisfy for the comparison experiments.
+type Predictor interface {
+	Name() string
+	// Fit trains on whole-model samples.
+	Fit(train []ModelSample) error
+	// Predict returns the predicted latency in milliseconds.
+	Predict(g *onnx.Graph) (float64, error)
+}
+
+// Evaluate computes (truths, preds) for a fitted predictor on a test set.
+func Evaluate(p Predictor, test []ModelSample) (truths, preds []float64, err error) {
+	for _, s := range test {
+		v, err := p.Predict(s.Graph)
+		if err != nil {
+			return nil, nil, fmt.Errorf("baselines: %s predict: %w", p.Name(), err)
+		}
+		truths = append(truths, s.LatencyMS)
+		preds = append(preds, v)
+	}
+	return truths, preds, nil
+}

@@ -1,0 +1,279 @@
+package baselines
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"nnlqp/internal/core"
+	"nnlqp/internal/hwsim"
+	"nnlqp/internal/kernels"
+	"nnlqp/internal/models"
+	"nnlqp/internal/onnx"
+	"nnlqp/internal/tensor"
+)
+
+func datasetPlatform(t testing.TB) *hwsim.Platform {
+	t.Helper()
+	p, err := hwsim.PlatformByName(hwsim.DatasetPlatform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func modelSamples(t testing.TB, families []string, n int, seed int64) []ModelSample {
+	t.Helper()
+	p := datasetPlatform(t)
+	rng := rand.New(rand.NewSource(seed))
+	var out []ModelSample
+	for _, fam := range families {
+		for i := 0; i < n; i++ {
+			g, err := models.Variant(fam, rng, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ms, err := p.TrueLatencyMS(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, ModelSample{Graph: g, LatencyMS: ms})
+		}
+	}
+	return out
+}
+
+func TestLinRegExactFit(t *testing.T) {
+	// y = 2x0 - 3x1 + 5
+	x := [][]float64{{1, 0}, {0, 1}, {2, 2}, {3, 1}, {1, 4}}
+	y := make([]float64, len(x))
+	for i, f := range x {
+		y[i] = 2*f[0] - 3*f[1] + 5
+	}
+	reg, err := FitLinReg(x, y, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(reg.Weights[0]-2) > 1e-9 || math.Abs(reg.Weights[1]+3) > 1e-9 || math.Abs(reg.Intercept-5) > 1e-9 {
+		t.Fatalf("reg = %+v", reg)
+	}
+	if math.Abs(reg.Predict([]float64{10, -1})-28) > 1e-9 {
+		t.Fatal("Predict wrong")
+	}
+}
+
+func TestLinRegErrors(t *testing.T) {
+	if _, err := FitLinReg(nil, nil, 0); err == nil {
+		t.Fatal("want empty error")
+	}
+	if _, err := FitLinReg([][]float64{{1}}, []float64{1, 2}, 0); err == nil {
+		t.Fatal("want length mismatch error")
+	}
+	if _, err := FitLinReg([][]float64{{1, 2}, {1}}, []float64{1, 2}, 0); err == nil {
+		t.Fatal("want ragged error")
+	}
+}
+
+func TestRandomForestFitsNonlinearFunction(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 400
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a, b := rng.Float64()*10, rng.Float64()*10
+		x[i] = []float64{a, b}
+		y[i] = a*b + math.Sin(a) // nonlinear
+	}
+	rf := FitRandomForest(x, y, DefaultRFConfig())
+	var se, sy float64
+	for i := 0; i < n; i++ {
+		d := rf.Predict(x[i]) - y[i]
+		se += d * d
+		sy += y[i] * y[i]
+	}
+	if se/sy > 0.02 {
+		t.Fatalf("forest residual too large: %.4f", se/sy)
+	}
+	// Empty forest predicts zero, doesn't crash.
+	if FitRandomForest(nil, nil, DefaultRFConfig()).Predict([]float64{1}) != 0 {
+		t.Fatal("empty forest should predict 0")
+	}
+}
+
+func TestFLOPsAndFLOPsMAC(t *testing.T) {
+	train := modelSamples(t, []string{models.FamilyResNet, models.FamilyVGG}, 15, 2)
+	test := modelSamples(t, []string{models.FamilyResNet}, 8, 3)
+
+	fl := &FLOPs{}
+	if _, err := fl.Predict(train[0].Graph); err == nil {
+		t.Fatal("want unfitted error")
+	}
+	if err := fl.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	fm := &FLOPsMAC{}
+	if err := fm.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	truthF, predF, err := Evaluate(fl, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truthM, predM, err := Evaluate(fm, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapeF := core.MAPE(truthF, predF)
+	mapeM := core.MAPE(truthM, predM)
+	t.Logf("FLOPs MAPE %.2f%%, FLOPs+MAC MAPE %.2f%%", mapeF, mapeM)
+	// Both must at least produce the right scale; FLOPs alone is a known
+	// weak proxy, but within-family it should stay under 100%.
+	if mapeF > 120 || mapeM > 120 {
+		t.Fatal("baseline predictions off-scale")
+	}
+}
+
+func buildKernelDataset(t testing.TB, seed int64, graphsPerFam, cap int) map[string][]kernels.Sample {
+	t.Helper()
+	p := datasetPlatform(t)
+	rng := rand.New(rand.NewSource(seed))
+	var graphs []*onnx.Graph
+	for _, fam := range []string{models.FamilyResNet, models.FamilySqueezeNet, models.FamilyMobileNetV2} {
+		for i := 0; i < graphsPerFam; i++ {
+			g, _ := models.Variant(fam, rng, 1)
+			graphs = append(graphs, g)
+		}
+	}
+	ds, err := kernels.Dataset(graphs, p, cap, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestNNMeterEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	p := datasetPlatform(t)
+	ds := buildKernelDataset(t, 4, 3, 120)
+	m := NewNNMeter(p, DefaultRFConfig())
+	if err := m.Fit(nil); err == nil {
+		t.Fatal("Fit before FitKernels must fail")
+	}
+	if err := m.FitKernels(ds); err != nil {
+		t.Fatal(err)
+	}
+	train := modelSamples(t, []string{models.FamilyResNet, models.FamilySqueezeNet}, 12, 5)
+	test := modelSamples(t, []string{models.FamilyResNet}, 8, 6)
+	if err := m.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	truths, preds, err := Evaluate(m, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mape := core.MAPE(truths, preds)
+	t.Logf("nn-Meter MAPE %.2f%%", mape)
+	if mape > 60 {
+		t.Fatalf("nn-Meter MAPE %.2f%% too large for in-family test", mape)
+	}
+	// Kernel-level prediction works per sample.
+	for fam, ss := range ds {
+		if len(ss) == 0 {
+			continue
+		}
+		v, err := m.PredictKernel(ss[0])
+		if err != nil || v <= 0 {
+			t.Fatalf("kernel prediction for %s: %f, %v", fam, v, err)
+		}
+		break
+	}
+}
+
+func TestTPUEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	p := datasetPlatform(t)
+	ds := buildKernelDataset(t, 7, 2, 60)
+	cfg := core.DefaultConfig()
+	cfg.Hidden, cfg.Depth, cfg.HeadHidden, cfg.Epochs = 16, 2, 16, 10
+	tp := NewTPU(p, cfg)
+	if _, err := tp.Predict(modelSamples(t, []string{models.FamilyResNet}, 1, 8)[0].Graph); err == nil {
+		t.Fatal("want unfitted error")
+	}
+	if err := tp.FitKernels(ds); err != nil {
+		t.Fatal(err)
+	}
+	train := modelSamples(t, []string{models.FamilyResNet, models.FamilySqueezeNet}, 8, 9)
+	test := modelSamples(t, []string{models.FamilySqueezeNet}, 6, 10)
+	if err := tp.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	truths, preds, err := Evaluate(tp, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mape := core.MAPE(truths, preds)
+	t.Logf("TPU MAPE %.2f%%", mape)
+	if mape > 80 {
+		t.Fatalf("TPU baseline off-scale: %.2f%%", mape)
+	}
+}
+
+func TestBRPNASEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	cfg := DefaultBRPNASConfig()
+	cfg.Hidden, cfg.Depth, cfg.Epochs = 24, 3, 25
+	b := NewBRPNAS(cfg)
+	if _, err := b.Predict(modelSamples(t, []string{models.FamilyResNet}, 1, 11)[0].Graph); err == nil {
+		t.Fatal("want unfitted error")
+	}
+	if err := b.Fit(nil); err == nil {
+		t.Fatal("want empty training set error")
+	}
+	train := modelSamples(t, []string{models.FamilySqueezeNet}, 50, 12)
+	test := modelSamples(t, []string{models.FamilySqueezeNet}, 15, 13)
+	if err := b.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	truths, preds, err := Evaluate(b, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mape := core.MAPE(truths, preds)
+	t.Logf("BRP-NAS MAPE %.2f%%", mape)
+	if mape > 40 {
+		t.Fatalf("BRP-NAS should learn in-family: %.2f%%", mape)
+	}
+}
+
+func TestGCNAggregateSymmetry(t *testing.T) {
+	// <Âx, y> must equal <x, Ây> (Â symmetric): validates the backward.
+	adj := [][]int{{1, 2}, {0}, {0}}
+	deg := degrees(adj)
+	rng := rand.New(rand.NewSource(14))
+	x := tensorRandom(rng, 3, 4)
+	y := tensorRandom(rng, 3, 4)
+	ax := aggregate(x, adj, deg)
+	ay := aggregateBackward(y, adj, deg)
+	var lhs, rhs float64
+	for i := range ax.Data {
+		lhs += ax.Data[i] * y.Data[i]
+		rhs += x.Data[i] * ay.Data[i]
+	}
+	if math.Abs(lhs-rhs) > 1e-9 {
+		t.Fatalf("aggregate not symmetric: %f vs %f", lhs, rhs)
+	}
+}
+
+func tensorRandom(rng *rand.Rand, r, c int) *tensor.Matrix {
+	m := tensor.NewMatrix(r, c)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}

@@ -1,0 +1,265 @@
+package baselines
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"nnlqp/internal/feats"
+	"nnlqp/internal/gnn"
+	"nnlqp/internal/onnx"
+	"nnlqp/internal/tensor"
+)
+
+// BRPNAS reproduces the BRP-NAS predictor (Dudziak et al., NeurIPS'20) as
+// the paper applies it (Appendix E): the official GCN backbone driven by
+// NNLP's node features and topology, without the static graph features.
+// Layers compute H' = ReLU(Â·H·W) with the symmetric-normalized adjacency
+// (self loops included); readout is mean pooling followed by a linear head.
+type BRPNAS struct {
+	cfg     BRPNASConfig
+	layers  []*gcnLayer
+	headW   *tensor.Param
+	headB   *tensor.Param
+	norm    *feats.Normalizer
+	tgtMean float64
+	tgtStd  float64
+	rng     *rand.Rand
+	fitted  bool
+}
+
+// BRPNASConfig sizes the GCN.
+type BRPNASConfig struct {
+	Hidden    int
+	Depth     int
+	LR        float64
+	Epochs    int
+	BatchSize int
+	Seed      int64
+}
+
+// DefaultBRPNASConfig mirrors the official 4-layer GCN at test-friendly
+// size.
+func DefaultBRPNASConfig() BRPNASConfig {
+	return BRPNASConfig{Hidden: 48, Depth: 4, LR: 1e-3, Epochs: 30, BatchSize: 16, Seed: 1}
+}
+
+type gcnLayer struct {
+	w *tensor.Param
+}
+
+type gcnCache struct {
+	in   *tensor.Matrix // layer input H
+	agg  *tensor.Matrix // Â·H
+	mask []bool         // relu mask
+	adj  [][]int
+	deg  []float64
+}
+
+// NewBRPNAS allocates the predictor.
+func NewBRPNAS(cfg BRPNASConfig) *BRPNAS {
+	b := &BRPNAS{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	in := feats.FeatureDim
+	for i := 0; i < cfg.Depth; i++ {
+		l := &gcnLayer{w: tensor.NewParam(fmt.Sprintf("gcn%d.W", i), in, cfg.Hidden)}
+		l.w.Value.XavierInit(b.rng)
+		b.layers = append(b.layers, l)
+		in = cfg.Hidden
+	}
+	b.headW = tensor.NewParam("head.W", cfg.Hidden, 1)
+	b.headW.Value.XavierInit(b.rng)
+	b.headB = tensor.NewParam("head.b", 1, 1)
+	return b
+}
+
+// Name implements Predictor.
+func (b *BRPNAS) Name() string { return "BRP-NAS" }
+
+func (b *BRPNAS) params() []*tensor.Param {
+	ps := []*tensor.Param{b.headW, b.headB}
+	for _, l := range b.layers {
+		ps = append(ps, l.w)
+	}
+	return ps
+}
+
+// aggregate computes Â·H with Â = D^-1/2 (A+I) D^-1/2.
+func aggregate(h *tensor.Matrix, adj [][]int, deg []float64) *tensor.Matrix {
+	out := tensor.NewMatrix(h.Rows, h.Cols)
+	for i := 0; i < h.Rows; i++ {
+		dst := out.Row(i)
+		// Self loop.
+		tensor.Axpy(1/deg[i], h.Row(i), dst)
+		for _, j := range adj[i] {
+			tensor.Axpy(1/math.Sqrt(deg[i]*deg[j]), h.Row(j), dst)
+		}
+	}
+	return out
+}
+
+// aggregateBackward routes gradients through Â (symmetric, so the same
+// coefficients apply transposed).
+func aggregateBackward(d *tensor.Matrix, adj [][]int, deg []float64) *tensor.Matrix {
+	out := tensor.NewMatrix(d.Rows, d.Cols)
+	for i := 0; i < d.Rows; i++ {
+		src := d.Row(i)
+		tensor.Axpy(1/deg[i], src, out.Row(i))
+		for _, j := range adj[i] {
+			tensor.Axpy(1/math.Sqrt(deg[i]*deg[j]), src, out.Row(j))
+		}
+	}
+	return out
+}
+
+func degrees(adj [][]int) []float64 {
+	deg := make([]float64, len(adj))
+	for i, nb := range adj {
+		deg[i] = float64(len(nb)) + 1
+	}
+	return deg
+}
+
+// forward runs the GCN + mean pool + linear head on normalized features,
+// returning the scalar prediction and caches.
+func (b *BRPNAS) forward(gf *feats.GraphFeatures) (float64, []*gcnCache, *tensor.Matrix) {
+	deg := degrees(gf.Adj)
+	h := gf.X
+	caches := make([]*gcnCache, 0, len(b.layers))
+	for _, l := range b.layers {
+		agg := aggregate(h, gf.Adj, deg)
+		y := tensor.MatMul(agg, l.w.Value)
+		mask := make([]bool, len(y.Data))
+		for i, v := range y.Data {
+			if v > 0 {
+				mask[i] = true
+			} else {
+				y.Data[i] = 0
+			}
+		}
+		caches = append(caches, &gcnCache{in: h, agg: agg, mask: mask, adj: gf.Adj, deg: deg})
+		h = y
+	}
+	pooled := gnn.SumPool(h)
+	pooled.Scale(1 / float64(h.Rows)) // mean pooling
+	pred := tensor.Dot(pooled.Row(0), colVec(b.headW.Value)) + b.headB.Value.At(0, 0)
+	return pred, caches, pooled
+}
+
+func colVec(m *tensor.Matrix) []float64 {
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		out[i] = m.At(i, 0)
+	}
+	return out
+}
+
+// backward accumulates gradients for a scalar loss derivative dPred.
+func (b *BRPNAS) backward(caches []*gcnCache, pooled *tensor.Matrix, numNodes int, dPred float64) {
+	// Head.
+	for i := 0; i < b.headW.Value.Rows; i++ {
+		b.headW.Grad.Data[i] += dPred * pooled.At(0, i)
+	}
+	b.headB.Grad.Data[0] += dPred
+	dPool := tensor.NewMatrix(1, pooled.Cols)
+	for i := range dPool.Row(0) {
+		dPool.Row(0)[i] = dPred * b.headW.Value.At(i, 0)
+	}
+	// Mean pool backward.
+	dH := gnn.SumPoolBackward(dPool, numNodes)
+	dH.Scale(1 / float64(numNodes))
+	// GCN layers in reverse.
+	for li := len(b.layers) - 1; li >= 0; li-- {
+		l := b.layers[li]
+		c := caches[li]
+		for i := range dH.Data {
+			if !c.mask[i] {
+				dH.Data[i] = 0
+			}
+		}
+		l.w.Grad.AddInPlace(tensor.MatMulATB(c.agg, dH))
+		dAgg := tensor.MatMulABT(dH, l.w.Value)
+		dH = aggregateBackward(dAgg, c.adj, c.deg)
+	}
+}
+
+// Fit implements Predictor: trains the GCN on log-latency targets with
+// Adam.
+func (b *BRPNAS) Fit(train []ModelSample) error {
+	if len(train) == 0 {
+		return fmt.Errorf("baselines: BRP-NAS empty training set")
+	}
+	gfs := make([]*feats.GraphFeatures, len(train))
+	targets := make([]float64, len(train))
+	for i, s := range train {
+		gf, err := feats.Extract(s.Graph, 4)
+		if err != nil {
+			return err
+		}
+		gfs[i] = gf
+		targets[i] = math.Log(math.Max(s.LatencyMS, 1e-9))
+	}
+	b.norm = feats.FitNormalizer(gfs)
+	normed := make([]*feats.GraphFeatures, len(gfs))
+	for i, gf := range gfs {
+		c := gf.Clone()
+		b.norm.Apply(c)
+		normed[i] = c
+	}
+	// Target standardization.
+	var sum, sq float64
+	for _, t := range targets {
+		sum += t
+		sq += t * t
+	}
+	b.tgtMean = sum / float64(len(targets))
+	b.tgtStd = math.Sqrt(math.Max(sq/float64(len(targets))-b.tgtMean*b.tgtMean, 1e-12))
+	if b.tgtStd < 1e-6 {
+		b.tgtStd = 1
+	}
+
+	opt := tensor.NewAdam(b.cfg.LR)
+	idx := make([]int, len(train))
+	for i := range idx {
+		idx[i] = i
+	}
+	bs := b.cfg.BatchSize
+	if bs <= 0 {
+		bs = 16
+	}
+	for epoch := 0; epoch < b.cfg.Epochs; epoch++ {
+		b.rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		for start := 0; start < len(idx); start += bs {
+			end := start + bs
+			if end > len(idx) {
+				end = len(idx)
+			}
+			for _, p := range b.params() {
+				p.ZeroGrad()
+			}
+			inv := 1.0 / float64(end-start)
+			for _, si := range idx[start:end] {
+				gf := normed[si]
+				target := (targets[si] - b.tgtMean) / b.tgtStd
+				pred, caches, pooled := b.forward(gf)
+				b.backward(caches, pooled, gf.X.Rows, 2*(pred-target)*inv)
+			}
+			opt.Step(b.params())
+		}
+	}
+	b.fitted = true
+	return nil
+}
+
+// Predict implements Predictor.
+func (b *BRPNAS) Predict(g *onnx.Graph) (float64, error) {
+	if !b.fitted {
+		return 0, fmt.Errorf("baselines: BRP-NAS not fitted")
+	}
+	gf, err := feats.Extract(g, 4)
+	if err != nil {
+		return 0, err
+	}
+	b.norm.Apply(gf)
+	pred, _, _ := b.forward(gf)
+	return math.Exp(pred*b.tgtStd + b.tgtMean), nil
+}

@@ -1,0 +1,106 @@
+package baselines
+
+import (
+	"fmt"
+
+	"nnlqp/internal/onnx"
+)
+
+// FLOPs predicts latency by linear regression on the model's FLOP count
+// alone — the classical proxy the paper shows correlates poorly with real
+// latency.
+type FLOPs struct {
+	reg *LinReg
+}
+
+// Name implements Predictor.
+func (f *FLOPs) Name() string { return "FLOPs" }
+
+func flopsFeature(g *onnx.Graph) ([]float64, error) {
+	c, err := g.Cost(4)
+	if err != nil {
+		return nil, err
+	}
+	return []float64{float64(c.FLOPs) / 1e9}, nil
+}
+
+// Fit implements Predictor.
+func (f *FLOPs) Fit(train []ModelSample) error {
+	x := make([][]float64, 0, len(train))
+	y := make([]float64, 0, len(train))
+	for _, s := range train {
+		feat, err := flopsFeature(s.Graph)
+		if err != nil {
+			return err
+		}
+		x = append(x, feat)
+		y = append(y, s.LatencyMS)
+	}
+	reg, err := FitLinReg(x, y, 1e-9)
+	if err != nil {
+		return err
+	}
+	f.reg = reg
+	return nil
+}
+
+// Predict implements Predictor.
+func (f *FLOPs) Predict(g *onnx.Graph) (float64, error) {
+	if f.reg == nil {
+		return 0, fmt.Errorf("baselines: FLOPs not fitted")
+	}
+	feat, err := flopsFeature(g)
+	if err != nil {
+		return 0, err
+	}
+	return f.reg.Predict(feat), nil
+}
+
+// FLOPsMAC adds memory-access bytes as a second regressor (the FLOPs+MAC
+// baseline, which Table 3 shows helps substantially over FLOPs alone).
+type FLOPsMAC struct {
+	reg *LinReg
+}
+
+// Name implements Predictor.
+func (f *FLOPsMAC) Name() string { return "FLOPs+MAC" }
+
+func flopsMACFeature(g *onnx.Graph) ([]float64, error) {
+	c, err := g.Cost(4)
+	if err != nil {
+		return nil, err
+	}
+	return []float64{float64(c.FLOPs) / 1e9, float64(c.MAC) / 1e9}, nil
+}
+
+// Fit implements Predictor.
+func (f *FLOPsMAC) Fit(train []ModelSample) error {
+	x := make([][]float64, 0, len(train))
+	y := make([]float64, 0, len(train))
+	for _, s := range train {
+		feat, err := flopsMACFeature(s.Graph)
+		if err != nil {
+			return err
+		}
+		x = append(x, feat)
+		y = append(y, s.LatencyMS)
+	}
+	reg, err := FitLinReg(x, y, 1e-9)
+	if err != nil {
+		return err
+	}
+	f.reg = reg
+	return nil
+}
+
+// Predict implements Predictor.
+func (f *FLOPsMAC) Predict(g *onnx.Graph) (float64, error) {
+	if f.reg == nil {
+		return 0, fmt.Errorf("baselines: FLOPs+MAC not fitted")
+	}
+	feat, err := flopsMACFeature(g)
+	if err != nil {
+		return 0, err
+	}
+	return f.reg.Predict(feat), nil
+}

@@ -1,0 +1,94 @@
+package baselines
+
+import (
+	"fmt"
+	"math"
+)
+
+// LinReg is ordinary least squares with an intercept and a small ridge
+// term for conditioning, solved by Gaussian elimination on the normal
+// equations — adequate for the ≤3-feature regressions the baselines use.
+type LinReg struct {
+	Weights   []float64 // per-feature
+	Intercept float64
+	Ridge     float64
+}
+
+// FitLinReg fits y ≈ X·w + b.
+func FitLinReg(x [][]float64, y []float64, ridge float64) (*LinReg, error) {
+	if len(x) == 0 || len(x) != len(y) {
+		return nil, fmt.Errorf("baselines: linreg needs equal, nonempty X and y")
+	}
+	d := len(x[0]) + 1 // + intercept
+	// Build normal equations A·w = b with the intercept as the last column.
+	a := make([][]float64, d)
+	for i := range a {
+		a[i] = make([]float64, d+1)
+	}
+	row := make([]float64, d)
+	for n := range x {
+		if len(x[n]) != d-1 {
+			return nil, fmt.Errorf("baselines: ragged design matrix")
+		}
+		copy(row, x[n])
+		row[d-1] = 1
+		for i := 0; i < d; i++ {
+			for j := 0; j < d; j++ {
+				a[i][j] += row[i] * row[j]
+			}
+			a[i][d] += row[i] * y[n]
+		}
+	}
+	for i := 0; i < d-1; i++ {
+		a[i][i] += ridge
+	}
+	w, err := solve(a)
+	if err != nil {
+		return nil, err
+	}
+	return &LinReg{Weights: w[:d-1], Intercept: w[d-1], Ridge: ridge}, nil
+}
+
+// solve performs Gaussian elimination with partial pivoting on the
+// augmented matrix a (d rows, d+1 cols).
+func solve(a [][]float64) ([]float64, error) {
+	d := len(a)
+	for col := 0; col < d; col++ {
+		// Pivot.
+		p := col
+		for r := col + 1; r < d; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[p][col]) {
+				p = r
+			}
+		}
+		if math.Abs(a[p][col]) < 1e-12 {
+			return nil, fmt.Errorf("baselines: singular system")
+		}
+		a[col], a[p] = a[p], a[col]
+		// Eliminate below.
+		for r := col + 1; r < d; r++ {
+			f := a[r][col] / a[col][col]
+			for c := col; c <= d; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+		}
+	}
+	w := make([]float64, d)
+	for r := d - 1; r >= 0; r-- {
+		s := a[r][d]
+		for c := r + 1; c < d; c++ {
+			s -= a[r][c] * w[c]
+		}
+		w[r] = s / a[r][r]
+	}
+	return w, nil
+}
+
+// Predict evaluates the fitted regression.
+func (l *LinReg) Predict(features []float64) float64 {
+	s := l.Intercept
+	for i, w := range l.Weights {
+		s += w * features[i]
+	}
+	return s
+}

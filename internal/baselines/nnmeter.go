@@ -1,0 +1,130 @@
+package baselines
+
+import (
+	"fmt"
+	"math"
+
+	"nnlqp/internal/hwsim"
+	"nnlqp/internal/kernels"
+	"nnlqp/internal/onnx"
+)
+
+// NNMeter reproduces the nn-Meter baseline (Zhang et al., MobiSys'21) as
+// the paper applies it: a random-forest regressor per kernel family over
+// engineered kernel features predicts each kernel's standalone latency;
+// the model's latency is the sum of kernel predictions, passed through a
+// linear correction fitted on whole-model samples because the additivity
+// assumption is unreliable (Appendix E: "we apply the linear regression
+// method to correct the summation result").
+type NNMeter struct {
+	platform *hwsim.Platform
+	cfg      RFConfig
+	forests  map[string]*RandomForest
+	global   *RandomForest // fallback for families unseen in kernel training
+	correct  *LinReg
+}
+
+// NewNNMeter creates the baseline for a target platform.
+func NewNNMeter(platform *hwsim.Platform, cfg RFConfig) *NNMeter {
+	return &NNMeter{platform: platform, cfg: cfg, forests: make(map[string]*RandomForest)}
+}
+
+// Name implements Predictor.
+func (m *NNMeter) Name() string { return "nn-Meter" }
+
+// FitKernels trains the per-family forests from a kernel dataset (as built
+// by kernels.Dataset). Latencies are learned in log space for scale
+// robustness.
+func (m *NNMeter) FitKernels(ds map[string][]kernels.Sample) error {
+	var allX [][]float64
+	var allY []float64
+	for fam, ss := range ds {
+		if len(ss) == 0 {
+			continue
+		}
+		x := make([][]float64, len(ss))
+		y := make([]float64, len(ss))
+		for i, s := range ss {
+			x[i] = s.Features
+			y[i] = math.Log(math.Max(s.LatencyMS, 1e-9))
+			allX = append(allX, s.Features)
+			allY = append(allY, y[i])
+		}
+		cfg := m.cfg
+		cfg.Seed = m.cfg.Seed + int64(len(fam)) // decorrelate per family
+		m.forests[fam] = FitRandomForest(x, y, cfg)
+	}
+	if len(allX) == 0 {
+		return fmt.Errorf("baselines: empty kernel dataset")
+	}
+	m.global = FitRandomForest(allX, allY, m.cfg)
+	return nil
+}
+
+// predictKernelSum predicts the summed standalone kernel latency of g.
+func (m *NNMeter) predictKernelSum(g *onnx.Graph) (float64, error) {
+	ks, err := kernels.Split(g, m.platform)
+	if err != nil {
+		return 0, err
+	}
+	var sum float64
+	for _, s := range ks {
+		f, ok := m.forests[s.Family]
+		if !ok {
+			f = m.global
+		}
+		if f == nil {
+			return 0, fmt.Errorf("baselines: nn-Meter kernels not fitted")
+		}
+		sum += math.Exp(f.Predict(s.Features))
+	}
+	return sum, nil
+}
+
+// Fit fits the linear sum→model correction on whole-model samples. The
+// kernel forests must have been trained first.
+func (m *NNMeter) Fit(train []ModelSample) error {
+	if m.global == nil {
+		return fmt.Errorf("baselines: call FitKernels before Fit")
+	}
+	x := make([][]float64, 0, len(train))
+	y := make([]float64, 0, len(train))
+	for _, s := range train {
+		sum, err := m.predictKernelSum(s.Graph)
+		if err != nil {
+			return err
+		}
+		x = append(x, []float64{sum})
+		y = append(y, s.LatencyMS)
+	}
+	reg, err := FitLinReg(x, y, 1e-9)
+	if err != nil {
+		return err
+	}
+	m.correct = reg
+	return nil
+}
+
+// Predict implements Predictor.
+func (m *NNMeter) Predict(g *onnx.Graph) (float64, error) {
+	sum, err := m.predictKernelSum(g)
+	if err != nil {
+		return 0, err
+	}
+	if m.correct == nil {
+		return sum, nil
+	}
+	return m.correct.Predict([]float64{sum}), nil
+}
+
+// PredictKernel predicts one kernel sample's standalone latency (Table 5).
+func (m *NNMeter) PredictKernel(s kernels.Sample) (float64, error) {
+	f, ok := m.forests[s.Family]
+	if !ok {
+		f = m.global
+	}
+	if f == nil {
+		return 0, fmt.Errorf("baselines: nn-Meter kernels not fitted")
+	}
+	return math.Exp(f.Predict(s.Features)), nil
+}

@@ -1,0 +1,175 @@
+package baselines
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Random-forest regression from scratch: CART trees with variance-reduction
+// splits, bootstrap bagging and per-split feature subsampling — the
+// regressor nn-Meter uses for kernel latency prediction.
+
+// treeNode is one node of a regression tree.
+type treeNode struct {
+	feature  int
+	thresh   float64
+	left     *treeNode
+	right    *treeNode
+	value    float64 // leaf prediction
+	isLeaf   bool
+	examples int
+}
+
+// RFConfig controls forest construction.
+type RFConfig struct {
+	Trees       int
+	MaxDepth    int
+	MinLeaf     int
+	FeatureFrac float64 // fraction of features considered per split
+	Seed        int64
+}
+
+// DefaultRFConfig mirrors typical nn-Meter settings at a size that trains
+// instantly.
+func DefaultRFConfig() RFConfig {
+	return RFConfig{Trees: 40, MaxDepth: 12, MinLeaf: 2, FeatureFrac: 0.7, Seed: 1}
+}
+
+// RandomForest is a bagged ensemble of regression trees.
+type RandomForest struct {
+	cfg   RFConfig
+	trees []*treeNode
+}
+
+// FitRandomForest trains a forest on (x, y).
+func FitRandomForest(x [][]float64, y []float64, cfg RFConfig) *RandomForest {
+	rf := &RandomForest{cfg: cfg}
+	if len(x) == 0 {
+		return rf
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := len(x)
+	for t := 0; t < cfg.Trees; t++ {
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = rng.Intn(n)
+		}
+		rf.trees = append(rf.trees, buildTree(x, y, idx, cfg, rng, 0))
+	}
+	return rf
+}
+
+// Predict averages the trees.
+func (rf *RandomForest) Predict(features []float64) float64 {
+	if len(rf.trees) == 0 {
+		return 0
+	}
+	var s float64
+	for _, t := range rf.trees {
+		s += t.predict(features)
+	}
+	return s / float64(len(rf.trees))
+}
+
+func (n *treeNode) predict(f []float64) float64 {
+	for !n.isLeaf {
+		if f[n.feature] <= n.thresh {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.value
+}
+
+func mean(y []float64, idx []int) float64 {
+	var s float64
+	for _, i := range idx {
+		s += y[i]
+	}
+	return s / float64(len(idx))
+}
+
+func buildTree(x [][]float64, y []float64, idx []int, cfg RFConfig, rng *rand.Rand, depth int) *treeNode {
+	node := &treeNode{examples: len(idx)}
+	if depth >= cfg.MaxDepth || len(idx) < 2*cfg.MinLeaf || pure(y, idx) {
+		node.isLeaf = true
+		node.value = mean(y, idx)
+		return node
+	}
+	bestFeat, bestThresh, bestScore := -1, 0.0, math.Inf(1)
+	numFeat := len(x[0])
+	nTry := int(math.Ceil(cfg.FeatureFrac * float64(numFeat)))
+	perm := rng.Perm(numFeat)[:nTry]
+	vals := make([]float64, len(idx))
+	for _, f := range perm {
+		for k, i := range idx {
+			vals[k] = x[i][f]
+		}
+		sorted := append([]float64(nil), vals...)
+		sort.Float64s(sorted)
+		// Candidate thresholds: midpoints between distinct sorted values.
+		for k := 1; k < len(sorted); k++ {
+			if sorted[k] == sorted[k-1] {
+				continue
+			}
+			th := (sorted[k] + sorted[k-1]) / 2
+			score := splitScore(x, y, idx, f, th, cfg.MinLeaf)
+			if score < bestScore {
+				bestScore, bestFeat, bestThresh = score, f, th
+			}
+		}
+	}
+	if bestFeat < 0 {
+		node.isLeaf = true
+		node.value = mean(y, idx)
+		return node
+	}
+	var li, ri []int
+	for _, i := range idx {
+		if x[i][bestFeat] <= bestThresh {
+			li = append(li, i)
+		} else {
+			ri = append(ri, i)
+		}
+	}
+	node.feature = bestFeat
+	node.thresh = bestThresh
+	node.left = buildTree(x, y, li, cfg, rng, depth+1)
+	node.right = buildTree(x, y, ri, cfg, rng, depth+1)
+	return node
+}
+
+func pure(y []float64, idx []int) bool {
+	for _, i := range idx[1:] {
+		if y[i] != y[idx[0]] {
+			return false
+		}
+	}
+	return true
+}
+
+// splitScore is the weighted sum of child variances (lower = better), or
+// +Inf when a child would violate MinLeaf.
+func splitScore(x [][]float64, y []float64, idx []int, feat int, th float64, minLeaf int) float64 {
+	var ln, rn int
+	var ls, rs, lq, rq float64
+	for _, i := range idx {
+		if x[i][feat] <= th {
+			ln++
+			ls += y[i]
+			lq += y[i] * y[i]
+		} else {
+			rn++
+			rs += y[i]
+			rq += y[i] * y[i]
+		}
+	}
+	if ln < minLeaf || rn < minLeaf {
+		return math.Inf(1)
+	}
+	lv := lq - ls*ls/float64(ln)
+	rv := rq - rs*rs/float64(rn)
+	return lv + rv
+}

@@ -1,0 +1,123 @@
+package baselines
+
+import (
+	"fmt"
+	"math"
+
+	"nnlqp/internal/core"
+	"nnlqp/internal/hwsim"
+	"nnlqp/internal/kernels"
+	"nnlqp/internal/onnx"
+)
+
+// TPU reproduces the learned-TPU-cost-model baseline (Kaufman et al.) as
+// the paper applies it: "we first use GraphSAGE to predict the latency of
+// kernels. The same as nn-Meter, we correct the sum of kernel latencies by
+// the linear regression method" (Appendix E). The kernel-level GraphSAGE
+// is our own unified-embedding predictor applied to standalone kernel
+// graphs.
+type TPU struct {
+	platform *hwsim.Platform
+	cfg      core.Config
+	kernelP  *core.Predictor
+	correct  *LinReg
+}
+
+// NewTPU creates the baseline for a target platform. cfg sizes the
+// kernel-level GraphSAGE.
+func NewTPU(platform *hwsim.Platform, cfg core.Config) *TPU {
+	return &TPU{platform: platform, cfg: cfg}
+}
+
+// Name implements Predictor.
+func (t *TPU) Name() string { return "TPU" }
+
+// kernelPlatformTag labels the kernel-level head.
+const kernelPlatformTag = "kernel"
+
+// FitKernels trains the kernel-level GraphSAGE on a kernel dataset.
+func (t *TPU) FitKernels(ds map[string][]kernels.Sample) error {
+	var samples []core.Sample
+	for _, ss := range ds {
+		for _, s := range ss {
+			cs, err := core.NewSample(s.Graph, s.LatencyMS, kernelPlatformTag)
+			if err != nil {
+				return err
+			}
+			samples = append(samples, cs)
+		}
+	}
+	if len(samples) == 0 {
+		return fmt.Errorf("baselines: empty kernel dataset")
+	}
+	t.kernelP = core.New(t.cfg)
+	return t.kernelP.Fit(samples)
+}
+
+// predictKernelSum sums predicted standalone kernel latencies for g.
+func (t *TPU) predictKernelSum(g *onnx.Graph) (float64, error) {
+	if t.kernelP == nil {
+		return 0, fmt.Errorf("baselines: call FitKernels before predicting")
+	}
+	shapes, err := g.InferShapes()
+	if err != nil {
+		return 0, err
+	}
+	ks, err := hwsim.Kernelize(g)
+	if err != nil {
+		return 0, err
+	}
+	var sum float64
+	for i, k := range ks {
+		kg, err := kernels.KernelGraph(k, shapes, fmt.Sprintf("%s/k%03d", g.Name, i))
+		if err != nil {
+			return 0, err
+		}
+		v, err := t.kernelP.Predict(kg, kernelPlatformTag)
+		if err != nil {
+			return 0, err
+		}
+		sum += math.Max(v, 0)
+	}
+	return sum, nil
+}
+
+// Fit fits the linear sum→model correction on whole-model samples.
+func (t *TPU) Fit(train []ModelSample) error {
+	x := make([][]float64, 0, len(train))
+	y := make([]float64, 0, len(train))
+	for _, s := range train {
+		sum, err := t.predictKernelSum(s.Graph)
+		if err != nil {
+			return err
+		}
+		x = append(x, []float64{sum})
+		y = append(y, s.LatencyMS)
+	}
+	reg, err := FitLinReg(x, y, 1e-9)
+	if err != nil {
+		return err
+	}
+	t.correct = reg
+	return nil
+}
+
+// Predict implements Predictor.
+func (t *TPU) Predict(g *onnx.Graph) (float64, error) {
+	sum, err := t.predictKernelSum(g)
+	if err != nil {
+		return 0, err
+	}
+	if t.correct == nil {
+		return sum, nil
+	}
+	return t.correct.Predict([]float64{sum}), nil
+}
+
+// PredictKernel predicts one kernel sample's standalone latency (Table 5).
+func (t *TPU) PredictKernel(s kernels.Sample) (float64, error) {
+	if t.kernelP == nil {
+		return 0, fmt.Errorf("baselines: call FitKernels before predicting")
+	}
+	return t.kernelP.Predict(s.Graph, kernelPlatformTag)
+}

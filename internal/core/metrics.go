@@ -1,0 +1,76 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// MAPE is the mean absolute percentage error (Appendix C, Eq. 6), in
+// percent; lower is better.
+func MAPE(truth, pred []float64) float64 {
+	if len(truth) != len(pred) || len(truth) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for i := range truth {
+		if truth[i] == 0 {
+			continue
+		}
+		sum += math.Abs(truth[i]-pred[i]) / math.Abs(truth[i])
+	}
+	return sum / float64(len(truth)) * 100
+}
+
+// AccDelta is the error-bound accuracy Acc(δ) (Appendix C, Eq. 7): the
+// percentage of samples whose relative error is within delta (e.g. 0.10 for
+// Acc(10%)); higher is better.
+func AccDelta(truth, pred []float64, delta float64) float64 {
+	if len(truth) != len(pred) || len(truth) == 0 {
+		return math.NaN()
+	}
+	var hit int
+	for i := range truth {
+		if truth[i] == 0 {
+			continue
+		}
+		if math.Abs(truth[i]-pred[i])/math.Abs(truth[i]) <= delta {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(truth)) * 100
+}
+
+// Metrics bundles the two evaluation figures the paper reports.
+type Metrics struct {
+	MAPE   float64
+	Acc10  float64
+	Count  int
+	Truths []float64
+	Preds  []float64
+}
+
+// String renders a compact summary.
+func (m Metrics) String() string {
+	return fmt.Sprintf("MAPE %.2f%%  Acc(10%%) %.2f%%  n=%d", m.MAPE, m.Acc10, m.Count)
+}
+
+// Evaluate runs the predictor over samples and computes metrics.
+func (p *Predictor) Evaluate(samples []Sample) (Metrics, error) {
+	truths := make([]float64, 0, len(samples))
+	preds := make([]float64, 0, len(samples))
+	for _, s := range samples {
+		pred, err := p.PredictSample(s.GF, s.Platform)
+		if err != nil {
+			return Metrics{}, err
+		}
+		truths = append(truths, s.LatencyMS)
+		preds = append(preds, pred)
+	}
+	return Metrics{
+		MAPE:   MAPE(truths, preds),
+		Acc10:  AccDelta(truths, preds, 0.10),
+		Count:  len(samples),
+		Truths: truths,
+		Preds:  preds,
+	}, nil
+}

@@ -1,0 +1,180 @@
+package db
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBTreeBasic(t *testing.T) {
+	bt := NewBTree()
+	if _, ok := bt.Get(1); ok {
+		t.Fatal("empty tree should miss")
+	}
+	if !bt.Set(1, 100) {
+		t.Fatal("first set should insert")
+	}
+	if bt.Set(1, 200) {
+		t.Fatal("second set should replace, not insert")
+	}
+	v, ok := bt.Get(1)
+	if !ok || v != 200 {
+		t.Fatalf("Get = %d,%v", v, ok)
+	}
+	if bt.Len() != 1 {
+		t.Fatalf("Len = %d", bt.Len())
+	}
+}
+
+func TestBTreeManyInsertsAscendSorted(t *testing.T) {
+	bt := NewBTree()
+	rng := rand.New(rand.NewSource(1))
+	ref := make(map[uint64]uint64)
+	for i := 0; i < 5000; i++ {
+		k := uint64(rng.Intn(20000))
+		bt.Set(k, k*2)
+		ref[k] = k * 2
+	}
+	if bt.Len() != len(ref) {
+		t.Fatalf("Len = %d, want %d", bt.Len(), len(ref))
+	}
+	if err := bt.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	prev := uint64(0)
+	first := true
+	count := 0
+	bt.Ascend(func(k, v uint64) bool {
+		if !first && k <= prev {
+			t.Fatalf("out of order: %d after %d", k, prev)
+		}
+		if ref[k] != v {
+			t.Fatalf("value mismatch at %d: %d vs %d", k, v, ref[k])
+		}
+		prev, first = k, false
+		count++
+		return true
+	})
+	if count != len(ref) {
+		t.Fatalf("Ascend visited %d, want %d", count, len(ref))
+	}
+}
+
+func TestBTreeDelete(t *testing.T) {
+	bt := NewBTree()
+	for i := uint64(0); i < 1000; i++ {
+		bt.Set(i, i)
+	}
+	rng := rand.New(rand.NewSource(2))
+	alive := make(map[uint64]bool)
+	for i := uint64(0); i < 1000; i++ {
+		alive[i] = true
+	}
+	for i := 0; i < 600; i++ {
+		k := uint64(rng.Intn(1000))
+		want := alive[k]
+		got := bt.Delete(k)
+		if got != want {
+			t.Fatalf("Delete(%d) = %v, want %v", k, got, want)
+		}
+		delete(alive, k)
+		if err := bt.checkInvariants(); err != nil {
+			t.Fatalf("after deleting %d: %v", k, err)
+		}
+	}
+	if bt.Len() != len(alive) {
+		t.Fatalf("Len = %d, want %d", bt.Len(), len(alive))
+	}
+	for k := range alive {
+		if _, ok := bt.Get(k); !ok {
+			t.Fatalf("live key %d missing", k)
+		}
+	}
+}
+
+func TestBTreeDeleteAll(t *testing.T) {
+	bt := NewBTree()
+	for i := uint64(0); i < 300; i++ {
+		bt.Set(i, i)
+	}
+	for i := uint64(0); i < 300; i++ {
+		if !bt.Delete(i) {
+			t.Fatalf("Delete(%d) failed", i)
+		}
+	}
+	if bt.Len() != 0 {
+		t.Fatalf("Len = %d after deleting all", bt.Len())
+	}
+	if err := bt.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBTreeAscendRange(t *testing.T) {
+	bt := NewBTree()
+	for i := uint64(0); i < 100; i += 2 {
+		bt.Set(i, i)
+	}
+	var got []uint64
+	bt.AscendRange(10, 20, func(k, _ uint64) bool {
+		got = append(got, k)
+		return true
+	})
+	want := []uint64{10, 12, 14, 16, 18}
+	if len(got) != len(want) {
+		t.Fatalf("range = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("range = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestBTreeAscendEarlyStop(t *testing.T) {
+	bt := NewBTree()
+	for i := uint64(0); i < 100; i++ {
+		bt.Set(i, i)
+	}
+	count := 0
+	bt.Ascend(func(_, _ uint64) bool {
+		count++
+		return count < 7
+	})
+	if count != 7 {
+		t.Fatalf("early stop visited %d", count)
+	}
+}
+
+// TestBTreeMatchesMapProperty is a property test: after an arbitrary
+// sequence of sets and deletes, the tree agrees with a reference map and
+// keeps its invariants.
+func TestBTreeMatchesMapProperty(t *testing.T) {
+	f := func(ops []uint16) bool {
+		bt := NewBTree()
+		ref := make(map[uint64]uint64)
+		for i, op := range ops {
+			k := uint64(op % 512)
+			if op%3 == 0 {
+				bt.Delete(k)
+				delete(ref, k)
+			} else {
+				bt.Set(k, uint64(i))
+				ref[k] = uint64(i)
+			}
+		}
+		if bt.Len() != len(ref) {
+			return false
+		}
+		for k, v := range ref {
+			got, ok := bt.Get(k)
+			if !ok || got != v {
+				return false
+			}
+		}
+		return bt.checkInvariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

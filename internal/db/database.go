@@ -1,0 +1,250 @@
+package db
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Database is a set of tables with optional write-ahead-log durability.
+// All mutations are appended to the WAL before being applied; Open replays
+// the WAL to reconstruct state, so the database "evolves" across process
+// lifetimes exactly as the paper's MySQL store accumulates latency
+// knowledge over time.
+type Database struct {
+	mu     sync.Mutex
+	tables map[string]*Table
+	wal    *walWriter // nil for in-memory databases
+	dir    string
+}
+
+// Open creates or reopens a database at dir. Pass "" for a purely
+// in-memory database (tests, ephemeral tooling). Schemas must be registered
+// with CreateTable before Open replays rows into them, so Open takes the
+// full schema set up front.
+func Open(dir string, schemas []Schema) (*Database, error) {
+	d := &Database{tables: make(map[string]*Table), dir: dir}
+	for _, s := range schemas {
+		t, err := NewTable(s)
+		if err != nil {
+			return nil, err
+		}
+		d.tables[s.Name] = t
+	}
+	if dir == "" {
+		return d, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	path := filepath.Join(dir, "nnlqp.wal")
+	if err := d.replay(path); err != nil {
+		return nil, err
+	}
+	w, err := newWALWriter(path)
+	if err != nil {
+		return nil, err
+	}
+	d.wal = w
+	return d, nil
+}
+
+// Table returns a table by name.
+func (d *Database) Table(name string) (*Table, error) {
+	t, ok := d.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("db: no table %q", name)
+	}
+	return t, nil
+}
+
+// Insert appends a row to the named table, durably when WAL-backed.
+func (d *Database) Insert(table string, row Row) (uint64, error) {
+	t, err := d.Table(table)
+	if err != nil {
+		return 0, err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	id, err := t.Insert(row)
+	if err != nil {
+		return 0, err
+	}
+	if d.wal != nil {
+		full, _ := t.Get(id)
+		if err := d.wal.append(walInsert, table, encodeRow(full)); err != nil {
+			// Roll back the in-memory insert to keep memory and disk agreeing.
+			t.Delete(id)
+			return 0, fmt.Errorf("db: wal append failed: %w", err)
+		}
+	}
+	return id, nil
+}
+
+// Delete removes a row, durably when WAL-backed.
+func (d *Database) Delete(table string, id uint64) (bool, error) {
+	t, err := d.Table(table)
+	if err != nil {
+		return false, err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	row, ok := t.Get(id)
+	if !ok {
+		return false, nil
+	}
+	if d.wal != nil {
+		if err := d.wal.append(walDelete, table, encodeRow(Row{row[0]})); err != nil {
+			return false, fmt.Errorf("db: wal append failed: %w", err)
+		}
+	}
+	return t.Delete(id), nil
+}
+
+// TotalStorageBytes sums encoded row sizes across tables (the "total
+// database size" figure of §8.2).
+func (d *Database) TotalStorageBytes() int64 {
+	var total int64
+	for _, t := range d.tables {
+		total += t.StorageBytes()
+	}
+	return total
+}
+
+// Close flushes and closes the WAL.
+func (d *Database) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.wal != nil {
+		return d.wal.close()
+	}
+	return nil
+}
+
+// --- Write-ahead log ---
+
+type walOp uint8
+
+const (
+	walInsert walOp = 1
+	walDelete walOp = 2
+)
+
+// Record layout: op u8 | tableNameLen uvarint | tableName | payloadLen
+// uvarint | payload.
+type walWriter struct {
+	f  *os.File
+	bw *bufio.Writer
+}
+
+func newWALWriter(path string) (*walWriter, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &walWriter{f: f, bw: bufio.NewWriter(f)}, nil
+}
+
+func (w *walWriter) append(op walOp, table string, payload []byte) error {
+	var hdr [2 * binary.MaxVarintLen64]byte
+	if err := w.bw.WriteByte(byte(op)); err != nil {
+		return err
+	}
+	n := binary.PutUvarint(hdr[:], uint64(len(table)))
+	if _, err := w.bw.Write(hdr[:n]); err != nil {
+		return err
+	}
+	if _, err := w.bw.WriteString(table); err != nil {
+		return err
+	}
+	n = binary.PutUvarint(hdr[:], uint64(len(payload)))
+	if _, err := w.bw.Write(hdr[:n]); err != nil {
+		return err
+	}
+	if _, err := w.bw.Write(payload); err != nil {
+		return err
+	}
+	// Flush per record: simple durability (no group commit needed at our
+	// insert rates).
+	return w.bw.Flush()
+}
+
+func (w *walWriter) close() error {
+	if err := w.bw.Flush(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// replay applies an existing WAL file to the in-memory tables. A torn tail
+// record (crash mid-append) is tolerated and truncated away.
+func (d *Database) replay(path string) error {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	for {
+		opB, err := br.ReadByte()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		table, payload, err := readWALRecord(br)
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return nil // torn tail
+		}
+		if err != nil {
+			return err
+		}
+		t, ok := d.tables[table]
+		if !ok {
+			continue // schema dropped; skip
+		}
+		row, err := decodeRow(payload)
+		if err != nil {
+			return fmt.Errorf("db: corrupt wal row in table %q: %w", table, err)
+		}
+		switch walOp(opB) {
+		case walInsert:
+			if _, err := t.Insert(row); err != nil {
+				return fmt.Errorf("db: wal replay insert: %w", err)
+			}
+		case walDelete:
+			t.Delete(row[0].(uint64))
+		default:
+			return fmt.Errorf("db: bad wal op %d", opB)
+		}
+	}
+}
+
+func readWALRecord(br *bufio.Reader) (string, []byte, error) {
+	nameLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return "", nil, err
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return "", nil, err
+	}
+	payLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return "", nil, err
+	}
+	payload := make([]byte, payLen)
+	if _, err := io.ReadFull(br, payload); err != nil {
+		return "", nil, err
+	}
+	return string(name), payload, nil
+}

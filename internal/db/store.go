@@ -1,0 +1,284 @@
+package db
+
+import (
+	"fmt"
+
+	"nnlqp/internal/graphhash"
+	"nnlqp/internal/onnx"
+)
+
+// Store is the NNLQ-specific layer over Database implementing the paper's
+// ER diagram (Fig. 4): a model table (weight-free ONNX + 8-byte graph hash),
+// a platform table (hardware, software, data type), and a latency table
+// keyed by (model id, platform id) foreign keys with batch size, latency
+// cost and memory figures.
+type Store struct {
+	db *Database
+}
+
+// Table and column names of the ER schema.
+const (
+	TableModel    = "model"
+	TablePlatform = "platform"
+	TableLatency  = "latency"
+)
+
+// Schemas returns the three-table NNLQ schema.
+func Schemas() []Schema {
+	return []Schema{
+		{
+			Name: TableModel,
+			Columns: []Column{
+				{Name: "id", Type: ColUint64},
+				{Name: "graph_hash", Type: ColUint64},
+				{Name: "name", Type: ColString},
+				{Name: "family", Type: ColString},
+				{Name: "onnx", Type: ColBytes}, // weight-free binary encoding
+			},
+			UniqueIndexes: []string{"graph_hash"},
+		},
+		{
+			Name: TablePlatform,
+			Columns: []Column{
+				{Name: "id", Type: ColUint64},
+				{Name: "name", Type: ColString},
+				{Name: "hardware", Type: ColString},
+				{Name: "software", Type: ColString},
+				{Name: "data_type", Type: ColString},
+			},
+			UniqueIndexes: []string{"name"},
+		},
+		{
+			Name: TableLatency,
+			Columns: []Column{
+				{Name: "id", Type: ColUint64},
+				{Name: "model_id", Type: ColUint64},    // FK -> model.id
+				{Name: "platform_id", Type: ColUint64}, // FK -> platform.id
+				{Name: "batch_size", Type: ColInt64},
+				{Name: "latency_ms", Type: ColFloat64},
+				{Name: "runs", Type: ColInt64},
+				{Name: "peak_mem_bytes", Type: ColInt64},
+				{Name: "lookup_key", Type: ColString}, // model|platform|batch
+			},
+			UniqueIndexes: []string{"lookup_key"},
+			MultiIndexes:  []string{"model_id", "platform_id"},
+		},
+	}
+}
+
+// OpenStore opens (or creates) an NNLQ store at dir ("" = in-memory).
+func OpenStore(dir string) (*Store, error) {
+	d, err := Open(dir, Schemas())
+	if err != nil {
+		return nil, err
+	}
+	return &Store{db: d}, nil
+}
+
+// Close closes the underlying database.
+func (s *Store) Close() error { return s.db.Close() }
+
+// DB exposes the underlying database (for tooling and tests).
+func (s *Store) DB() *Database { return s.db }
+
+// ModelRecord is a decoded model-table row.
+type ModelRecord struct {
+	ID     uint64
+	Hash   graphhash.Key
+	Name   string
+	Family string
+	Graph  *onnx.Graph
+}
+
+// PlatformRecord is a decoded platform-table row.
+type PlatformRecord struct {
+	ID       uint64
+	Name     string
+	Hardware string
+	Software string
+	DataType string
+}
+
+// LatencyRecord is a decoded latency-table row.
+type LatencyRecord struct {
+	ID           uint64
+	ModelID      uint64
+	PlatformID   uint64
+	BatchSize    int
+	LatencyMS    float64
+	Runs         int
+	PeakMemBytes int64
+}
+
+func latencyKey(modelID, platformID uint64, batch int) string {
+	return fmt.Sprintf("%d|%d|%d", modelID, platformID, batch)
+}
+
+// InsertModel stores a model (idempotently: an existing graph hash returns
+// the existing record).
+func (s *Store) InsertModel(g *onnx.Graph) (*ModelRecord, error) {
+	key, err := graphhash.GraphKey(g)
+	if err != nil {
+		return nil, err
+	}
+	if rec, ok, err := s.FindModelByHash(key); err != nil {
+		return nil, err
+	} else if ok {
+		return rec, nil
+	}
+	data, err := g.EncodeBinary()
+	if err != nil {
+		return nil, err
+	}
+	id, err := s.db.Insert(TableModel, Row{uint64(0), uint64(key), g.Name, g.Family, data})
+	if err != nil {
+		return nil, err
+	}
+	return &ModelRecord{ID: id, Hash: key, Name: g.Name, Family: g.Family, Graph: g}, nil
+}
+
+// FindModelByHash retrieves a model by graph hash.
+func (s *Store) FindModelByHash(key graphhash.Key) (*ModelRecord, bool, error) {
+	t, err := s.db.Table(TableModel)
+	if err != nil {
+		return nil, false, err
+	}
+	row, ok := t.FindUnique("graph_hash", uint64(key))
+	if !ok {
+		return nil, false, nil
+	}
+	return decodeModelRow(row)
+}
+
+// GetModel retrieves a model by primary key.
+func (s *Store) GetModel(id uint64) (*ModelRecord, bool, error) {
+	t, err := s.db.Table(TableModel)
+	if err != nil {
+		return nil, false, err
+	}
+	row, ok := t.Get(id)
+	if !ok {
+		return nil, false, nil
+	}
+	return decodeModelRow(row)
+}
+
+func decodeModelRow(row Row) (*ModelRecord, bool, error) {
+	g, err := onnx.DecodeBinary(row[4].([]byte))
+	if err != nil {
+		return nil, false, fmt.Errorf("db: stored model corrupt: %w", err)
+	}
+	return &ModelRecord{
+		ID:     row[0].(uint64),
+		Hash:   graphhash.Key(row[1].(uint64)),
+		Name:   row[2].(string),
+		Family: row[3].(string),
+		Graph:  g,
+	}, true, nil
+}
+
+// InsertPlatform registers a platform (idempotent on name).
+func (s *Store) InsertPlatform(name, hardware, software, dataType string) (*PlatformRecord, error) {
+	if rec, ok, err := s.FindPlatformByName(name); err != nil {
+		return nil, err
+	} else if ok {
+		return rec, nil
+	}
+	id, err := s.db.Insert(TablePlatform, Row{uint64(0), name, hardware, software, dataType})
+	if err != nil {
+		return nil, err
+	}
+	return &PlatformRecord{ID: id, Name: name, Hardware: hardware, Software: software, DataType: dataType}, nil
+}
+
+// FindPlatformByName retrieves a platform record by its canonical name.
+func (s *Store) FindPlatformByName(name string) (*PlatformRecord, bool, error) {
+	t, err := s.db.Table(TablePlatform)
+	if err != nil {
+		return nil, false, err
+	}
+	row, ok := t.FindUnique("name", name)
+	if !ok {
+		return nil, false, nil
+	}
+	return &PlatformRecord{
+		ID: row[0].(uint64), Name: row[1].(string), Hardware: row[2].(string),
+		Software: row[3].(string), DataType: row[4].(string),
+	}, true, nil
+}
+
+// InsertLatency stores one latency measurement; duplicate
+// (model, platform, batch) keys are rejected (the cache already has them).
+func (s *Store) InsertLatency(rec LatencyRecord) (uint64, error) {
+	return s.db.Insert(TableLatency, Row{
+		uint64(0), rec.ModelID, rec.PlatformID, int64(rec.BatchSize),
+		rec.LatencyMS, int64(rec.Runs), rec.PeakMemBytes,
+		latencyKey(rec.ModelID, rec.PlatformID, rec.BatchSize),
+	})
+}
+
+// FindLatency retrieves the latency record for (model, platform, batch).
+func (s *Store) FindLatency(modelID, platformID uint64, batch int) (*LatencyRecord, bool, error) {
+	t, err := s.db.Table(TableLatency)
+	if err != nil {
+		return nil, false, err
+	}
+	row, ok := t.FindUnique("lookup_key", latencyKey(modelID, platformID, batch))
+	if !ok {
+		return nil, false, nil
+	}
+	return decodeLatencyRow(row), true, nil
+}
+
+// LatenciesForPlatform returns every latency record for a platform, the
+// scan that feeds predictor training datasets.
+func (s *Store) LatenciesForPlatform(platformID uint64) ([]LatencyRecord, error) {
+	t, err := s.db.Table(TableLatency)
+	if err != nil {
+		return nil, err
+	}
+	rows := t.FindMulti("platform_id", platformID)
+	out := make([]LatencyRecord, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, *decodeLatencyRow(r))
+	}
+	return out, nil
+}
+
+// LatenciesForModel returns every latency record for a model.
+func (s *Store) LatenciesForModel(modelID uint64) ([]LatencyRecord, error) {
+	t, err := s.db.Table(TableLatency)
+	if err != nil {
+		return nil, err
+	}
+	rows := t.FindMulti("model_id", modelID)
+	out := make([]LatencyRecord, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, *decodeLatencyRow(r))
+	}
+	return out, nil
+}
+
+func decodeLatencyRow(row Row) *LatencyRecord {
+	return &LatencyRecord{
+		ID:           row[0].(uint64),
+		ModelID:      row[1].(uint64),
+		PlatformID:   row[2].(uint64),
+		BatchSize:    int(row[3].(int64)),
+		LatencyMS:    row[4].(float64),
+		Runs:         int(row[5].(int64)),
+		PeakMemBytes: row[6].(int64),
+	}
+}
+
+// Counts reports table cardinalities (the "63 platform records, 200k+ model
+// records and 700k+ latency records" figure of §8.2).
+func (s *Store) Counts() (models, platforms, latencies int) {
+	mt, _ := s.db.Table(TableModel)
+	pt, _ := s.db.Table(TablePlatform)
+	lt, _ := s.db.Table(TableLatency)
+	return mt.Len(), pt.Len(), lt.Len()
+}
+
+// StorageBytes reports total encoded storage.
+func (s *Store) StorageBytes() int64 { return s.db.TotalStorageBytes() }

@@ -1,0 +1,220 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§8 and appendices) on top of the reproduction's substrates:
+// the hardware simulator supplies ground-truth latencies, the query system
+// and database supply Table 2's pipeline costs, and the predictors compete
+// exactly as in §8.3-§8.7. Each experiment prints the same rows/series the
+// paper reports and returns structured results for programmatic checks.
+//
+// Two scales are provided: Quick (CI-sized, minutes) and Paper (the paper's
+// sample counts; hours on a CPU). Absolute values differ from the paper —
+// the oracle is a simulator — but the qualitative shape of every result is
+// the reproduction target (see DESIGN.md).
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"nnlqp/internal/core"
+	"nnlqp/internal/hwsim"
+	"nnlqp/internal/models"
+	"nnlqp/internal/onnx"
+)
+
+// Options controls experiment scale and output.
+type Options struct {
+	// PerFamily is the number of variants generated per model family.
+	PerFamily int
+	// TrainPerFamily / TestPerFamily bound the split sizes used by the
+	// prediction experiments.
+	TrainPerFamily int
+	TestPerFamily  int
+	// Epochs / Hidden / Depth size the GNN predictors.
+	Epochs int
+	Hidden int
+	Depth  int
+	// KernelCap caps kernels per family in kernel datasets.
+	KernelCap int
+	// NASSamples is the OFA candidate count for Fig. 9.
+	NASSamples int
+	// Seed drives all stochastic choices.
+	Seed int64
+	// Out receives the rendered tables (nil = io.Discard).
+	Out io.Writer
+}
+
+// Quick returns a CI-scale configuration: every experiment finishes in
+// seconds to a few minutes.
+func Quick() Options {
+	return Options{
+		PerFamily:      40,
+		TrainPerFamily: 30,
+		TestPerFamily:  20,
+		Epochs:         15,
+		Hidden:         32,
+		Depth:          2,
+		KernelCap:      200,
+		NASSamples:     300,
+		Seed:           1,
+		Out:            io.Discard,
+	}
+}
+
+// Paper returns the paper-scale configuration (§8.1: 2,000 variants per
+// family, kernel caps of 2,000, 1,000 NAS samples).
+func Paper() Options {
+	return Options{
+		PerFamily:      2000,
+		TrainPerFamily: 1400,
+		TestPerFamily:  600,
+		Epochs:         40,
+		Hidden:         48,
+		Depth:          3,
+		KernelCap:      2000,
+		NASSamples:     1000,
+		Seed:           1,
+		Out:            io.Discard,
+	}
+}
+
+func (o Options) out() io.Writer {
+	if o.Out == nil {
+		return io.Discard
+	}
+	return o.Out
+}
+
+// predictorConfig builds the NNLP configuration for this scale.
+func (o Options) predictorConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Hidden = o.Hidden
+	cfg.Depth = o.Depth
+	cfg.HeadHidden = o.Hidden
+	cfg.Epochs = o.Epochs
+	cfg.Seed = o.Seed
+	cfg.LR = 2e-3
+	return cfg
+}
+
+// Table is a rendered experiment result.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Render writes the table in aligned plain text.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "\n=== %s ===\n", t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+}
+
+// LabeledSample couples a model with its family label and measured latency
+// on one platform.
+type LabeledSample struct {
+	Graph     *onnx.Graph
+	Family    string
+	LatencyMS float64
+}
+
+// buildLatencyDataset generates n variants per family and measures them on
+// the platform (noise-free ground truth, as the dataset builders of §8.1
+// average 50 runs).
+func buildLatencyDataset(families []string, n int, platform string, seed int64) ([]LabeledSample, error) {
+	p, err := hwsim.PlatformByName(platform)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]LabeledSample, 0, len(families)*n)
+	for _, fam := range families {
+		for i := 0; i < n; i++ {
+			g, err := models.Variant(fam, rng, 1)
+			if err != nil {
+				return nil, err
+			}
+			g.Name = fmt.Sprintf("%s-%05d", fam, i)
+			ms, err := p.TrueLatencyMS(g)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, LabeledSample{Graph: g, Family: fam, LatencyMS: ms})
+		}
+	}
+	return out, nil
+}
+
+// byFamily groups samples.
+func byFamily(ss []LabeledSample) map[string][]LabeledSample {
+	out := make(map[string][]LabeledSample)
+	for _, s := range ss {
+		out[s.Family] = append(out[s.Family], s)
+	}
+	return out
+}
+
+// coreSamples converts labeled samples to core training samples.
+func coreSamples(ss []LabeledSample, platform string) ([]core.Sample, error) {
+	out := make([]core.Sample, 0, len(ss))
+	for _, s := range ss {
+		cs, err := core.NewSample(s.Graph, s.LatencyMS, platform)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, cs)
+	}
+	return out, nil
+}
+
+// fmtPct renders a percentage cell.
+func fmtPct(v float64) string { return fmt.Sprintf("%.2f%%", v) }
+
+// fmtF renders a float cell.
+func fmtF(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// sortedKeys returns map keys sorted.
+func sortedKeys[M ~map[string]V, V any](m M) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

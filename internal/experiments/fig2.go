@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"nnlqp/internal/hwsim"
+	"nnlqp/internal/models"
+)
+
+// Fig2Point is one scatter point of the kernel-additivity validation.
+type Fig2Point struct {
+	Family       string
+	ModelMS      float64
+	SumKernelsMS float64
+}
+
+// Fig2Result holds the Fig. 2 scatter data.
+type Fig2Result struct {
+	Points []Fig2Point
+	// FracAbove is the fraction of points with sum > model (the paper:
+	// "points with different colors are all above the red line y = x").
+	FracAbove float64
+	// MeanRatio is the mean sum/model ratio.
+	MeanRatio float64
+	// FamilySlopes is the least-squares slope of sum-vs-model per family
+	// (Appendix A: the slopes differ, so additivity cannot be corrected
+	// with one linear fit).
+	FamilySlopes map[string]float64
+	Table        *Table
+}
+
+// fig2Families are the six families of Appendix A.
+var fig2Families = []string{
+	models.FamilyResNet, models.FamilyAlexNet, models.FamilyNasBench201,
+	models.FamilyEfficientNet, models.FamilyMobileNetV2, models.FamilyMobileNetV3,
+}
+
+// RunFig2 reproduces Fig. 2 / Appendix A: 60 models (6 types × 10), the
+// GTX1660+TensorRT platform, comparing model latency against the sum of
+// its standalone kernel latencies.
+func RunFig2(o Options) (*Fig2Result, error) {
+	p, err := hwsim.PlatformByName(hwsim.DatasetPlatform)
+	if err != nil {
+		return nil, err
+	}
+	perFam := 10
+	rng := rand.New(rand.NewSource(o.Seed))
+	res := &Fig2Result{}
+	var above int
+	var ratioSum float64
+	for _, fam := range fig2Families {
+		for i := 0; i < perFam; i++ {
+			g, err := models.Variant(fam, rng, 1)
+			if err != nil {
+				return nil, err
+			}
+			rep, err := p.Execute(g)
+			if err != nil {
+				return nil, err
+			}
+			pt := Fig2Point{
+				Family:       fam,
+				ModelMS:      rep.LatencySec * 1e3,
+				SumKernelsMS: rep.SumStandaloneSec * 1e3,
+			}
+			res.Points = append(res.Points, pt)
+			if pt.SumKernelsMS > pt.ModelMS {
+				above++
+			}
+			ratioSum += pt.SumKernelsMS / pt.ModelMS
+		}
+	}
+	res.FracAbove = float64(above) / float64(len(res.Points))
+	res.MeanRatio = ratioSum / float64(len(res.Points))
+
+	// Per-family series summary (the scatter rendered as a table),
+	// including the per-family linear slope of sum-vs-model — Appendix A:
+	// "different model types show different linear slopes", which is why a
+	// single linear correction cannot fix kernel additivity.
+	tab := &Table{
+		Title:  "Figure 2: kernel additivity validation (gpu-gtx1660-trt7.1-fp32)",
+		Header: []string{"family", "n", "model ms (min..max)", "sum kernels ms (min..max)", "mean sum/model", "slope"},
+	}
+	res.FamilySlopes = map[string]float64{}
+	for _, fam := range fig2Families {
+		var n int
+		minM, maxM := 1e18, 0.0
+		minS, maxS := 1e18, 0.0
+		var rsum, sx, sy, sxx, sxy float64
+		for _, pt := range res.Points {
+			if pt.Family != fam {
+				continue
+			}
+			n++
+			if pt.ModelMS < minM {
+				minM = pt.ModelMS
+			}
+			if pt.ModelMS > maxM {
+				maxM = pt.ModelMS
+			}
+			if pt.SumKernelsMS < minS {
+				minS = pt.SumKernelsMS
+			}
+			if pt.SumKernelsMS > maxS {
+				maxS = pt.SumKernelsMS
+			}
+			rsum += pt.SumKernelsMS / pt.ModelMS
+			sx += pt.ModelMS
+			sy += pt.SumKernelsMS
+			sxx += pt.ModelMS * pt.ModelMS
+			sxy += pt.ModelMS * pt.SumKernelsMS
+		}
+		nf := float64(n)
+		slope := (nf*sxy - sx*sy) / (nf*sxx - sx*sx)
+		res.FamilySlopes[fam] = slope
+		tab.Rows = append(tab.Rows, []string{
+			fam, fmt.Sprint(n),
+			fmt.Sprintf("%.3f..%.3f", minM, maxM),
+			fmt.Sprintf("%.3f..%.3f", minS, maxS),
+			fmtF(rsum / float64(n)),
+			fmtF(slope),
+		})
+	}
+	tab.Notes = append(tab.Notes,
+		fmt.Sprintf("%.1f%% of points above y=x (paper: 100%%); mean ratio %.2f", res.FracAbove*100, res.MeanRatio))
+	res.Table = tab
+	tab.Render(o.out())
+	return res, nil
+}

@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"fmt"
+
+	"nnlqp/internal/core"
+	"nnlqp/internal/hwsim"
+	"nnlqp/internal/models"
+)
+
+// TransferCurve is one family's (or platform's) accuracy-vs-samples curve
+// in the two training regimes.
+type TransferCurve struct {
+	Name         string
+	SampleCounts []int
+	Scratch      []float64 // Acc(10%) training from scratch
+	Transfer     []float64 // Acc(10%) fine-tuning the pre-trained model
+}
+
+// Fig6Result holds the unseen-structure transfer experiment.
+type Fig6Result struct {
+	Curves []TransferCurve
+	Table  *Table
+}
+
+// fig6Families are the five families Fig. 6 plots.
+var fig6Families = []string{
+	models.FamilyResNet, models.FamilyVGG, models.FamilyMobileNetV2,
+	models.FamilyGoogleNet, models.FamilySqueezeNet,
+}
+
+// fig6Counts scales the paper's 32..1000 sample axis to the run size.
+func fig6Counts(o Options) []int {
+	switch {
+	case o.PerFamily >= 500:
+		return []int{32, 100, 200, 300, 500, 1000}
+	case o.PerFamily >= 120:
+		return []int{32, 100, 200}
+	default:
+		return []int{8, 16, 32}
+	}
+}
+
+// RunFig6 reproduces Fig. 6 (§8.6): transfer learning for unseen
+// structures. For each held-out family, a model pre-trained on the other
+// nine families is fine-tuned with k samples of the held-out family and
+// compared against training from scratch on the same k samples.
+func RunFig6(o Options) (*Fig6Result, error) {
+	platform := hwsim.DatasetPlatform
+	ds, err := buildLatencyDataset(models.Families, o.PerFamily, platform, o.Seed)
+	if err != nil {
+		return nil, err
+	}
+	groups := byFamily(ds)
+	counts := fig6Counts(o)
+	nFams := len(fig6Families)
+	if o.PerFamily < 30 {
+		nFams = 2 // tiny test runs
+	}
+
+	res := &Fig6Result{}
+	tab := &Table{
+		Title:  "Figure 6: transfer learning on unseen structures (Acc(10%))",
+		Header: []string{"family", "samples", "from scratch", "with pre-trained"},
+	}
+	for _, fam := range fig6Families[:nFams] {
+		pretrain, famSamples := leaveOneFamilyOut(groups, fam, o.TrainPerFamily, len(groups[fam]))
+		cPre, err := coreSamples(pretrain, platform)
+		if err != nil {
+			return nil, err
+		}
+		base := core.New(o.predictorConfig())
+		if err := base.Fit(cPre); err != nil {
+			return nil, err
+		}
+		// Reserve the tail of the family's samples for testing.
+		maxCount := counts[len(counts)-1]
+		if maxCount > len(famSamples)-o.TestPerFamily {
+			maxCount = len(famSamples) - o.TestPerFamily
+		}
+		testSet, err := coreSamples(famSamples[len(famSamples)-o.TestPerFamily:], platform)
+		if err != nil {
+			return nil, err
+		}
+
+		curve := TransferCurve{Name: fam}
+		for _, k := range counts {
+			if k > maxCount {
+				k = maxCount
+			}
+			ft, err := coreSamples(famSamples[:k], platform)
+			if err != nil {
+				return nil, err
+			}
+			// Transfer: clone the pre-trained model, fine-tune.
+			tuned, err := base.Clone()
+			if err != nil {
+				return nil, err
+			}
+			if err := tuned.FineTune(ft, o.Epochs); err != nil {
+				return nil, err
+			}
+			mT, err := tuned.Evaluate(testSet)
+			if err != nil {
+				return nil, err
+			}
+			// Scratch: same k samples, fresh model.
+			scratch := core.New(o.predictorConfig())
+			if err := scratch.Fit(ft); err != nil {
+				return nil, err
+			}
+			mS, err := scratch.Evaluate(testSet)
+			if err != nil {
+				return nil, err
+			}
+			curve.SampleCounts = append(curve.SampleCounts, k)
+			curve.Scratch = append(curve.Scratch, mS.Acc10)
+			curve.Transfer = append(curve.Transfer, mT.Acc10)
+			tab.Rows = append(tab.Rows, []string{fam, fmt.Sprint(k), fmtPct(mS.Acc10), fmtPct(mT.Acc10)})
+		}
+		res.Curves = append(res.Curves, curve)
+	}
+	tab.Notes = append(tab.Notes,
+		"paper: transfer curves sit above scratch curves, with the largest gap at the fewest samples")
+	res.Table = tab
+	tab.Render(o.out())
+	return res, nil
+}

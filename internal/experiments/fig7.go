@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"nnlqp/internal/core"
+	"nnlqp/internal/hwsim"
+	"nnlqp/internal/models"
+)
+
+// Fig7Result holds the unseen-platform transfer experiment.
+type Fig7Result struct {
+	Curves  []TransferCurve
+	Average TransferCurve
+	Table   *Table
+}
+
+// fig7Targets are the four platforms Fig. 7 plots individually.
+var fig7Targets = []string{
+	"hi3519A-nnie12-int8", "cpu-openppl-fp32", "atlas300-acl-fp16", "gpu-T4-trt7.1-fp32",
+}
+
+// RunFig7 reproduces Fig. 7 (§8.6): transfer learning for unseen
+// platforms. For each target platform, a multi-head model pre-trained on
+// the other eight platforms is fine-tuned with k target-platform samples
+// and compared against training from scratch.
+func RunFig7(o Options) (*Fig7Result, error) {
+	counts := fig6Counts(o)
+	targets := fig7Targets
+	if o.PerFamily < 30 {
+		targets = fig7Targets[:2]
+	}
+
+	// Per-platform datasets over the supported families.
+	perPlat := map[string][]core.Sample{}
+	for pi, plat := range hwsim.EvalPlatforms {
+		p, err := hwsim.PlatformByName(plat)
+		if err != nil {
+			return nil, err
+		}
+		fams := supportedFamilies(p)
+		per := (o.TrainPerFamily + o.TestPerFamily) / len(fams) * len(models.Families) / len(fams)
+		if per < 3 {
+			per = 3
+		}
+		ds, err := buildLatencyDataset(fams, per, plat, o.Seed+100+int64(pi))
+		if err != nil {
+			return nil, err
+		}
+		cs, err := coreSamples(ds, plat)
+		if err != nil {
+			return nil, err
+		}
+		// Shuffle so fine-tune pools and test sets mix families.
+		shuffleRng := rand.New(rand.NewSource(o.Seed + 700 + int64(pi)))
+		shuffleRng.Shuffle(len(cs), func(i, j int) { cs[i], cs[j] = cs[j], cs[i] })
+		perPlat[plat] = cs
+	}
+
+	res := &Fig7Result{}
+	tab := &Table{
+		Title:  "Figure 7: transfer learning on unseen platforms (Acc(10%))",
+		Header: []string{"platform", "samples", "from scratch", "with pre-trained"},
+	}
+	avgAcc := map[int][2]float64{} // count -> (scratch sum, transfer sum)
+	for _, target := range targets {
+		// Pretrain on all other platforms.
+		var pre []core.Sample
+		for _, plat := range hwsim.EvalPlatforms {
+			if plat != target {
+				pre = append(pre, perPlat[plat]...)
+			}
+		}
+		base := core.New(o.predictorConfig())
+		if err := base.Fit(pre); err != nil {
+			return nil, err
+		}
+		samples := perPlat[target]
+		nTest := len(samples) / 3
+		test := samples[len(samples)-nTest:]
+		pool := samples[:len(samples)-nTest]
+
+		curve := TransferCurve{Name: target}
+		for _, k := range counts {
+			kk := k
+			if kk > len(pool) {
+				kk = len(pool)
+			}
+			ft := pool[:kk]
+			tuned, err := base.Clone()
+			if err != nil {
+				return nil, err
+			}
+			if err := tuned.FineTune(ft, o.Epochs); err != nil {
+				return nil, err
+			}
+			mT, err := tuned.Evaluate(test)
+			if err != nil {
+				return nil, err
+			}
+			scratch := core.New(o.predictorConfig())
+			if err := scratch.Fit(ft); err != nil {
+				return nil, err
+			}
+			mS, err := scratch.Evaluate(test)
+			if err != nil {
+				return nil, err
+			}
+			curve.SampleCounts = append(curve.SampleCounts, kk)
+			curve.Scratch = append(curve.Scratch, mS.Acc10)
+			curve.Transfer = append(curve.Transfer, mT.Acc10)
+			a := avgAcc[k]
+			a[0] += mS.Acc10
+			a[1] += mT.Acc10
+			avgAcc[k] = a
+			tab.Rows = append(tab.Rows, []string{target, fmt.Sprint(kk), fmtPct(mS.Acc10), fmtPct(mT.Acc10)})
+		}
+		res.Curves = append(res.Curves, curve)
+	}
+	res.Average = TransferCurve{Name: "Average"}
+	for _, k := range counts {
+		a := avgAcc[k]
+		n := float64(len(targets))
+		res.Average.SampleCounts = append(res.Average.SampleCounts, k)
+		res.Average.Scratch = append(res.Average.Scratch, a[0]/n)
+		res.Average.Transfer = append(res.Average.Transfer, a[1]/n)
+		tab.Rows = append(tab.Rows, []string{"Average", fmt.Sprint(k), fmtPct(a[0] / n), fmtPct(a[1] / n)})
+	}
+	tab.Notes = append(tab.Notes,
+		"paper (Fig. 7e): average transfer curve sits above the scratch curve")
+	res.Table = tab
+	tab.Render(o.out())
+	return res, nil
+}

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner regenerates one table/figure and renders it to opts.Out.
+type Runner func(Options) error
+
+// registry maps experiment ids to runners.
+var registry = map[string]Runner{
+	"fig2":   func(o Options) error { _, err := RunFig2(o); return err },
+	"table2": func(o Options) error { _, err := RunTable2(o); return err },
+	"table3": func(o Options) error { _, err := RunTable3(o); return err },
+	"table4": func(o Options) error { _, err := RunTable4(o); return err },
+	"table5": func(o Options) error { _, err := RunTable5(o); return err },
+	"table6": func(o Options) error { _, err := RunTable6(o); return err },
+	"fig6":   func(o Options) error { _, err := RunFig6(o); return err },
+	"fig7":   func(o Options) error { _, err := RunFig7(o); return err },
+	"fig8":   func(o Options) error { _, err := RunFig8(o); return err },
+	"fig9":   func(o Options) error { _, err := RunFig9(o); return err },
+	"table7": func(o Options) error { _, err := RunTable7(o); return err },
+	"table8": func(o Options) error { _, err := RunTable8(o); return err },
+	"fig10":  func(o Options) error { _, err := RunFig10(o); return err },
+}
+
+// Names returns the registered experiment ids, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for k := range registry {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes one experiment by id.
+func Run(name string, o Options) error {
+	r, ok := registry[name]
+	if !ok {
+		return fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
+	}
+	return r(o)
+}
+
+// RunAll executes every experiment in a stable order.
+func RunAll(o Options) error {
+	for _, name := range Names() {
+		if err := Run(name, o); err != nil {
+			return fmt.Errorf("experiments: %s: %w", name, err)
+		}
+	}
+	return nil
+}

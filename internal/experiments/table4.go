@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+
+	"nnlqp/internal/core"
+	"nnlqp/internal/hwsim"
+	"nnlqp/internal/models"
+)
+
+// Table4Configs are the ablations of §8.4 in paper column order.
+var Table4Configs = []string{"NNLP", "wo/Fv0", "wo/gnn", "wo/Fstatic"}
+
+// Table4Result holds per-(config, family) MAPE plus averages.
+type Table4Result struct {
+	MAPE    map[string]map[string]float64
+	AvgMAPE map[string]float64
+	Table   *Table
+}
+
+func ablationConfig(base core.Config, name string) core.Config {
+	cfg := base
+	switch name {
+	case "wo/Fv0":
+		cfg.UseNodeFeats = false
+	case "wo/gnn":
+		cfg.UseGNN = false
+	case "wo/Fstatic":
+		cfg.UseStatic = false
+	}
+	return cfg
+}
+
+// RunTable4 reproduces Table 4: the graph-embedding ablation study with
+// the same leave-one-family-out protocol as Table 3.
+func RunTable4(o Options) (*Table4Result, error) {
+	platform := hwsim.DatasetPlatform
+	ds, err := buildLatencyDataset(models.Families, o.PerFamily, platform, o.Seed)
+	if err != nil {
+		return nil, err
+	}
+	groups := byFamily(ds)
+
+	res := &Table4Result{MAPE: map[string]map[string]float64{}, AvgMAPE: map[string]float64{}}
+	for _, c := range Table4Configs {
+		res.MAPE[c] = map[string]float64{}
+	}
+
+	for _, heldOut := range models.Families {
+		train, test := leaveOneFamilyOut(groups, heldOut, o.TrainPerFamily, o.TestPerFamily)
+		ctrain, err := coreSamples(train, platform)
+		if err != nil {
+			return nil, err
+		}
+		ctest, err := coreSamples(test, platform)
+		if err != nil {
+			return nil, err
+		}
+		for _, name := range Table4Configs {
+			p := core.New(ablationConfig(o.predictorConfig(), name))
+			if err := p.Fit(ctrain); err != nil {
+				return nil, err
+			}
+			m, err := p.Evaluate(ctest)
+			if err != nil {
+				return nil, err
+			}
+			res.MAPE[name][heldOut] = m.MAPE
+		}
+	}
+	for _, c := range Table4Configs {
+		var s float64
+		for _, fam := range models.Families {
+			s += res.MAPE[c][fam]
+		}
+		res.AvgMAPE[c] = s / float64(len(models.Families))
+	}
+
+	tab := &Table{
+		Title:  "Table 4: ablation study of the unified graph embedding (MAPE)",
+		Header: append([]string{"family"}, Table4Configs...),
+	}
+	for _, fam := range models.Families {
+		row := []string{fam}
+		for _, c := range Table4Configs {
+			row = append(row, fmtPct(res.MAPE[c][fam]))
+		}
+		tab.Rows = append(tab.Rows, row)
+	}
+	avg := []string{"Average"}
+	for _, c := range Table4Configs {
+		avg = append(avg, fmtPct(res.AvgMAPE[c]))
+	}
+	tab.Rows = append(tab.Rows, avg)
+	tab.Notes = append(tab.Notes, fmt.Sprintf(
+		"paper ordering: NNLP (10.66%%) < wo/Fstatic (23.59%%) < wo/gnn (25.15%%) < wo/Fv0 (31.61%%); here %s", orderingNote(res.AvgMAPE)))
+	res.Table = tab
+	tab.Render(o.out())
+	return res, nil
+}
+
+func orderingNote(avg map[string]float64) string {
+	return fmt.Sprintf("NNLP %.2f%%, wo/Fv0 %.2f%%, wo/gnn %.2f%%, wo/Fstatic %.2f%%",
+		avg["NNLP"], avg["wo/Fv0"], avg["wo/gnn"], avg["wo/Fstatic"])
+}

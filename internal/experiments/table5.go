@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"nnlqp/internal/baselines"
+	"nnlqp/internal/core"
+	"nnlqp/internal/hwsim"
+	"nnlqp/internal/kernels"
+	"nnlqp/internal/models"
+	"nnlqp/internal/onnx"
+)
+
+// Table5Methods are the kernel-level predictors compared in §8.5.
+var Table5Methods = []string{"nn-Meter", "TPU", "NNLP"}
+
+// Table5Result holds per-(method, kernel family) MAPE plus averages.
+type Table5Result struct {
+	MAPE    map[string]map[string]float64
+	AvgMAPE map[string]float64
+	Table   *Table
+}
+
+// RunTable5 reproduces Table 5: kernel latency prediction. Kernels are cut
+// from the model corpus, split 7:3 per family, and nn-Meter (random
+// forest), TPU (kernel GraphSAGE without statics) and NNLP (the unified
+// embedding applied directly to kernels) are compared by MAPE.
+func RunTable5(o Options) (*Table5Result, error) {
+	p, err := hwsim.PlatformByName(hwsim.DatasetPlatform)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(o.Seed))
+	srcPerFam := o.PerFamily / 4
+	if srcPerFam < 3 {
+		srcPerFam = 3
+	}
+	var src []*onnx.Graph
+	for _, fam := range models.Families {
+		for i := 0; i < srcPerFam; i++ {
+			g, err := models.Variant(fam, rng, 1)
+			if err != nil {
+				return nil, err
+			}
+			g.Name = fmt.Sprintf("t5-%s-%03d", fam, i)
+			src = append(src, g)
+		}
+	}
+	ds, err := kernels.Dataset(src, p, o.KernelCap, o.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	// 7:3 split per kernel family (the paper's protocol).
+	train := make(map[string][]kernels.Sample)
+	test := make(map[string][]kernels.Sample)
+	for fam, ss := range ds {
+		if len(ss) < 8 {
+			continue // too small for a meaningful split
+		}
+		cut := len(ss) * 7 / 10
+		train[fam] = ss[:cut]
+		test[fam] = ss[cut:]
+	}
+
+	nnMeter := baselines.NewNNMeter(p, baselines.DefaultRFConfig())
+	if err := nnMeter.FitKernels(train); err != nil {
+		return nil, err
+	}
+	tpuCfg := o.predictorConfig()
+	tpuCfg.UseStatic = false
+	tpu := baselines.NewTPU(p, tpuCfg)
+	if err := tpu.FitKernels(train); err != nil {
+		return nil, err
+	}
+	// NNLP applied to kernels: the full unified embedding (statics and
+	// all) trained on kernel graphs.
+	var nnlpTrain []core.Sample
+	for _, ss := range train {
+		for _, s := range ss {
+			cs, err := core.NewSample(s.Graph, s.LatencyMS, "kernel")
+			if err != nil {
+				return nil, err
+			}
+			nnlpTrain = append(nnlpTrain, cs)
+		}
+	}
+	nnlp := core.New(o.predictorConfig())
+	if err := nnlp.Fit(nnlpTrain); err != nil {
+		return nil, err
+	}
+
+	res := &Table5Result{MAPE: map[string]map[string]float64{}, AvgMAPE: map[string]float64{}}
+	for _, m := range Table5Methods {
+		res.MAPE[m] = map[string]float64{}
+	}
+	for _, fam := range sortedKeys(test) {
+		var truths []float64
+		preds := map[string][]float64{}
+		for _, s := range test[fam] {
+			truths = append(truths, s.LatencyMS)
+			v, err := nnMeter.PredictKernel(s)
+			if err != nil {
+				return nil, err
+			}
+			preds["nn-Meter"] = append(preds["nn-Meter"], v)
+			v, err = tpu.PredictKernel(s)
+			if err != nil {
+				return nil, err
+			}
+			preds["TPU"] = append(preds["TPU"], v)
+			v, err = nnlp.Predict(s.Graph, "kernel")
+			if err != nil {
+				return nil, err
+			}
+			preds["NNLP"] = append(preds["NNLP"], v)
+		}
+		for _, m := range Table5Methods {
+			res.MAPE[m][fam] = core.MAPE(truths, preds[m])
+		}
+	}
+	for _, m := range Table5Methods {
+		var s float64
+		for _, fam := range sortedKeys(res.MAPE[m]) {
+			s += res.MAPE[m][fam]
+		}
+		res.AvgMAPE[m] = s / float64(len(res.MAPE[m]))
+	}
+
+	tab := &Table{
+		Title:  "Table 5: kernel latency prediction (MAPE)",
+		Header: append([]string{"kernel family"}, Table5Methods...),
+	}
+	for _, fam := range sortedKeys(res.MAPE["NNLP"]) {
+		row := []string{fam}
+		for _, m := range Table5Methods {
+			row = append(row, fmtPct(res.MAPE[m][fam]))
+		}
+		tab.Rows = append(tab.Rows, row)
+	}
+	avg := []string{"Average"}
+	for _, m := range Table5Methods {
+		avg = append(avg, fmtPct(res.AvgMAPE[m]))
+	}
+	tab.Rows = append(tab.Rows, avg)
+	tab.Notes = append(tab.Notes, fmt.Sprintf(
+		"paper averages: nn-Meter 8.33%%, TPU 8.01%%, NNLP 7.67%%; here nn-Meter %.2f%%, TPU %.2f%%, NNLP %.2f%%",
+		res.AvgMAPE["nn-Meter"], res.AvgMAPE["TPU"], res.AvgMAPE["NNLP"]))
+	res.Table = tab
+	tab.Render(o.out())
+	return res, nil
+}

@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+
+	"nnlqp/internal/hwsim"
+	"nnlqp/internal/models"
+	"nnlqp/internal/onnx"
+)
+
+// repeatGraph returns a slice containing g repeated n times (cost-model
+// arithmetic helper).
+func repeatGraph(g *onnx.Graph, n int) []*onnx.Graph {
+	out := make([]*onnx.Graph, n)
+	for i := range out {
+		out[i] = g
+	}
+	return out
+}
+
+// Table7Result compares latency acquisition strategies for a NAS run
+// (paper Table 7): pure measurement, prediction with a scratch-trained
+// predictor, and prediction with a transfer-learned predictor.
+type Table7Result struct {
+	// MeasureSecPerModel / PredictSecPerModel are the measured unit costs.
+	MeasureSecPerModel float64
+	PredictSecPerModel float64
+	Rows               []Table7Row
+	Table              *Table
+}
+
+// Table7Row is one acquisition strategy.
+type Table7Row struct {
+	Strategy   string
+	Measured   int
+	Predicted  int
+	TestModels int
+	TotalSec   float64
+	Speedup    float64 // vs the measurement-only strategy, at equal tested-models value
+}
+
+// RunTable7 reproduces Table 7 (§9): with measurement cost T_m per model
+// and prediction cost T_p per model, compare (a) measuring 1k models,
+// (b) measuring 1k to train a predictor then predicting 10k, and
+// (c) measuring only 50 (transfer learning) then predicting 10k. The paper
+// normalizes value by tested models; speedups are per-tested-model.
+func RunTable7(o Options) (*Table7Result, error) {
+	// Unit costs from the virtual clock: average cold pipeline over the
+	// eval platforms for a representative model, and the NNLP predict cost.
+	g := models.BuildMobileNetV2(models.BaseMobileNetV2(1))
+	var measureSum float64
+	for _, plat := range hwsim.EvalPlatforms {
+		p, err := hwsim.PlatformByName(plat)
+		if err != nil {
+			return nil, err
+		}
+		ms, err := p.TrueLatencyMS(g)
+		if err != nil {
+			return nil, err
+		}
+		measureSum += p.MeasurePipelineSec(g, ms/1e3)
+	}
+	res := &Table7Result{
+		MeasureSecPerModel: measureSum / float64(len(hwsim.EvalPlatforms)),
+	}
+	// Marginal predict cost per model on the virtual clock.
+	res.PredictSecPerModel = (predictCostSec(repeatGraph(g, 101), true) - predictCostSec(repeatGraph(g, 1), true)) / 100
+
+	tm, tp := res.MeasureSecPerModel, res.PredictSecPerModel
+	const (
+		nMeasureFull = 1000
+		nMeasureFew  = 50
+		nPredict     = 10000
+	)
+	mk := func(strategy string, measured, predicted int) Table7Row {
+		tested := predicted
+		if predicted == 0 {
+			tested = measured
+		}
+		total := float64(measured)*tm + float64(predicted)*tp
+		return Table7Row{
+			Strategy: strategy, Measured: measured, Predicted: predicted,
+			TestModels: tested, TotalSec: total,
+		}
+	}
+	rows := []Table7Row{
+		mk("latency measurement", nMeasureFull, 0),
+		mk("prediction without transfer", nMeasureFull, nPredict),
+		mk("prediction with transfer", nMeasureFew, nPredict),
+	}
+	// Speedup: total-cost ratio against the measurement-only strategy
+	// (the paper's 1x / 0.99x / 16.7x column; note the second strategy
+	// tests 10x more models at roughly the same total cost).
+	for i := range rows {
+		rows[i].Speedup = rows[0].TotalSec / rows[i].TotalSec
+	}
+	res.Rows = rows
+
+	tab := &Table{
+		Title:  "Table 7: NAS latency-acquisition cost (per-tested-model speedup)",
+		Header: []string{"strategy", "measured", "predicted", "tested", "total (s)", "speedup"},
+	}
+	for _, r := range rows {
+		tab.Rows = append(tab.Rows, []string{
+			r.Strategy, fmt.Sprint(r.Measured), fmt.Sprint(r.Predicted),
+			fmt.Sprint(r.TestModels), fmtF(r.TotalSec), fmt.Sprintf("%.2fx", r.Speedup),
+		})
+	}
+	tab.Notes = append(tab.Notes,
+		fmt.Sprintf("unit costs: measure %.1fs/model, predict %.3fs/model (ratio %.0fx; the paper's 1000T)", tm, tp, tm/tp),
+		"paper speedups: 1x / 0.99x / 16.7x")
+	res.Table = tab
+	tab.Render(o.out())
+	return res, nil
+}

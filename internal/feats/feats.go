@@ -1,0 +1,284 @@
+// Package feats extracts the unified graph embedding inputs of NNLP
+// (paper §6.1): per-node feature vectors
+//
+//	F_v^0 = F_v^code ⊕ F_v^attr ⊕ F_v^shape      (Eq. 3)
+//
+// (operator one-hot ⊕ attribute vector ⊕ output-shape encoding) and the
+// whole-graph static feature
+//
+//	F_G^static = (batch, FLOPs, params, memory access)   (part of Eq. 5)
+//
+// plus the mean/variance normalization the paper applies to the attribute
+// and shape fields. The same extraction serves operators, kernels,
+// sub-graphs and whole networks, which is what makes the embedding
+// "unified".
+package feats
+
+import (
+	"fmt"
+	"math"
+
+	"nnlqp/internal/onnx"
+	"nnlqp/internal/tensor"
+)
+
+// Numeric feature layout (after the operator one-hot):
+//
+//	0 kernel_h   1 kernel_w   2 stride_h   3 stride_w
+//	4 pad_total  5 log2 group 6 clip_range 7 aux (LRN size / concat arity)
+//	8 log N      9 log C     10 log H     11 log W
+//	12 log numel 13 log out-bytes(fp32-equivalent)
+//	14 log node-FLOPs  15 log node-MAC  16 log node-params
+//
+// The last three expose each operator's static cost accounting to the GNN.
+// They are derivable from the preceding fields, but surfacing them directly
+// makes the latency-relevant signal family-independent ("node features
+// cover factors that affect the operator latency", §6.1).
+const (
+	numAttr  = 8
+	numShape = 6
+	numCost  = 3
+)
+
+// NumOps is the operator one-hot width.
+var NumOps = len(onnx.AllOpTypes)
+
+// FeatureDim is the per-node feature vector length.
+var FeatureDim = NumOps + numAttr + numShape + numCost
+
+// StaticDim is the length of the graph-level static feature.
+const StaticDim = 4
+
+// GraphFeatures is the extracted, model-ready form of one graph.
+type GraphFeatures struct {
+	// NodeNames holds node names in topological order; row i of X is the
+	// feature vector of NodeNames[i].
+	NodeNames []string
+	// X is the n×FeatureDim node feature matrix (F_v^0 rows).
+	X *tensor.Matrix
+	// Adj is the undirected neighbour list over node indices (N(v) of
+	// Eq. 4: both producers and consumers).
+	Adj [][]int
+	// Static is F_G^static: batch, log-FLOPs, log-params, log-MAC.
+	Static []float64
+}
+
+// NumNodes returns the node count.
+func (gf *GraphFeatures) NumNodes() int { return len(gf.NodeNames) }
+
+// Extract computes features for a graph. elemSize sets the byte width used
+// in memory-access accounting (4 = fp32, matching the paper's use of the
+// original model's statistics).
+func Extract(g *onnx.Graph, elemSize int) (*GraphFeatures, error) {
+	shapes, err := g.InferShapes()
+	if err != nil {
+		return nil, err
+	}
+	cost, err := g.CostWithShapes(shapes, elemSize)
+	if err != nil {
+		return nil, err
+	}
+	order, err := g.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	idx := make(map[string]int, len(order))
+	for i, n := range order {
+		idx[n.Name] = i
+	}
+
+	gf := &GraphFeatures{
+		NodeNames: make([]string, len(order)),
+		X:         tensor.NewMatrix(len(order), FeatureDim),
+		Adj:       make([][]int, len(order)),
+		Static: []float64{
+			float64(g.BatchSize()),
+			math.Log1p(float64(cost.FLOPs)),
+			math.Log1p(float64(cost.Params)),
+			math.Log1p(float64(cost.MAC)),
+		},
+	}
+
+	for i, n := range order {
+		gf.NodeNames[i] = n.Name
+		row := gf.X.Row(i)
+		code, ok := onnx.OpCode(n.Op)
+		if !ok {
+			return nil, fmt.Errorf("feats: unknown op %q", n.Op)
+		}
+		row[code] = 1
+		fillAttr(row[NumOps:NumOps+numAttr], n)
+		fillShape(row[NumOps+numAttr:NumOps+numAttr+numShape], shapes[n.Name], elemSize)
+		nc := cost.PerNode[n.Name]
+		costRow := row[NumOps+numAttr+numShape:]
+		costRow[0] = math.Log1p(float64(nc.FLOPs))
+		costRow[1] = math.Log1p(float64(nc.MAC()))
+		costRow[2] = math.Log1p(float64(nc.Params))
+	}
+
+	// Undirected adjacency: for each edge producer→consumer, both nodes
+	// list each other.
+	for i, n := range order {
+		for _, in := range n.Inputs {
+			if j, ok := idx[in]; ok {
+				gf.Adj[i] = append(gf.Adj[i], j)
+				gf.Adj[j] = append(gf.Adj[j], i)
+			}
+		}
+	}
+	return gf, nil
+}
+
+func fillAttr(dst []float64, n *onnx.Node) {
+	if k := n.Attrs.Ints("kernel_shape", nil); len(k) == 2 {
+		dst[0], dst[1] = float64(k[0]), float64(k[1])
+	}
+	if s := n.Attrs.Ints("strides", nil); len(s) == 2 {
+		dst[2], dst[3] = float64(s[0]), float64(s[1])
+	}
+	if p := n.Attrs.Ints("pads", nil); len(p) == 4 {
+		dst[4] = float64(p[0] + p[1] + p[2] + p[3])
+	}
+	dst[5] = math.Log2(float64(n.Attrs.Int("group", 1)))
+	if n.Op == onnx.OpClip {
+		dst[6] = n.Attrs.Float("max", 0) - n.Attrs.Float("min", 0)
+	}
+	switch n.Op {
+	case onnx.OpLRN:
+		dst[7] = float64(n.Attrs.Int("size", 0))
+	case onnx.OpConcat:
+		dst[7] = float64(len(n.Inputs))
+	case onnx.OpGemm:
+		dst[7] = math.Log1p(float64(n.Attrs.Int("out_features", 0)))
+	case onnx.OpConv:
+		dst[7] = math.Log1p(float64(n.Attrs.Int("channels", 0)))
+	}
+}
+
+func fillShape(dst []float64, s onnx.Shape, elemSize int) {
+	if len(s) == 0 {
+		return
+	}
+	dim := func(i int) float64 {
+		if i < len(s) {
+			return float64(s[i])
+		}
+		return 1
+	}
+	dst[0] = math.Log1p(dim(0))
+	dst[1] = math.Log1p(dim(1))
+	dst[2] = math.Log1p(dim(2))
+	dst[3] = math.Log1p(dim(3))
+	dst[4] = math.Log1p(float64(s.Numel()))
+	dst[5] = math.Log1p(float64(s.Numel() * int64(elemSize)))
+}
+
+// Normalizer standardizes the numeric (non-one-hot) node feature columns
+// and the static features with training-set means and variances, the
+// paper's "applying the mean and variance for normalization".
+type Normalizer struct {
+	// Mean/Std cover the numeric node-feature columns (FeatureDim-NumOps
+	// entries each).
+	Mean []float64
+	Std  []float64
+	// StaticMean/StaticStd cover the StaticDim static features.
+	StaticMean []float64
+	StaticStd  []float64
+}
+
+// FitNormalizer computes normalization statistics over a training set.
+func FitNormalizer(gfs []*GraphFeatures) *Normalizer {
+	nNum := FeatureDim - NumOps
+	nz := &Normalizer{
+		Mean: make([]float64, nNum), Std: make([]float64, nNum),
+		StaticMean: make([]float64, StaticDim), StaticStd: make([]float64, StaticDim),
+	}
+	var rows float64
+	for _, gf := range gfs {
+		for i := 0; i < gf.X.Rows; i++ {
+			row := gf.X.Row(i)[NumOps:]
+			for j, v := range row {
+				nz.Mean[j] += v
+			}
+			rows++
+		}
+	}
+	if rows == 0 {
+		for j := range nz.Std {
+			nz.Std[j] = 1
+		}
+		for j := range nz.StaticStd {
+			nz.StaticStd[j] = 1
+		}
+		return nz
+	}
+	for j := range nz.Mean {
+		nz.Mean[j] /= rows
+	}
+	for _, gf := range gfs {
+		for i := 0; i < gf.X.Rows; i++ {
+			row := gf.X.Row(i)[NumOps:]
+			for j, v := range row {
+				d := v - nz.Mean[j]
+				nz.Std[j] += d * d
+			}
+		}
+	}
+	for j := range nz.Std {
+		nz.Std[j] = math.Sqrt(nz.Std[j] / rows)
+		if nz.Std[j] < 1e-8 {
+			nz.Std[j] = 1
+		}
+	}
+
+	for _, gf := range gfs {
+		for j, v := range gf.Static {
+			nz.StaticMean[j] += v
+		}
+	}
+	n := float64(len(gfs))
+	for j := range nz.StaticMean {
+		nz.StaticMean[j] /= n
+	}
+	for _, gf := range gfs {
+		for j, v := range gf.Static {
+			d := v - nz.StaticMean[j]
+			nz.StaticStd[j] += d * d
+		}
+	}
+	for j := range nz.StaticStd {
+		nz.StaticStd[j] = math.Sqrt(nz.StaticStd[j] / n)
+		if nz.StaticStd[j] < 1e-8 {
+			nz.StaticStd[j] = 1
+		}
+	}
+	return nz
+}
+
+// Apply standardizes gf in place.
+func (nz *Normalizer) Apply(gf *GraphFeatures) {
+	for i := 0; i < gf.X.Rows; i++ {
+		row := gf.X.Row(i)[NumOps:]
+		for j := range row {
+			row[j] = (row[j] - nz.Mean[j]) / nz.Std[j]
+		}
+	}
+	for j := range gf.Static {
+		gf.Static[j] = (gf.Static[j] - nz.StaticMean[j]) / nz.StaticStd[j]
+	}
+}
+
+// Clone deep-copies the features (Apply mutates, so callers that reuse
+// extracted features across normalizers need copies).
+func (gf *GraphFeatures) Clone() *GraphFeatures {
+	out := &GraphFeatures{
+		NodeNames: append([]string(nil), gf.NodeNames...),
+		X:         gf.X.Clone(),
+		Adj:       make([][]int, len(gf.Adj)),
+		Static:    append([]float64(nil), gf.Static...),
+	}
+	for i, a := range gf.Adj {
+		out.Adj[i] = append([]int(nil), a...)
+	}
+	return out
+}

@@ -1,0 +1,140 @@
+package gnn
+
+import (
+	"math/rand"
+
+	"nnlqp/internal/tensor"
+)
+
+// Linear is a fully connected layer Y = X·W + b.
+type Linear struct {
+	W *tensor.Param
+	B *tensor.Param
+}
+
+// NewLinear allocates a layer with Xavier-initialized weights and zero bias.
+func NewLinear(name string, in, out int, rng *rand.Rand) *Linear {
+	l := &Linear{
+		W: tensor.NewParam(name+".W", in, out),
+		B: tensor.NewParam(name+".b", 1, out),
+	}
+	l.W.Value.XavierInit(rng)
+	return l
+}
+
+// Params returns the learnable parameters.
+func (l *Linear) Params() []*tensor.Param { return []*tensor.Param{l.W, l.B} }
+
+type linearCache struct{ x *tensor.Matrix }
+
+// Forward computes X·W + b.
+func (l *Linear) Forward(x *tensor.Matrix) (*tensor.Matrix, *linearCache) {
+	y := tensor.MatMul(x, l.W.Value)
+	b := l.B.Value.Row(0)
+	for i := 0; i < y.Rows; i++ {
+		tensor.Axpy(1, b, y.Row(i))
+	}
+	return y, &linearCache{x: x}
+}
+
+// Backward accumulates dW, dB and returns dX.
+func (l *Linear) Backward(c *linearCache, dY *tensor.Matrix) *tensor.Matrix {
+	l.W.Grad.AddInPlace(tensor.MatMulATB(c.x, dY))
+	db := l.B.Grad.Row(0)
+	for i := 0; i < dY.Rows; i++ {
+		tensor.Axpy(1, dY.Row(i), db)
+	}
+	return tensor.MatMulABT(dY, l.W.Value)
+}
+
+// Head is the per-platform prediction head g(;β) of Fig. 3: FC → ReLU →
+// Dropout → FC → ReLU → FC(1), producing a scalar latency prediction.
+type Head struct {
+	FC1, FC2, FC3 *Linear
+	DropoutP      float64
+}
+
+// NewHead builds a head over embedding width in.
+func NewHead(name string, in, hidden int, dropout float64, rng *rand.Rand) *Head {
+	return &Head{
+		FC1:      NewLinear(name+".fc1", in, hidden, rng),
+		FC2:      NewLinear(name+".fc2", hidden, hidden, rng),
+		FC3:      NewLinear(name+".fc3", hidden, 1, rng),
+		DropoutP: dropout,
+	}
+}
+
+// Params returns the head's learnable parameters.
+func (h *Head) Params() []*tensor.Param {
+	var ps []*tensor.Param
+	ps = append(ps, h.FC1.Params()...)
+	ps = append(ps, h.FC2.Params()...)
+	ps = append(ps, h.FC3.Params()...)
+	return ps
+}
+
+type headCache struct {
+	c1, c2, c3 *linearCache
+	relu1Mask  []bool
+	relu2Mask  []bool
+	dropMask   []float64 // nil in eval mode
+}
+
+// Forward runs the head on a 1×in (or n×in) embedding. In training mode
+// dropout is sampled from rng with inverted scaling; in eval mode dropout
+// is the identity.
+func (h *Head) Forward(x *tensor.Matrix, training bool, rng *rand.Rand) (*tensor.Matrix, *headCache) {
+	c := &headCache{}
+	var y *tensor.Matrix
+	y, c.c1 = h.FC1.Forward(x)
+	c.relu1Mask = reluInPlace(y)
+	if training && h.DropoutP > 0 {
+		c.dropMask = make([]float64, len(y.Data))
+		keep := 1 - h.DropoutP
+		for i := range y.Data {
+			if rng.Float64() < keep {
+				c.dropMask[i] = 1 / keep
+			}
+			y.Data[i] *= c.dropMask[i]
+		}
+	}
+	y, c.c2 = h.FC2.Forward(y)
+	c.relu2Mask = reluInPlace(y)
+	y, c.c3 = h.FC3.Forward(y)
+	return y, c
+}
+
+// Backward accumulates gradients and returns dX.
+func (h *Head) Backward(c *headCache, dY *tensor.Matrix) *tensor.Matrix {
+	d := h.FC3.Backward(c.c3, dY)
+	applyMask(d, c.relu2Mask)
+	d = h.FC2.Backward(c.c2, d)
+	if c.dropMask != nil {
+		for i := range d.Data {
+			d.Data[i] *= c.dropMask[i]
+		}
+	}
+	applyMask(d, c.relu1Mask)
+	return h.FC1.Backward(c.c1, d)
+}
+
+// reluInPlace applies ReLU and returns the positive mask.
+func reluInPlace(m *tensor.Matrix) []bool {
+	mask := make([]bool, len(m.Data))
+	for i, v := range m.Data {
+		if v > 0 {
+			mask[i] = true
+		} else {
+			m.Data[i] = 0
+		}
+	}
+	return mask
+}
+
+func applyMask(m *tensor.Matrix, mask []bool) {
+	for i := range m.Data {
+		if !mask[i] {
+			m.Data[i] = 0
+		}
+	}
+}

@@ -1,0 +1,243 @@
+// Package gnn implements the neural building blocks of NNLP's unified graph
+// embedding (paper §6.1): GraphSAGE convolution layers with mean
+// aggregation and L2 output normalization (Eq. 4), sum-pooling graph
+// readout (Eq. 5), and the fully-connected / ReLU / Dropout prediction head
+// (Fig. 3) — all with hand-derived backward passes verified by
+// finite-difference gradient checks.
+package gnn
+
+import (
+	"math"
+	"math/rand"
+
+	"nnlqp/internal/tensor"
+)
+
+// normEps guards the L2 normalization against zero rows.
+const normEps = 1e-10
+
+// SAGEConv is one GraphSAGE layer:
+//
+//	F_v^i = L2( W1·F_v^(i-1) + W2·mean_{u∈N(v)} F_u^(i-1) )
+//
+// with learnable W1 (self transform) and W2 (neighbour transform).
+type SAGEConv struct {
+	W1, W2 *tensor.Param
+	In     int
+	Out    int
+	// NoNorm skips the L2 output normalization. Useful on the final layer
+	// of an encoder whose readout is a sum: normalization erases per-node
+	// magnitude, which an additive readout needs.
+	NoNorm bool
+}
+
+// NewSAGEConv allocates a layer with Xavier initialization.
+func NewSAGEConv(name string, in, out int, rng *rand.Rand) *SAGEConv {
+	l := &SAGEConv{
+		W1: tensor.NewParam(name+".W1", in, out),
+		W2: tensor.NewParam(name+".W2", in, out),
+		In: in, Out: out,
+	}
+	l.W1.Value.XavierInit(rng)
+	l.W2.Value.XavierInit(rng)
+	return l
+}
+
+// Params returns the layer's learnable parameters.
+func (l *SAGEConv) Params() []*tensor.Param { return []*tensor.Param{l.W1, l.W2} }
+
+// sageCache holds forward intermediates needed by the backward pass.
+type sageCache struct {
+	x     *tensor.Matrix // input features
+	mx    *tensor.Matrix // mean-aggregated neighbour features
+	h     *tensor.Matrix // normalized output
+	norms []float64      // pre-normalization row norms
+	skip  []bool         // rows left unnormalized (near-zero norm)
+	adj   [][]int
+}
+
+// meanAggregate computes M[i] = mean over neighbours of X rows (zero when a
+// node has no neighbours).
+func meanAggregate(x *tensor.Matrix, adj [][]int) *tensor.Matrix {
+	m := tensor.NewMatrix(x.Rows, x.Cols)
+	for i, nb := range adj {
+		if len(nb) == 0 {
+			continue
+		}
+		dst := m.Row(i)
+		for _, j := range nb {
+			tensor.Axpy(1, x.Row(j), dst)
+		}
+		inv := 1 / float64(len(nb))
+		for k := range dst {
+			dst[k] *= inv
+		}
+	}
+	return m
+}
+
+// Forward runs the layer on node features x with adjacency adj, returning
+// the output embedding and a cache for Backward.
+func (l *SAGEConv) Forward(x *tensor.Matrix, adj [][]int) (*tensor.Matrix, *sageCache) {
+	mx := meanAggregate(x, adj)
+	y := tensor.MatMul(x, l.W1.Value)
+	y.AddInPlace(tensor.MatMul(mx, l.W2.Value))
+
+	c := &sageCache{x: x, mx: mx, adj: adj, norms: make([]float64, y.Rows), skip: make([]bool, y.Rows)}
+	h := y // normalize in place; y is not needed un-normalized
+	if l.NoNorm {
+		for i := range c.skip {
+			c.skip[i] = true
+			c.norms[i] = 1
+		}
+		c.h = h
+		return h, c
+	}
+	for i := 0; i < h.Rows; i++ {
+		r := h.Row(i)
+		var s float64
+		for _, v := range r {
+			s += v * v
+		}
+		n := math.Sqrt(s)
+		if n < normEps {
+			c.norms[i] = 1
+			c.skip[i] = true
+			continue
+		}
+		c.norms[i] = n
+		inv := 1 / n
+		for j := range r {
+			r[j] *= inv
+		}
+	}
+	c.h = h
+	return h, c
+}
+
+// Backward accumulates parameter gradients from dH (gradient w.r.t. the
+// layer output) and returns dX (gradient w.r.t. the layer input).
+func (l *SAGEConv) Backward(c *sageCache, dH *tensor.Matrix) *tensor.Matrix {
+	// Through L2 normalization: for h = y/r,
+	// dY = dH/r - h·(h·dH)/r; skipped rows pass dH through unchanged.
+	dY := tensor.NewMatrix(dH.Rows, dH.Cols)
+	for i := 0; i < dH.Rows; i++ {
+		src := dH.Row(i)
+		dst := dY.Row(i)
+		if c.skip[i] {
+			copy(dst, src)
+			continue
+		}
+		h := c.h.Row(i)
+		dot := tensor.Dot(h, src)
+		invR := 1 / c.norms[i]
+		for j := range dst {
+			dst[j] = (src[j] - h[j]*dot) * invR
+		}
+	}
+
+	// dW1 += Xᵀ·dY ; dW2 += M(X)ᵀ·dY
+	l.W1.Grad.AddInPlace(tensor.MatMulATB(c.x, dY))
+	l.W2.Grad.AddInPlace(tensor.MatMulATB(c.mx, dY))
+
+	// dX from the self path.
+	dX := tensor.MatMulABT(dY, l.W1.Value)
+	// dX from the neighbour path: dM = dY·W2ᵀ, then scatter means back.
+	dM := tensor.MatMulABT(dY, l.W2.Value)
+	for i, nb := range c.adj {
+		if len(nb) == 0 {
+			continue
+		}
+		inv := 1 / float64(len(nb))
+		src := dM.Row(i)
+		for _, j := range nb {
+			tensor.Axpy(inv, src, dX.Row(j))
+		}
+	}
+	return dX
+}
+
+// Encoder stacks d SAGEConv layers: the shared GNN backbone f(;α) of the
+// multi-platform predictor.
+type Encoder struct {
+	Layers []*SAGEConv
+}
+
+// NewEncoder builds a backbone with the given layer widths: in → hidden →
+// ... → hidden, `depth` layers total.
+func NewEncoder(in, hidden, depth int, rng *rand.Rand) *Encoder {
+	e := &Encoder{}
+	cur := in
+	for i := 0; i < depth; i++ {
+		e.Layers = append(e.Layers, NewSAGEConv("sage"+string(rune('0'+i)), cur, hidden, rng))
+		cur = hidden
+	}
+	return e
+}
+
+// NewEncoderNoFinalNorm is NewEncoder with L2 normalization disabled on the
+// last layer, preserving per-node magnitudes for additive (sum) readouts.
+func NewEncoderNoFinalNorm(in, hidden, depth int, rng *rand.Rand) *Encoder {
+	e := NewEncoder(in, hidden, depth, rng)
+	e.Layers[len(e.Layers)-1].NoNorm = true
+	return e
+}
+
+// Params returns all backbone parameters.
+func (e *Encoder) Params() []*tensor.Param {
+	var ps []*tensor.Param
+	for _, l := range e.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// OutDim is the embedding width produced by the backbone.
+func (e *Encoder) OutDim() int { return e.Layers[len(e.Layers)-1].Out }
+
+// EncCache chains per-layer caches.
+type EncCache struct {
+	caches []*sageCache
+}
+
+// Forward runs the full backbone.
+func (e *Encoder) Forward(x *tensor.Matrix, adj [][]int) (*tensor.Matrix, *EncCache) {
+	c := &EncCache{}
+	h := x
+	for _, l := range e.Layers {
+		var lc *sageCache
+		h, lc = l.Forward(h, adj)
+		c.caches = append(c.caches, lc)
+	}
+	return h, c
+}
+
+// Backward propagates dH through all layers, accumulating gradients, and
+// returns the gradient w.r.t. the input features.
+func (e *Encoder) Backward(c *EncCache, dH *tensor.Matrix) *tensor.Matrix {
+	for i := len(e.Layers) - 1; i >= 0; i-- {
+		dH = e.Layers[i].Backward(c.caches[i], dH)
+	}
+	return dH
+}
+
+// SumPool reduces node embeddings to a single graph vector (the Σ of
+// Eq. 5), returning a 1×d matrix.
+func SumPool(h *tensor.Matrix) *tensor.Matrix {
+	out := tensor.NewMatrix(1, h.Cols)
+	dst := out.Row(0)
+	for i := 0; i < h.Rows; i++ {
+		tensor.Axpy(1, h.Row(i), dst)
+	}
+	return out
+}
+
+// SumPoolBackward broadcasts the pooled gradient back to every node row.
+func SumPoolBackward(dPool *tensor.Matrix, numNodes int) *tensor.Matrix {
+	out := tensor.NewMatrix(numNodes, dPool.Cols)
+	src := dPool.Row(0)
+	for i := 0; i < numNodes; i++ {
+		copy(out.Row(i), src)
+	}
+	return out
+}

@@ -1,0 +1,125 @@
+// Package graphhash implements NNLQ's hash-based model encoding (paper
+// §5.2, Eq. 1–2): a structural 8-byte key that uniquely identifies a DNN
+// model by its topology and operator attributes, enabling O(1) retrieval of
+// latency records from the evolving database.
+//
+// For node v the encoding is
+//
+//	H_v = f_hash(f_sort(A_v) ⊕ f_sort({H_u | u ∈ Suc(v)}))
+//
+// computed in reverse topological order so every successor hash exists
+// before it is consumed, and the whole-graph encoding is
+//
+//	H_G = f_hash(f_sort({H_u | Pre(u) = ∅}))
+//
+// over the source nodes. Two graphs receive the same key iff they share
+// structure and attributes, so the key doubles as a structural-equality
+// fingerprint. As an extension over the paper we also fold the declared
+// graph input shapes into H_G: the same topology at a different input
+// resolution has different latency, so it must be a different cache line.
+package graphhash
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"nnlqp/internal/onnx"
+)
+
+// Key is the 8-byte graph hash stored in the model table.
+type Key uint64
+
+// String renders the key as fixed-width hex, the form shown to users and
+// stored in logs.
+func (k Key) String() string { return fmt.Sprintf("%016x", uint64(k)) }
+
+// Bytes returns the big-endian 8-byte representation used as database key
+// material.
+func (k Key) Bytes() []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(k))
+	return b[:]
+}
+
+// KeyFromBytes parses an 8-byte big-endian key.
+func KeyFromBytes(b []byte) (Key, error) {
+	if len(b) != 8 {
+		return 0, fmt.Errorf("graphhash: key must be 8 bytes, got %d", len(b))
+	}
+	return Key(binary.BigEndian.Uint64(b)), nil
+}
+
+// f_hash: FNV-1a over a byte string, yielding the 64-bit node/graph code.
+func fhash(parts ...[]byte) Key {
+	h := fnv.New64a()
+	for _, p := range parts {
+		h.Write(p)
+	}
+	return Key(h.Sum64())
+}
+
+// nodeAttrBytes is f_sort(A_v): the canonical (sorted-key) rendering of the
+// node's operator type and attributes.
+func nodeAttrBytes(n *onnx.Node) []byte {
+	return []byte(string(n.Op) + "{" + n.Attrs.Canonical() + "}")
+}
+
+// Hash computes the whole-graph key H_G together with every node's H_v.
+func Hash(g *onnx.Graph) (Key, map[string]Key, error) {
+	rev, err := g.ReverseTopoSort()
+	if err != nil {
+		return 0, nil, err
+	}
+	succ := g.Successors()
+	nodeHash := make(map[string]Key, len(rev))
+	for _, n := range rev {
+		// f_sort({H_u | u ∈ Suc(v)}): successor hashes in ascending order.
+		sucKeys := make([]Key, 0, len(succ[n.Name]))
+		for _, s := range succ[n.Name] {
+			h, ok := nodeHash[s]
+			if !ok {
+				return 0, nil, fmt.Errorf("graphhash: successor %q of %q not yet hashed; order violated", s, n.Name)
+			}
+			sucKeys = append(sucKeys, h)
+		}
+		sort.Slice(sucKeys, func(i, j int) bool { return sucKeys[i] < sucKeys[j] })
+		parts := [][]byte{nodeAttrBytes(n)}
+		for _, k := range sucKeys {
+			parts = append(parts, k.Bytes())
+		}
+		nodeHash[n.Name] = fhash(parts...)
+	}
+
+	// H_G over source-node hashes (sorted), plus declared input shapes.
+	srcs := g.SourceNodes()
+	srcKeys := make([]Key, 0, len(srcs))
+	for _, s := range srcs {
+		srcKeys = append(srcKeys, nodeHash[s.Name])
+	}
+	sort.Slice(srcKeys, func(i, j int) bool { return srcKeys[i] < srcKeys[j] })
+	var parts [][]byte
+	for _, k := range srcKeys {
+		parts = append(parts, k.Bytes())
+	}
+	for _, vi := range g.Inputs {
+		parts = append(parts, []byte("in:"+vi.Shape.String()))
+	}
+	return fhash(parts...), nodeHash, nil
+}
+
+// GraphKey computes just the whole-graph key.
+func GraphKey(g *onnx.Graph) (Key, error) {
+	k, _, err := Hash(g)
+	return k, err
+}
+
+// MustGraphKey is GraphKey for graphs whose validity is a code invariant.
+func MustGraphKey(g *onnx.Graph) Key {
+	k, err := GraphKey(g)
+	if err != nil {
+		panic(err)
+	}
+	return k
+}

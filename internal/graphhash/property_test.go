@@ -1,0 +1,85 @@
+package graphhash
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"nnlqp/internal/models"
+	"nnlqp/internal/onnx"
+)
+
+// randomModel builds a random zoo variant from a seed.
+func randomModel(seed int64) *onnx.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	fam := models.Families[int(uint64(seed)%uint64(len(models.Families)))]
+	g, err := models.Variant(fam, rng, 1)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// TestHashPermutationInvarianceProperty: the key must not depend on node
+// storage order for arbitrary zoo models.
+func TestHashPermutationInvarianceProperty(t *testing.T) {
+	f := func(seed int64, permSeed int64) bool {
+		g := randomModel(seed)
+		orig := MustGraphKey(g)
+		perm := g.Clone()
+		rng := rand.New(rand.NewSource(permSeed))
+		rng.Shuffle(len(perm.Nodes), func(i, j int) {
+			perm.Nodes[i], perm.Nodes[j] = perm.Nodes[j], perm.Nodes[i]
+		})
+		return MustGraphKey(perm) == orig
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHashSerializationInvarianceProperty: encoding and decoding a model
+// must preserve its key (the cache contract: a model stored in the database
+// and re-read later must hit).
+func TestHashSerializationInvarianceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		g := randomModel(seed)
+		data, err := g.EncodeBinary()
+		if err != nil {
+			return false
+		}
+		back, err := onnx.DecodeBinary(data)
+		if err != nil {
+			return false
+		}
+		return MustGraphKey(back) == MustGraphKey(g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHashAttrSensitivityProperty: perturbing any single Conv's channel
+// count must change the key.
+func TestHashAttrSensitivityProperty(t *testing.T) {
+	f := func(seed int64, pick uint16) bool {
+		g := randomModel(seed)
+		orig := MustGraphKey(g)
+		mut := g.Clone()
+		var convs []*onnx.Node
+		for _, n := range mut.Nodes {
+			if n.Op == onnx.OpConv {
+				convs = append(convs, n)
+			}
+		}
+		if len(convs) == 0 {
+			return true
+		}
+		c := convs[int(pick)%len(convs)]
+		c.Attrs["channels"] = onnx.IntAttr(c.Attrs.Int("channels", 8) + 8)
+		return MustGraphKey(mut) != orig
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,140 @@
+package hwsim
+
+import (
+	"fmt"
+	"sync"
+
+	"nnlqp/internal/onnx"
+)
+
+// Device is one physical board/card of a platform in the farm. The paper's
+// NNLQ "manages various hardware devices through the RPC interface, and if
+// there are idle devices for the target platform, the system acquires the
+// control right of the device".
+type Device struct {
+	ID       string
+	Platform *Platform
+}
+
+// Farm is the device pool: a set of devices per platform with
+// acquire/release semantics. Acquire blocks until a device of the requested
+// platform is idle, mirroring device contention in the real system.
+type Farm struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	idle map[string][]*Device // platform name -> idle devices
+	all  map[string][]*Device
+	held map[string]string // device ID -> holder tag
+}
+
+// NewFarm creates an empty farm.
+func NewFarm() *Farm {
+	f := &Farm{
+		idle: make(map[string][]*Device),
+		all:  make(map[string][]*Device),
+		held: make(map[string]string),
+	}
+	f.cond = sync.NewCond(&f.mu)
+	return f
+}
+
+// NewDefaultFarm creates a farm with `perPlatform` devices of every builtin
+// platform.
+func NewDefaultFarm(perPlatform int) *Farm {
+	f := NewFarm()
+	for _, p := range Platforms() {
+		for i := 0; i < perPlatform; i++ {
+			f.AddDevice(&Device{ID: fmt.Sprintf("%s#%d", p.Name, i), Platform: p})
+		}
+	}
+	return f
+}
+
+// AddDevice registers a device with the farm (idle).
+func (f *Farm) AddDevice(d *Device) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.all[d.Platform.Name] = append(f.all[d.Platform.Name], d)
+	f.idle[d.Platform.Name] = append(f.idle[d.Platform.Name], d)
+	f.cond.Broadcast()
+}
+
+// Devices returns the number of devices registered for a platform.
+func (f *Farm) Devices(platform string) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.all[platform])
+}
+
+// TryAcquire grabs an idle device of the platform without blocking,
+// returning nil when none is idle.
+func (f *Farm) TryAcquire(platform, holder string) *Device {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.tryAcquireLocked(platform, holder)
+}
+
+func (f *Farm) tryAcquireLocked(platform, holder string) *Device {
+	q := f.idle[platform]
+	if len(q) == 0 {
+		return nil
+	}
+	d := q[0]
+	f.idle[platform] = q[1:]
+	f.held[d.ID] = holder
+	return d
+}
+
+// Acquire blocks until a device of the platform is idle. It returns an
+// error immediately when the farm has no such devices at all.
+func (f *Farm) Acquire(platform, holder string) (*Device, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(f.all[platform]) == 0 {
+		return nil, fmt.Errorf("hwsim: farm has no devices for platform %q", platform)
+	}
+	for {
+		if d := f.tryAcquireLocked(platform, holder); d != nil {
+			return d, nil
+		}
+		f.cond.Wait()
+	}
+}
+
+// Release returns a device to the idle pool.
+func (f *Farm) Release(d *Device) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.held, d.ID)
+	f.idle[d.Platform.Name] = append(f.idle[d.Platform.Name], d)
+	f.cond.Broadcast()
+}
+
+// MeasureResult is what a device returns for one measurement task.
+type MeasureResult struct {
+	LatencyMS    float64
+	Runs         int
+	PeakMemBytes int64
+	NumKernels   int
+	// PipelineSec is the virtual wall-clock cost of the full cold query
+	// (compile + upload + runs), charged by the query system.
+	PipelineSec float64
+}
+
+// MeasureOn performs the full pipeline on an acquired device: it is the
+// farm-side implementation of NNLQ's step 1 (model transformation), step 2
+// having already acquired the device, and step 3 (latency measurement).
+func MeasureOn(d *Device, g *onnx.Graph) (*MeasureResult, error) {
+	p := d.Platform
+	m, err := p.Measure(g)
+	if err != nil {
+		return nil, err
+	}
+	return &MeasureResult{
+		LatencyMS:    m.LatencyMS,
+		Runs:         m.Runs,
+		PeakMemBytes: m.PeakMemBytes,
+		NumKernels:   m.NumKernels,
+		PipelineSec:  p.MeasurePipelineSec(g, m.LatencyMS/1e3),
+	}, nil
+}

@@ -1,0 +1,311 @@
+package hwsim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"nnlqp/internal/onnx"
+)
+
+// ExecutionReport describes one simulated model execution.
+type ExecutionReport struct {
+	// LatencySec is the end-to-end model latency.
+	LatencySec float64
+	// KernelSec maps kernel output tensor -> fused in-graph latency
+	// (after overlap credits).
+	KernelSec map[string]float64
+	// SumStandaloneSec is the Fig. 2 quantity: the sum of the kernels'
+	// standalone latencies.
+	SumStandaloneSec float64
+	// NumKernels is the number of fused kernels dispatched.
+	NumKernels int
+	// PeakMemBytes is a coarse peak-memory estimate (largest single
+	// kernel working set), stored in the latency table for analysis.
+	PeakMemBytes int64
+}
+
+// Execute simulates one inference of g on platform p and returns the
+// latency decomposition. It is deterministic: the same (graph, platform)
+// always yields the same report. Measurement noise is added separately by
+// Measure.
+func (p *Platform) Execute(g *onnx.Graph) (*ExecutionReport, error) {
+	shapes, err := g.InferShapes()
+	if err != nil {
+		return nil, err
+	}
+	cost, err := g.CostWithShapes(shapes, p.ElemSize)
+	if err != nil {
+		return nil, err
+	}
+	kernels, err := Kernelize(g)
+	if err != nil {
+		return nil, err
+	}
+	return p.executeKernels(g, kernels, shapes, cost.PerNode)
+}
+
+func (p *Platform) executeKernels(g *onnx.Graph, kernels []*Kernel, shapes onnx.ShapeMap, costs map[string]onnx.NodeCost) (*ExecutionReport, error) {
+	rep := &ExecutionReport{
+		KernelSec:  make(map[string]float64, len(kernels)),
+		NumKernels: len(kernels),
+	}
+
+	// Producer map: tensor name -> index of producing kernel.
+	producer := make(map[string]int, len(kernels))
+	for i, k := range kernels {
+		for _, n := range k.Nodes {
+			producer[n.Name] = i
+		}
+	}
+
+	// Price every kernel; apply the inter-kernel cache overlap credit: if
+	// an input tensor fits in cache and was produced by another kernel,
+	// a fraction of its read traffic is elided.
+	cacheBytes := int64(p.CacheMB * 1024 * 1024)
+	durations := make([]float64, len(kernels))
+	deps := make([][]int, len(kernels))
+	for i, k := range kernels {
+		kc, err := p.kernelCost(k, shapes, costs)
+		if err != nil {
+			return nil, err
+		}
+		saved := int64(0)
+		seenDeps := make(map[int]bool)
+		for _, in := range k.Inputs {
+			if pi, ok := producer[in]; ok {
+				if !seenDeps[pi] {
+					seenDeps[pi] = true
+					deps[i] = append(deps[i], pi)
+				}
+				bytes := shapes[in].Numel() * int64(p.ElemSize)
+				if bytes <= cacheBytes {
+					saved += int64(float64(bytes) * p.OverlapFrac)
+				}
+			}
+		}
+		mem := float64(kc.TrafficBytes-saved) / (p.MemBWGBps * 1e9)
+		d := math.Max(kc.ComputeSec, mem) + kc.LaunchSec
+		durations[i] = d
+		rep.KernelSec[k.Output] = d
+		if kc.TrafficBytes > rep.PeakMemBytes {
+			rep.PeakMemBytes = kc.TrafficBytes
+		}
+
+		std, err := p.StandaloneKernelSec(k, shapes, costs)
+		if err != nil {
+			return nil, err
+		}
+		rep.SumStandaloneSec += std
+	}
+
+	rep.LatencySec = scheduleKernels(durations, deps, p.Streams)
+	return rep, nil
+}
+
+// scheduleKernels list-schedules the kernel DAG onto `streams` concurrent
+// execution streams and returns the makespan. Kernels are visited in index
+// order (a topological order by construction); each starts when its
+// dependencies have finished and a stream is free.
+func scheduleKernels(durations []float64, deps [][]int, streams int) float64 {
+	if streams < 1 {
+		streams = 1
+	}
+	streamFree := make([]float64, streams)
+	finish := make([]float64, len(durations))
+	var makespan float64
+	for i, d := range durations {
+		ready := 0.0
+		for _, dep := range deps[i] {
+			if finish[dep] > ready {
+				ready = finish[dep]
+			}
+		}
+		// Earliest-free stream.
+		si := 0
+		for s := 1; s < streams; s++ {
+			if streamFree[s] < streamFree[si] {
+				si = s
+			}
+		}
+		start := math.Max(ready, streamFree[si])
+		finish[i] = start + d
+		streamFree[si] = finish[i]
+		if finish[i] > makespan {
+			makespan = finish[i]
+		}
+	}
+	return makespan
+}
+
+// Measurement is the result of a hardware latency measurement: the averaged
+// latency over MeasureRuns noisy executions, plus bookkeeping fields stored
+// in the latency table.
+type Measurement struct {
+	LatencyMS    float64
+	Runs         int
+	PeakMemBytes int64
+	NumKernels   int
+}
+
+// Measure simulates the paper's measurement protocol: run the model
+// MeasureRuns times, average. Each run's latency carries small
+// deterministic multiplicative noise keyed on (platform, graph identity,
+// run index), so datasets are reproducible yet measurements look like
+// measurements.
+func (p *Platform) Measure(g *onnx.Graph) (*Measurement, error) {
+	rep, err := p.Execute(g)
+	if err != nil {
+		return nil, err
+	}
+	runs := p.MeasureRuns
+	if runs <= 0 {
+		runs = 50
+	}
+	seed := p.IdioSeed ^ 0x9e3779b97f4a7c15
+	var sum float64
+	for r := 0; r < runs; r++ {
+		u := hash01(seed+uint64(r)*0x9e3779b9, g.Name+"|"+p.Name)
+		v := hash01(seed+uint64(r)*0x85ebca6b+1, p.Name+"|"+g.Name)
+		// ±1% jitter plus an occasional (~6%) scheduling spike of up to +3%.
+		noise := 1 + 0.02*(u-0.5)
+		if v > 0.94 {
+			noise += 0.03 * (v - 0.94) / 0.06
+		}
+		sum += rep.LatencySec * noise
+	}
+	return &Measurement{
+		LatencyMS:    sum / float64(runs) * 1e3,
+		Runs:         runs,
+		PeakMemBytes: rep.PeakMemBytes,
+		NumKernels:   rep.NumKernels,
+	}, nil
+}
+
+// TrueLatencyMS returns the noise-free model latency in milliseconds, the
+// ground truth the dataset builders record.
+func (p *Platform) TrueLatencyMS(g *onnx.Graph) (float64, error) {
+	rep, err := p.Execute(g)
+	if err != nil {
+		return 0, err
+	}
+	return rep.LatencySec * 1e3, nil
+}
+
+// CompileCostSec prices model transformation + compilation on the virtual
+// wall clock (Table 2 pipeline step 1).
+func (p *Platform) CompileCostSec(g *onnx.Graph) float64 {
+	return p.CompileBaseSec + p.CompileSecPerNode*float64(len(g.Nodes))
+}
+
+// MeasurePipelineSec prices the full cold-query pipeline on the virtual
+// wall clock: compile, upload, run MeasureRuns times, plus RPC overhead
+// (Table 2 pipeline steps 1-3).
+func (p *Platform) MeasurePipelineSec(g *onnx.Graph, latencySec float64) float64 {
+	runs := p.MeasureRuns
+	if runs <= 0 {
+		runs = 50
+	}
+	return p.CompileCostSec(g) + p.UploadSec + float64(runs)*latencySec + 2*p.NetworkRTTSec
+}
+
+// KernelLatencies measures each fused kernel of g standalone and returns
+// family-labelled samples: the raw material of the kernel datasets used by
+// nn-Meter/TPU baselines and the Table 5 experiment.
+type KernelSample struct {
+	Kernel     *Kernel
+	Family     string
+	LatencyMS  float64
+	FLOPs      int64
+	Bytes      int64
+	OutChannel int
+	OutHW      int
+	KernelSize int
+	Stride     int
+}
+
+// KernelLatencies splits g and prices every kernel standalone on p.
+func (p *Platform) KernelLatencies(g *onnx.Graph) ([]KernelSample, error) {
+	shapes, err := g.InferShapes()
+	if err != nil {
+		return nil, err
+	}
+	cost, err := g.CostWithShapes(shapes, p.ElemSize)
+	if err != nil {
+		return nil, err
+	}
+	kernels, err := Kernelize(g)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]KernelSample, 0, len(kernels))
+	for _, k := range kernels {
+		sec, err := p.StandaloneKernelSec(k, shapes, cost.PerNode)
+		if err != nil {
+			return nil, err
+		}
+		s := KernelSample{Kernel: k, Family: k.Family, LatencyMS: sec * 1e3}
+		for _, n := range k.Nodes {
+			nc := cost.PerNode[n.Name]
+			s.FLOPs += nc.FLOPs
+			s.Bytes += nc.MAC()
+		}
+		lead := k.Nodes[0]
+		os := shapes[k.Output]
+		if len(os) >= 2 {
+			s.OutChannel = os[1]
+		}
+		if len(os) == 4 {
+			s.OutHW = os[2] * os[3]
+		} else if len(os) == 2 {
+			s.OutHW = 1
+		}
+		if ks := lead.Attrs.Ints("kernel_shape", nil); len(ks) == 2 {
+			s.KernelSize = int(ks[0])
+		}
+		if st := lead.Attrs.Ints("strides", nil); len(st) == 2 {
+			s.Stride = int(st[0])
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// FleetSummary renders a short human-readable table of the fleet, used by
+// the CLI tools.
+func FleetSummary() string {
+	out := fmt.Sprintf("%-28s %-10s %-10s %-6s %10s %8s\n", "PLATFORM", "HARDWARE", "SOFTWARE", "DTYPE", "GFLOPS", "GB/s")
+	names := PlatformNames()
+	sort.Strings(names)
+	for _, name := range names {
+		p, _ := PlatformByName(name)
+		out += fmt.Sprintf("%-28s %-10s %-10s %-6s %10.0f %8.0f\n", p.Name, p.Hardware, p.Software, p.DType, p.PeakGFLOPS, p.MemBWGBps)
+	}
+	return out
+}
+
+// NodeLatencies prices every operator of g standalone (unfused, full
+// traffic, own launch): the per-op measurements a lookup-table latency
+// estimator is calibrated from.
+func (p *Platform) NodeLatencies(g *onnx.Graph) (map[string]float64, error) {
+	shapes, err := g.InferShapes()
+	if err != nil {
+		return nil, err
+	}
+	cost, err := g.CostWithShapes(shapes, p.ElemSize)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64, len(g.Nodes))
+	for _, n := range g.Nodes {
+		if !p.SupportsOp(string(n.Op)) {
+			return nil, &UnsupportedOpError{Platform: p.Name, Op: string(n.Op), Node: n.Name}
+		}
+		nc := cost.PerNode[n.Name]
+		eff := p.nodeEfficiency(n, shapes[n.Name], nc.FLOPs)
+		compute := float64(nc.FLOPs) / (p.PeakGFLOPS * 1e9 * eff)
+		mem := float64(nc.MAC()) / (p.MemBWGBps * 1e9)
+		out[n.Name] = (math.Max(compute, mem) + p.LaunchOverheadUS*1e-6) * 1e3
+	}
+	return out, nil
+}

@@ -1,0 +1,398 @@
+package hwsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"nnlqp/internal/models"
+	"nnlqp/internal/onnx"
+)
+
+func mustPlatform(t testing.TB, name string) *Platform {
+	t.Helper()
+	p, err := PlatformByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestPlatformRegistry(t *testing.T) {
+	if len(Platforms()) < 10 {
+		t.Fatalf("fleet too small: %d", len(Platforms()))
+	}
+	for _, name := range EvalPlatforms {
+		if _, err := PlatformByName(name); err != nil {
+			t.Fatalf("eval platform missing: %v", err)
+		}
+	}
+	if _, err := PlatformByName(DatasetPlatform); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PlatformByName("tpu-v9"); err == nil {
+		t.Fatal("want unknown-platform error")
+	}
+	names := PlatformNames()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatal("PlatformNames not sorted/unique")
+		}
+	}
+}
+
+func TestExecuteDeterministic(t *testing.T) {
+	p := mustPlatform(t, DatasetPlatform)
+	g := models.BuildResNet(models.BaseResNet(1))
+	a, err := p.Execute(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := p.Execute(g)
+	if a.LatencySec != b.LatencySec || a.SumStandaloneSec != b.SumStandaloneSec {
+		t.Fatal("Execute must be deterministic")
+	}
+	if a.LatencySec <= 0 {
+		t.Fatal("latency must be positive")
+	}
+}
+
+// TestKernelAdditivityViolation is the Fig. 2 property: for every model
+// family, the sum of standalone kernel latencies strictly exceeds the model
+// latency.
+func TestKernelAdditivityViolation(t *testing.T) {
+	p := mustPlatform(t, DatasetPlatform)
+	rng := rand.New(rand.NewSource(2))
+	for _, fam := range models.Families {
+		for i := 0; i < 3; i++ {
+			g, err := models.Variant(fam, rng, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := p.Execute(g)
+			if err != nil {
+				t.Fatalf("%s: %v", fam, err)
+			}
+			if rep.SumStandaloneSec <= rep.LatencySec {
+				t.Errorf("%s variant %d: sum kernels %.4fms <= model %.4fms",
+					fam, i, rep.SumStandaloneSec*1e3, rep.LatencySec*1e3)
+			}
+		}
+	}
+}
+
+func TestLatencyMonotoneInWidth(t *testing.T) {
+	p := mustPlatform(t, DatasetPlatform)
+	narrow := models.BaseResNet(1)
+	wide := models.BaseResNet(1)
+	for i := range wide.Widths {
+		wide.Widths[i] *= 2
+	}
+	ln, _ := p.TrueLatencyMS(models.BuildResNet(narrow))
+	lw, _ := p.TrueLatencyMS(models.BuildResNet(wide))
+	if lw <= ln {
+		t.Fatalf("wider model should be slower: %.3f vs %.3f ms", lw, ln)
+	}
+}
+
+func TestLatencyMonotoneInBatch(t *testing.T) {
+	p := mustPlatform(t, DatasetPlatform)
+	l1, _ := p.TrueLatencyMS(models.BuildResNet(models.BaseResNet(1)))
+	l4, _ := p.TrueLatencyMS(models.BuildResNet(models.BaseResNet(4)))
+	if l4 <= l1 {
+		t.Fatalf("batch 4 should be slower than batch 1: %.3f vs %.3f", l4, l1)
+	}
+}
+
+func TestLatencyDiffersAcrossPlatforms(t *testing.T) {
+	g := models.BuildMobileNetV2(models.BaseMobileNetV2(1))
+	seen := make(map[float64]bool)
+	for _, name := range EvalPlatforms {
+		p := mustPlatform(t, name)
+		if name == "cpu-openppl-fp32" {
+			// contains Clip but not HardSigmoid: supported
+		}
+		ms, err := p.TrueLatencyMS(g)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if ms <= 0 {
+			t.Fatalf("%s: non-positive latency", name)
+		}
+		seen[ms] = true
+	}
+	if len(seen) < len(EvalPlatforms) {
+		t.Fatalf("platforms produced only %d distinct latencies", len(seen))
+	}
+}
+
+func TestEdgeDeviceSlowerThanServerGPU(t *testing.T) {
+	g := models.BuildResNet(models.BaseResNet(1))
+	t4, _ := mustPlatform(t, "gpu-T4-trt7.1-fp32").TrueLatencyMS(g)
+	rv, _ := mustPlatform(t, "rv1109-rknn-int8").TrueLatencyMS(g)
+	if rv < 5*t4 {
+		t.Fatalf("rv1109 (%.3fms) should be much slower than T4 (%.3fms)", rv, t4)
+	}
+}
+
+func TestInt8FasterThanFP32OnSameGPU(t *testing.T) {
+	g := models.BuildResNet(models.BaseResNet(1))
+	fp32, _ := mustPlatform(t, "gpu-T4-trt7.1-fp32").TrueLatencyMS(g)
+	int8, _ := mustPlatform(t, "gpu-T4-trt7.1-int8").TrueLatencyMS(g)
+	if int8 >= fp32 {
+		t.Fatalf("int8 (%.3fms) should beat fp32 (%.3fms) on T4", int8, fp32)
+	}
+}
+
+func TestP4SlowerThanT4(t *testing.T) {
+	// §9: "the latency on P4 is 2 times of the latency on T4" (int8).
+	g := models.BuildResNet(models.BaseResNet(1))
+	t4, _ := mustPlatform(t, "gpu-T4-trt7.1-int8").TrueLatencyMS(g)
+	p4, _ := mustPlatform(t, "gpu-P4-trt7.1-int8").TrueLatencyMS(g)
+	if p4 <= 1.2*t4 {
+		t.Fatalf("P4 int8 (%.3fms) should be well above T4 int8 (%.3fms)", p4, t4)
+	}
+}
+
+func TestUnsupportedOpFailsQuery(t *testing.T) {
+	// MobileNetV3 uses HardSigmoid, unsupported on cpu-openppl (the
+	// paper's hard-swish example).
+	g := models.BuildMobileNetV3(models.BaseMobileNetV3(1))
+	p := mustPlatform(t, "cpu-openppl-fp32")
+	_, err := p.TrueLatencyMS(g)
+	if err == nil {
+		t.Fatal("want unsupported-op error")
+	}
+	if _, ok := err.(*UnsupportedOpError); !ok {
+		t.Fatalf("error type %T, want *UnsupportedOpError", err)
+	}
+}
+
+func TestMeasureNoiseSmallAndDeterministic(t *testing.T) {
+	p := mustPlatform(t, DatasetPlatform)
+	g := models.BuildSqueezeNet(models.BaseSqueezeNet(1))
+	truth, _ := p.TrueLatencyMS(g)
+	m1, err := p.Measure(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, _ := p.Measure(g)
+	if m1.LatencyMS != m2.LatencyMS {
+		t.Fatal("Measure must be deterministic for a fixed model")
+	}
+	rel := (m1.LatencyMS - truth) / truth
+	if rel < -0.02 || rel > 0.05 {
+		t.Fatalf("measurement deviates %.2f%% from truth", rel*100)
+	}
+	if m1.Runs != 50 {
+		t.Fatalf("runs = %d, want 50", m1.Runs)
+	}
+}
+
+func TestScheduleKernelsStreams(t *testing.T) {
+	// Two independent unit-duration kernels then a join.
+	dur := []float64{1, 1, 1}
+	deps := [][]int{nil, nil, {0, 1}}
+	seq := scheduleKernels(dur, deps, 1)
+	par := scheduleKernels(dur, deps, 2)
+	if seq != 3 {
+		t.Fatalf("sequential makespan = %f, want 3", seq)
+	}
+	if par != 2 {
+		t.Fatalf("2-stream makespan = %f, want 2", par)
+	}
+	if got := scheduleKernels(dur, deps, 0); got != seq {
+		t.Fatalf("streams<1 should clamp to 1, got %f", got)
+	}
+}
+
+func TestBranchParallelismReducesLatency(t *testing.T) {
+	// Inception-style branches should benefit from multi-stream GPUs:
+	// makespan < sum of kernel durations.
+	p := mustPlatform(t, "gpu-T4-trt7.1-fp32")
+	g := models.BuildGoogleNet(models.BaseGoogleNet(1))
+	rep, err := p.Execute(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sumFused float64
+	for _, d := range rep.KernelSec {
+		sumFused += d
+	}
+	if rep.LatencySec >= sumFused {
+		t.Fatalf("multi-stream makespan %.4f should beat serial fused sum %.4f", rep.LatencySec, sumFused)
+	}
+}
+
+func TestCompilePipelineCosts(t *testing.T) {
+	p := mustPlatform(t, "cpu-openppl-fp32")
+	g := models.BuildResNet(models.BaseResNet(1))
+	compile := p.CompileCostSec(g)
+	if compile <= p.CompileBaseSec {
+		t.Fatal("compile cost must grow with node count")
+	}
+	pipe := p.MeasurePipelineSec(g, 0.010)
+	if pipe <= compile+p.UploadSec {
+		t.Fatal("pipeline must include run time")
+	}
+	// Cold-query costs should land in the paper's Table 2 regime
+	// (tens to a couple hundred seconds per model).
+	if pipe < 30 || pipe > 600 {
+		t.Fatalf("pipeline cost %.1fs outside plausible range", pipe)
+	}
+}
+
+func TestKernelLatenciesSamples(t *testing.T) {
+	p := mustPlatform(t, DatasetPlatform)
+	g := models.BuildMobileNetV2(models.BaseMobileNetV2(1))
+	samples, err := p.KernelLatencies(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) == 0 {
+		t.Fatal("no kernel samples")
+	}
+	var sum float64
+	for _, s := range samples {
+		if s.LatencyMS <= 0 {
+			t.Fatalf("kernel %s has non-positive latency", s.Family)
+		}
+		if s.Family == "" {
+			t.Fatal("kernel sample missing family")
+		}
+		sum += s.LatencyMS
+	}
+	rep, _ := p.Execute(g)
+	if diff := sum - rep.SumStandaloneSec*1e3; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("kernel sample sum %.6f != report standalone sum %.6f", sum, rep.SumStandaloneSec*1e3)
+	}
+}
+
+func TestHash01Properties(t *testing.T) {
+	// Range and determinism.
+	for i := 0; i < 100; i++ {
+		v := hash01(uint64(i), "sig")
+		if v < 0 || v >= 1 {
+			t.Fatalf("hash01 out of range: %f", v)
+		}
+		if v != hash01(uint64(i), "sig") {
+			t.Fatal("hash01 not deterministic")
+		}
+	}
+	// Rough uniformity: mean near 0.5 over many signatures.
+	var sum float64
+	n := 2000
+	for i := 0; i < n; i++ {
+		sum += hash01(42, string(rune(i))+"x")
+	}
+	mean := sum / float64(n)
+	if mean < 0.45 || mean > 0.55 {
+		t.Fatalf("hash01 mean %.3f far from 0.5", mean)
+	}
+}
+
+func TestFleetSummaryContainsPlatforms(t *testing.T) {
+	s := FleetSummary()
+	for _, name := range EvalPlatforms {
+		if !contains(s, name) {
+			t.Fatalf("summary missing %s", name)
+		}
+	}
+}
+
+func contains(haystack, needle string) bool {
+	return len(haystack) >= len(needle) && (func() bool {
+		for i := 0; i+len(needle) <= len(haystack); i++ {
+			if haystack[i:i+len(needle)] == needle {
+				return true
+			}
+		}
+		return false
+	})()
+}
+
+func TestGraphCostRejectsInvalidGraph(t *testing.T) {
+	p := mustPlatform(t, DatasetPlatform)
+	bad := &onnx.Graph{
+		Name:   "bad",
+		Inputs: []onnx.ValueInfo{{Name: "input", Shape: onnx.Shape{1, 3, 8, 8}}},
+		Nodes: []*onnx.Node{
+			{Name: "a", Op: onnx.OpRelu, Inputs: []string{"b"}},
+			{Name: "b", Op: onnx.OpRelu, Inputs: []string{"a"}},
+		},
+		Outputs: []string{"b"},
+	}
+	if _, err := p.Execute(bad); err == nil {
+		t.Fatal("want error executing cyclic graph")
+	}
+}
+
+func TestProfileModel(t *testing.T) {
+	p := mustPlatform(t, DatasetPlatform)
+	g := models.BuildResNet(models.BaseResNet(1))
+	prof, err := p.ProfileModel(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prof.Rows) == 0 {
+		t.Fatal("no profile rows")
+	}
+	// Rows sorted by descending fused latency; percentages sum to ~100.
+	var pct, serial float64
+	for i, r := range prof.Rows {
+		if i > 0 && r.FusedMS > prof.Rows[i-1].FusedMS {
+			t.Fatal("rows not sorted by fused latency")
+		}
+		if r.StandaloneMS < r.FusedMS-1e-9 {
+			t.Fatalf("kernel %s standalone %.4f < fused %.4f", r.Output, r.StandaloneMS, r.FusedMS)
+		}
+		pct += r.Percent
+		serial += r.FusedMS
+	}
+	if pct < 99.9 || pct > 100.1 {
+		t.Fatalf("percentages sum to %.2f", pct)
+	}
+	if diff := serial - prof.SerialSumMS; diff > 1e-9 || diff < -1e-9 {
+		t.Fatal("serial sum mismatch")
+	}
+	// Consistency with Execute.
+	rep, _ := p.Execute(g)
+	if prof.LatencyMS != rep.LatencySec*1e3 {
+		t.Fatal("profile latency disagrees with Execute")
+	}
+	// Rendering includes header and top rows.
+	out := prof.Render(5)
+	if !contains(out, "KERNEL") || !contains(out, "more kernels") {
+		t.Fatalf("render output malformed:\n%s", out)
+	}
+	if out2 := prof.Render(0); !contains(out2, prof.Rows[len(prof.Rows)-1].Output) {
+		t.Fatal("full render should include every kernel")
+	}
+}
+
+func TestUnrolledRNNMeasurable(t *testing.T) {
+	// Rank-2 (Gemm/Sigmoid/Mul/Add) graphs must flow through fusion,
+	// pricing and scheduling like CNNs do.
+	g := models.BuildUnrolledRNN(models.BaseRNN(1))
+	for _, name := range []string{DatasetPlatform, "cpu-openppl-fp32"} {
+		p := mustPlatform(t, name)
+		rep, err := p.Execute(g)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if rep.LatencySec <= 0 {
+			t.Fatalf("%s: non-positive latency", name)
+		}
+		if rep.SumStandaloneSec <= rep.LatencySec {
+			t.Fatalf("%s: additivity property should hold for RNNs too", name)
+		}
+	}
+	// Longer unrolls cost more.
+	long := models.BaseRNN(1)
+	long.Steps = 16
+	p := mustPlatform(t, DatasetPlatform)
+	short, _ := p.TrueLatencyMS(g)
+	lng, _ := p.TrueLatencyMS(models.BuildUnrolledRNN(long))
+	if lng <= short {
+		t.Fatalf("16-step unroll (%.4f) should exceed 8-step (%.4f)", lng, short)
+	}
+}

@@ -1,0 +1,177 @@
+package hwsim
+
+import (
+	"sort"
+	"strings"
+
+	"nnlqp/internal/onnx"
+)
+
+// Kernel is a maximal fused group of operators: the unit the device
+// dispatches and the unit the kernel-level baselines (nn-Meter, TPU)
+// predict. Nodes appear in execution order.
+type Kernel struct {
+	Nodes []*onnx.Node
+	// Family is the fusion-pattern label, e.g. "Conv+Add+Relu". Absorbed
+	// deploy-time no-ops (BatchNorm folding, Dropout, Identity) do not
+	// contribute to the label, matching how TensorRT reports fused layers.
+	Family string
+	// Inputs are tensor names read from outside the kernel; Output is the
+	// tensor the kernel materializes.
+	Inputs []string
+	Output string
+}
+
+// absorbable ops are removed at deployment: BatchNorm folds into the
+// producer's weights, Dropout and Identity are inference no-ops.
+func absorbable(op onnx.OpType) bool {
+	return op == onnx.OpBatchNorm || op == onnx.OpDropout || op == onnx.OpIdentity
+}
+
+// Kernelize splits a graph into fused kernels using TensorRT-style rules:
+//
+//   - BatchNorm / Dropout / Identity are absorbed into their producer.
+//   - Conv absorbs a following Add (residual) when the Conv is the Add's
+//     sole producer-side branch, then a following Relu/Clip.
+//   - Conv absorbs a directly-following Relu or Clip.
+//   - Sigmoid/HardSigmoid fuse with the Mul that gates their own input
+//     (the swish / hard-swish pattern, reported as "Sigmoid+Mul").
+//
+// Every node lands in exactly one kernel. The resulting families match the
+// paper's Appendix D taxonomy (Conv, Conv+Relu, Conv+Add, Conv+Add+Relu,
+// Conv+Clip, Sigmoid+Mul, plus one family per remaining standalone op).
+func Kernelize(g *onnx.Graph) ([]*Kernel, error) {
+	order, err := g.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	byName := make(map[string]*onnx.Node, len(order))
+	for _, n := range order {
+		byName[n.Name] = n
+	}
+	succ := g.Successors()
+	outputs := make(map[string]bool, len(g.Outputs))
+	for _, o := range g.Outputs {
+		outputs[o] = true
+	}
+	assigned := make(map[string]bool, len(order))
+
+	// soleConsumer returns the unique consumer of tensor name, or nil when
+	// it has 0 or >1 consumers or is a graph output (graph outputs must be
+	// materialized, so fusion stops there).
+	soleConsumer := func(name string) *onnx.Node {
+		if outputs[name] {
+			return nil
+		}
+		ss := succ[name]
+		if len(ss) != 1 {
+			return nil
+		}
+		return byName[ss[0]]
+	}
+
+	// absorbTail greedily appends absorbable ops following tensor `tail`.
+	var kernels []*Kernel
+	absorbTail := func(k *Kernel, tail string) string {
+		for {
+			c := soleConsumer(tail)
+			if c == nil || !absorbable(c.Op) || assigned[c.Name] {
+				return tail
+			}
+			k.Nodes = append(k.Nodes, c)
+			assigned[c.Name] = true
+			tail = c.Name
+		}
+	}
+
+	for _, n := range order {
+		if assigned[n.Name] {
+			continue
+		}
+		k := &Kernel{Nodes: []*onnx.Node{n}}
+		assigned[n.Name] = true
+		var famOps []string
+		famOps = append(famOps, string(n.Op))
+		tail := absorbTail(k, n.Name)
+
+		switch n.Op {
+		case onnx.OpConv:
+			c := soleConsumer(tail)
+			if c != nil && c.Op == onnx.OpAdd && !assigned[c.Name] {
+				// Residual: the other Add input must already be available
+				// (produced by an earlier kernel), which topological order
+				// guarantees for everything except self-references.
+				k.Nodes = append(k.Nodes, c)
+				assigned[c.Name] = true
+				famOps = append(famOps, "Add")
+				tail = absorbTail(k, c.Name)
+				c = soleConsumer(tail)
+			}
+			if c != nil && (c.Op == onnx.OpRelu || c.Op == onnx.OpClip) && !assigned[c.Name] {
+				k.Nodes = append(k.Nodes, c)
+				assigned[c.Name] = true
+				famOps = append(famOps, string(c.Op))
+				tail = absorbTail(k, c.Name)
+			}
+		case onnx.OpSigmoid, onnx.OpHardSigmoid:
+			c := soleConsumer(tail)
+			if c != nil && c.Op == onnx.OpMul && !assigned[c.Name] {
+				// Require the swish pattern: Mul's other input equals the
+				// activation's own input.
+				other := ""
+				for _, in := range c.Inputs {
+					if in != tail {
+						other = in
+					}
+				}
+				if other != "" && other == n.Inputs[0] {
+					k.Nodes = append(k.Nodes, c)
+					assigned[c.Name] = true
+					famOps = []string{"Sigmoid", "Mul"} // canonical family name
+					tail = absorbTail(k, c.Name)
+				}
+			}
+		}
+
+		k.Family = strings.Join(famOps, "+")
+		k.Output = tail
+		kernels = append(kernels, k)
+	}
+
+	// Compute external inputs per kernel.
+	for _, k := range kernels {
+		inKernel := make(map[string]bool, len(k.Nodes))
+		for _, n := range k.Nodes {
+			inKernel[n.Name] = true
+		}
+		seen := make(map[string]bool)
+		for _, n := range k.Nodes {
+			for _, in := range n.Inputs {
+				if !inKernel[in] && !seen[in] {
+					seen[in] = true
+					k.Inputs = append(k.Inputs, in)
+				}
+			}
+		}
+		sort.Strings(k.Inputs)
+	}
+	return kernels, nil
+}
+
+// KernelFamilyStats counts kernels per family across a set of graphs
+// (paper Table 8).
+func KernelFamilyStats(graphs []*onnx.Graph) (map[string]int, int, error) {
+	counts := make(map[string]int)
+	total := 0
+	for _, g := range graphs {
+		ks, err := Kernelize(g)
+		if err != nil {
+			return nil, 0, err
+		}
+		for _, k := range ks {
+			counts[k.Family]++
+			total++
+		}
+	}
+	return counts, total, nil
+}

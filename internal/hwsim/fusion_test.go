@@ -1,0 +1,199 @@
+package hwsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"nnlqp/internal/models"
+	"nnlqp/internal/onnx"
+)
+
+func TestKernelizeConvBNRelu(t *testing.T) {
+	b := onnx.NewBuilder("cbr", "Test", onnx.Shape{1, 3, 16, 16})
+	x := b.ConvBNRelu(b.Input(), 8, 3, 1, 1, 1)
+	g := b.MustFinish(x)
+	ks, err := Kernelize(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ks) != 1 {
+		t.Fatalf("kernels = %d, want 1", len(ks))
+	}
+	if ks[0].Family != "Conv+Relu" {
+		t.Fatalf("family = %q, want Conv+Relu", ks[0].Family)
+	}
+	if len(ks[0].Nodes) != 3 { // Conv, BN (absorbed), Relu
+		t.Fatalf("nodes in kernel = %d, want 3", len(ks[0].Nodes))
+	}
+}
+
+func TestKernelizeResidualBlock(t *testing.T) {
+	b := onnx.NewBuilder("res", "Test", onnx.Shape{1, 16, 8, 8})
+	c1 := b.ConvBNRelu(b.Input(), 16, 3, 1, 1, 1)
+	y := b.BatchNorm(b.Conv(c1, 16, 3, 1, 1, 1))
+	out := b.Relu(b.AddTensors(y, c1))
+	g := b.MustFinish(out)
+	ks, err := Kernelize(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fams := make(map[string]int)
+	for _, k := range ks {
+		fams[k.Family]++
+	}
+	if fams["Conv+Relu"] != 1 || fams["Conv+Add+Relu"] != 1 {
+		t.Fatalf("families = %v, want one Conv+Relu and one Conv+Add+Relu", fams)
+	}
+}
+
+func TestKernelizeConvClip(t *testing.T) {
+	b := onnx.NewBuilder("cc", "Test", onnx.Shape{1, 8, 8, 8})
+	x := b.ConvBNClip(b.Input(), 8, 3, 1, 1, 1)
+	g := b.MustFinish(x)
+	ks, _ := Kernelize(g)
+	if len(ks) != 1 || ks[0].Family != "Conv+Clip" {
+		t.Fatalf("got %d kernels, first family %q", len(ks), ks[0].Family)
+	}
+}
+
+func TestKernelizeSwish(t *testing.T) {
+	b := onnx.NewBuilder("swish", "Test", onnx.Shape{1, 8, 8, 8})
+	c := b.Conv(b.Input(), 8, 3, 1, 1, 1)
+	s := b.Swish(c)
+	g := b.MustFinish(s)
+	ks, _ := Kernelize(g)
+	fams := make(map[string]int)
+	for _, k := range ks {
+		fams[k.Family]++
+	}
+	if fams["Sigmoid+Mul"] != 1 {
+		t.Fatalf("families = %v, want a Sigmoid+Mul kernel", fams)
+	}
+	// HardSwish maps to the same family.
+	b2 := onnx.NewBuilder("hswish", "Test", onnx.Shape{1, 8, 8, 8})
+	c2 := b2.Conv(b2.Input(), 8, 3, 1, 1, 1)
+	s2 := b2.HardSwish(c2)
+	g2 := b2.MustFinish(s2)
+	ks2, _ := Kernelize(g2)
+	found := false
+	for _, k := range ks2 {
+		if k.Family == "Sigmoid+Mul" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("hard-swish should fuse to Sigmoid+Mul")
+	}
+}
+
+func TestKernelizeNoFusionAcrossBranch(t *testing.T) {
+	// A Conv whose output feeds two consumers must not absorb either.
+	b := onnx.NewBuilder("branch", "Test", onnx.Shape{1, 8, 8, 8})
+	c := b.Conv(b.Input(), 8, 3, 1, 1, 1)
+	l := b.Relu(c)
+	r := b.Sigmoid(c)
+	g := b.MustFinish(b.AddTensors(l, r))
+	ks, _ := Kernelize(g)
+	for _, k := range ks {
+		if k.Family == "Conv+Relu" {
+			t.Fatal("Conv with two consumers must stay unfused")
+		}
+	}
+}
+
+func TestKernelizeNoFusionIntoGraphOutput(t *testing.T) {
+	// If the Conv output itself is a graph output it must be materialized.
+	b := onnx.NewBuilder("out", "Test", onnx.Shape{1, 8, 8, 8})
+	c := b.Conv(b.Input(), 8, 3, 1, 1, 1)
+	r := b.Relu(c)
+	g, err := b.Finish(c, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks, _ := Kernelize(g)
+	if len(ks) != 2 {
+		t.Fatalf("kernels = %d, want 2 (no fusion across an output)", len(ks))
+	}
+}
+
+func TestKernelizeCoversEveryNodeExactlyOnce(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, fam := range models.Families {
+		g, err := models.Variant(fam, rng, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ks, err := Kernelize(g)
+		if err != nil {
+			t.Fatalf("%s: %v", fam, err)
+		}
+		seen := make(map[string]int)
+		for _, k := range ks {
+			for _, n := range k.Nodes {
+				seen[n.Name]++
+			}
+		}
+		if len(seen) != len(g.Nodes) {
+			t.Fatalf("%s: %d nodes assigned, graph has %d", fam, len(seen), len(g.Nodes))
+		}
+		for name, c := range seen {
+			if c != 1 {
+				t.Fatalf("%s: node %s assigned %d times", fam, name, c)
+			}
+		}
+	}
+}
+
+func TestKernelInputsAreExternal(t *testing.T) {
+	g := models.BuildResNet(models.BaseResNet(1))
+	ks, err := Kernelize(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range ks {
+		inKernel := make(map[string]bool)
+		for _, n := range k.Nodes {
+			inKernel[n.Name] = true
+		}
+		for _, in := range k.Inputs {
+			if inKernel[in] {
+				t.Fatalf("kernel input %q is internal", in)
+			}
+		}
+		if !inKernel[k.Output] {
+			t.Fatalf("kernel output %q not produced by the kernel", k.Output)
+		}
+	}
+}
+
+func TestKernelFamilyStatsConvReluDominates(t *testing.T) {
+	// Appendix D: Conv+Relu is by far the most common kernel family across
+	// the model zoo.
+	rng := rand.New(rand.NewSource(9))
+	var graphs []*onnx.Graph
+	for _, fam := range models.Families {
+		for i := 0; i < 2; i++ {
+			g, _ := models.Variant(fam, rng, 1)
+			graphs = append(graphs, g)
+		}
+	}
+	counts, total, err := KernelFamilyStats(graphs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total <= 0 {
+		t.Fatal("no kernels")
+	}
+	best, bestFam := 0, ""
+	for f, c := range counts {
+		if c > best {
+			best, bestFam = c, f
+		}
+	}
+	if bestFam != "Conv+Relu" && bestFam != "Conv+Clip" {
+		t.Fatalf("dominant family = %s (%d/%d); expected a fused Conv family", bestFam, best, total)
+	}
+	if counts["Conv+Relu"] == 0 || counts["Conv"] == 0 || counts["Concat"] == 0 {
+		t.Fatalf("expected Conv+Relu, Conv, Concat families present: %v", counts)
+	}
+}

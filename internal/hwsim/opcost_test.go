@@ -1,0 +1,123 @@
+package hwsim
+
+import (
+	"testing"
+
+	"nnlqp/internal/onnx"
+)
+
+func convNode(outCh, kernel, group int) (*onnx.Node, onnx.Shape) {
+	n := &onnx.Node{
+		Name: "c", Op: onnx.OpConv,
+		Attrs: onnx.Attrs{
+			"channels":     onnx.IntAttr(int64(outCh)),
+			"kernel_shape": onnx.IntsAttr(int64(kernel), int64(kernel)),
+			"strides":      onnx.IntsAttr(1, 1),
+			"pads":         onnx.IntsAttr(int64(kernel / 2), int64(kernel / 2), int64(kernel / 2), int64(kernel / 2)),
+			"group":        onnx.IntAttr(int64(group)),
+		},
+	}
+	return n, onnx.Shape{1, outCh, 14, 14}
+}
+
+func TestDepthwisePenalty(t *testing.T) {
+	p := mustPlatform(t, "gpu-T4-trt7.1-fp32")
+	dense, denseOut := convNode(64, 3, 1)
+	dw, dwOut := convNode(64, 3, 64)
+	const flops = int64(50_000_000)
+	effDense := p.nodeEfficiency(dense, denseOut, flops)
+	effDW := p.nodeEfficiency(dw, dwOut, flops)
+	if effDW >= effDense {
+		t.Fatalf("depthwise efficiency %.3f should be below dense %.3f", effDW, effDense)
+	}
+	// Grouped (but not depthwise) sits in between.
+	grouped, gOut := convNode(64, 3, 4)
+	effG := p.nodeEfficiency(grouped, gOut, flops)
+	if effG <= effDW || effG >= effDense {
+		t.Fatalf("grouped efficiency %.3f should sit between depthwise %.3f and dense %.3f", effG, effDW, effDense)
+	}
+}
+
+func TestAlignmentPenalty(t *testing.T) {
+	p := mustPlatform(t, "gpu-T4-trt7.1-int8") // AlignCh 32
+	aligned, alignedOut := convNode(64, 3, 1)
+	misaligned, misOut := convNode(72, 3, 1) // 72 % 32 != 0
+	const flops = int64(50_000_000)
+	effA := p.nodeEfficiency(aligned, alignedOut, flops)
+	effM := p.nodeEfficiency(misaligned, misOut, flops)
+	// The deterministic idiosyncrasy jitter (±13% on this platform) rides
+	// on top of the alignment penalty; compare with jitter margin.
+	if effM >= effA*1.05 {
+		t.Fatalf("misaligned channels (%.3f) should not beat aligned (%.3f)", effM, effA)
+	}
+}
+
+func TestSmallWorkUnderutilization(t *testing.T) {
+	p := mustPlatform(t, "gpu-T4-trt7.1-fp32")
+	n, out := convNode(64, 3, 1)
+	small := p.nodeEfficiency(n, out, 50_000)
+	large := p.nodeEfficiency(n, out, 500_000_000)
+	if small >= large {
+		t.Fatalf("tiny kernels should underutilize: %.4f vs %.4f", small, large)
+	}
+	if large > 1 {
+		t.Fatal("efficiency must not exceed 1")
+	}
+}
+
+func TestEfficiencyBounds(t *testing.T) {
+	for _, plat := range Platforms() {
+		for _, op := range []onnx.OpType{onnx.OpConv, onnx.OpGemm, onnx.OpRelu, onnx.OpSigmoid, onnx.OpLRN} {
+			n := &onnx.Node{Name: "n", Op: op, Attrs: onnx.Attrs{
+				"channels": onnx.IntAttr(64), "kernel_shape": onnx.IntsAttr(3, 3),
+				"strides": onnx.IntsAttr(1, 1), "group": onnx.IntAttr(1),
+				"out_features": onnx.IntAttr(64),
+			}}
+			for _, flops := range []int64{1000, 1e6, 1e9} {
+				eff := plat.nodeEfficiency(n, onnx.Shape{1, 64, 8, 8}, flops)
+				if eff <= 0 || eff > 1 {
+					t.Fatalf("%s/%s eff %.5f out of (0,1]", plat.Name, op, eff)
+				}
+			}
+		}
+	}
+}
+
+func TestOpSignatureBucketsChannels(t *testing.T) {
+	a, aOut := convNode(64, 3, 1)
+	b, bOut := convNode(65, 3, 1) // same log2 bucket as 64? log2(65)≈6.02 -> bucket 6
+	c, cOut := convNode(256, 3, 1)
+	if opSignature(a, aOut) != opSignature(b, bOut) {
+		t.Fatal("nearby channel counts should share a signature bucket")
+	}
+	if opSignature(a, aOut) == opSignature(c, cOut) {
+		t.Fatal("distant channel counts should differ")
+	}
+	dw, dwOut := convNode(64, 3, 64)
+	if opSignature(a, aOut) == opSignature(dw, dwOut) {
+		t.Fatal("depthwise must have a distinct signature")
+	}
+}
+
+func TestSupportsOp(t *testing.T) {
+	cpu := mustPlatform(t, "cpu-openppl-fp32")
+	if cpu.SupportsOp("HardSigmoid") {
+		t.Fatal("openppl must reject HardSigmoid")
+	}
+	if !cpu.SupportsOp("Conv") {
+		t.Fatal("openppl must support Conv")
+	}
+	t4 := mustPlatform(t, "gpu-T4-trt7.1-fp32")
+	if !t4.SupportsOp("HardSigmoid") {
+		t.Fatal("TensorRT supports HardSigmoid")
+	}
+}
+
+func TestLog2Bucket(t *testing.T) {
+	if log2Bucket(0) != 0 || log2Bucket(-5) != 0 {
+		t.Fatal("non-positive values bucket to 0")
+	}
+	if log2Bucket(1) != 0 || log2Bucket(2) != 1 || log2Bucket(1024) != 10 {
+		t.Fatal("log2 buckets wrong")
+	}
+}

@@ -1,0 +1,104 @@
+package hwsim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"nnlqp/internal/onnx"
+)
+
+// ProfileRow is one fused kernel's contribution to a model's latency.
+type ProfileRow struct {
+	// Output names the kernel by the tensor it materializes.
+	Output string
+	// Family is the fusion-pattern label.
+	Family string
+	// Ops counts operators fused into the kernel (incl. folded ones).
+	Ops int
+	// FusedMS is the kernel's in-graph latency; Percent its share of the
+	// serial sum of kernel durations.
+	FusedMS float64
+	Percent float64
+	// StandaloneMS is the kernel's latency when measured in isolation
+	// (always >= its fused share; the additivity gap of Fig. 2).
+	StandaloneMS float64
+}
+
+// Profile is a per-kernel latency breakdown of one model on one platform.
+type Profile struct {
+	Platform string
+	Model    string
+	// LatencyMS is the end-to-end (scheduled) model latency; SerialSumMS
+	// the sum of fused kernel durations (>= LatencyMS when streams
+	// overlap branches); StandaloneSumMS the Fig. 2 sum.
+	LatencyMS       float64
+	SerialSumMS     float64
+	StandaloneSumMS float64
+	Rows            []ProfileRow
+}
+
+// ProfileModel measures g on p and returns the kernel-level breakdown,
+// sorted by descending fused latency.
+func (p *Platform) ProfileModel(g *onnx.Graph) (*Profile, error) {
+	shapes, err := g.InferShapes()
+	if err != nil {
+		return nil, err
+	}
+	cost, err := g.CostWithShapes(shapes, p.ElemSize)
+	if err != nil {
+		return nil, err
+	}
+	kernels, err := Kernelize(g)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := p.executeKernels(g, kernels, shapes, cost.PerNode)
+	if err != nil {
+		return nil, err
+	}
+	prof := &Profile{
+		Platform:        p.Name,
+		Model:           g.Name,
+		LatencyMS:       rep.LatencySec * 1e3,
+		StandaloneSumMS: rep.SumStandaloneSec * 1e3,
+	}
+	for _, k := range kernels {
+		fused := rep.KernelSec[k.Output] * 1e3
+		std, err := p.StandaloneKernelSec(k, shapes, cost.PerNode)
+		if err != nil {
+			return nil, err
+		}
+		prof.SerialSumMS += fused
+		prof.Rows = append(prof.Rows, ProfileRow{
+			Output: k.Output, Family: k.Family, Ops: len(k.Nodes),
+			FusedMS: fused, StandaloneMS: std * 1e3,
+		})
+	}
+	for i := range prof.Rows {
+		prof.Rows[i].Percent = prof.Rows[i].FusedMS / prof.SerialSumMS * 100
+	}
+	sort.Slice(prof.Rows, func(i, j int) bool { return prof.Rows[i].FusedMS > prof.Rows[j].FusedMS })
+	return prof, nil
+}
+
+// Render writes the profile as an aligned table, topN rows (0 = all).
+func (prof *Profile) Render(topN int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "profile of %s on %s\n", prof.Model, prof.Platform)
+	fmt.Fprintf(&sb, "  model latency %.3f ms | serial kernel sum %.3f ms | standalone kernel sum %.3f ms (x%.2f)\n",
+		prof.LatencyMS, prof.SerialSumMS, prof.StandaloneSumMS, prof.StandaloneSumMS/prof.LatencyMS)
+	fmt.Fprintf(&sb, "  %-34s %-16s %4s %12s %8s %14s\n", "KERNEL", "FAMILY", "OPS", "FUSED(ms)", "%", "STANDALONE(ms)")
+	rows := prof.Rows
+	if topN > 0 && topN < len(rows) {
+		rows = rows[:topN]
+	}
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "  %-34s %-16s %4d %12.4f %7.1f%% %14.4f\n",
+			r.Output, r.Family, r.Ops, r.FusedMS, r.Percent, r.StandaloneMS)
+	}
+	if topN > 0 && topN < len(prof.Rows) {
+		fmt.Fprintf(&sb, "  ... %d more kernels\n", len(prof.Rows)-topN)
+	}
+	return sb.String()
+}

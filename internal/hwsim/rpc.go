@@ -1,0 +1,184 @@
+package hwsim
+
+import (
+	"fmt"
+	"net"
+	"net/rpc"
+	"sync"
+
+	"nnlqp/internal/onnx"
+)
+
+// The RPC layer mirrors the paper's remote device management: the query
+// system talks to the device farm "through the remote procedure call (RPC)
+// interface" rather than touching hardware directly. We expose the farm
+// over net/rpc so latency measurement can run in a separate process.
+
+// MeasureArgs is the wire request for one measurement.
+type MeasureArgs struct {
+	Platform string
+	Model    []byte // onnx binary encoding
+	Holder   string
+}
+
+// MeasureReply is the wire response.
+type MeasureReply struct {
+	LatencyMS    float64
+	Runs         int
+	PeakMemBytes int64
+	NumKernels   int
+	PipelineSec  float64
+}
+
+// FarmService is the RPC-exported wrapper around a Farm.
+type FarmService struct {
+	farm *Farm
+}
+
+// Measure acquires a device, runs the full measurement pipeline, and
+// releases the device. Exported for net/rpc.
+func (s *FarmService) Measure(args *MeasureArgs, reply *MeasureReply) error {
+	g, err := onnx.DecodeBinary(args.Model)
+	if err != nil {
+		return fmt.Errorf("decode model: %w", err)
+	}
+	d, err := s.farm.Acquire(args.Platform, args.Holder)
+	if err != nil {
+		return err
+	}
+	defer s.farm.Release(d)
+	res, err := MeasureOn(d, g)
+	if err != nil {
+		return err
+	}
+	reply.LatencyMS = res.LatencyMS
+	reply.Runs = res.Runs
+	reply.PeakMemBytes = res.PeakMemBytes
+	reply.NumKernels = res.NumKernels
+	reply.PipelineSec = res.PipelineSec
+	return nil
+}
+
+// ListPlatformsReply carries the fleet inventory.
+type ListPlatformsReply struct {
+	Platforms []string
+}
+
+// ListPlatforms reports the platforms with at least one registered device.
+func (s *FarmService) ListPlatforms(_ *struct{}, reply *ListPlatformsReply) error {
+	for _, name := range PlatformNames() {
+		if s.farm.Devices(name) > 0 {
+			reply.Platforms = append(reply.Platforms, name)
+		}
+	}
+	return nil
+}
+
+// FarmServer serves a Farm over TCP.
+type FarmServer struct {
+	lis  net.Listener
+	srv  *rpc.Server
+	wg   sync.WaitGroup
+	once sync.Once
+}
+
+// ServeFarm starts serving farm on addr (use "127.0.0.1:0" for an ephemeral
+// port) and returns the server; Addr reports the bound address.
+func ServeFarm(farm *Farm, addr string) (*FarmServer, error) {
+	srv := rpc.NewServer()
+	if err := srv.RegisterName("Farm", &FarmService{farm: farm}); err != nil {
+		return nil, err
+	}
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	fs := &FarmServer{lis: lis, srv: srv}
+	fs.wg.Add(1)
+	go func() {
+		defer fs.wg.Done()
+		for {
+			conn, err := lis.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			go srv.ServeConn(conn)
+		}
+	}()
+	return fs, nil
+}
+
+// Addr returns the listener address.
+func (fs *FarmServer) Addr() string { return fs.lis.Addr().String() }
+
+// Close stops accepting connections.
+func (fs *FarmServer) Close() error {
+	var err error
+	fs.once.Do(func() {
+		err = fs.lis.Close()
+		fs.wg.Wait()
+	})
+	return err
+}
+
+// RemoteFarm is the client side of the RPC device interface. It satisfies
+// the Measurer interface the query system consumes.
+type RemoteFarm struct {
+	client *rpc.Client
+}
+
+// DialFarm connects to a farm server.
+func DialFarm(addr string) (*RemoteFarm, error) {
+	c, err := rpc.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &RemoteFarm{client: c}, nil
+}
+
+// Measure runs the full pipeline remotely.
+func (r *RemoteFarm) Measure(platform string, g *onnx.Graph, holder string) (*MeasureResult, error) {
+	data, err := g.EncodeBinary()
+	if err != nil {
+		return nil, err
+	}
+	var reply MeasureReply
+	if err := r.client.Call("Farm.Measure", &MeasureArgs{Platform: platform, Model: data, Holder: holder}, &reply); err != nil {
+		return nil, err
+	}
+	return &MeasureResult{
+		LatencyMS:    reply.LatencyMS,
+		Runs:         reply.Runs,
+		PeakMemBytes: reply.PeakMemBytes,
+		NumKernels:   reply.NumKernels,
+		PipelineSec:  reply.PipelineSec,
+	}, nil
+}
+
+// ListPlatforms reports the remotely available platforms.
+func (r *RemoteFarm) ListPlatforms() ([]string, error) {
+	var reply ListPlatformsReply
+	if err := r.client.Call("Farm.ListPlatforms", &struct{}{}, &reply); err != nil {
+		return nil, err
+	}
+	return reply.Platforms, nil
+}
+
+// Close tears down the connection.
+func (r *RemoteFarm) Close() error { return r.client.Close() }
+
+// LocalFarm adapts an in-process Farm to the same Measure signature as
+// RemoteFarm, for single-process deployments and tests.
+type LocalFarm struct {
+	Farm *Farm
+}
+
+// Measure acquires, measures, releases locally.
+func (l *LocalFarm) Measure(platform string, g *onnx.Graph, holder string) (*MeasureResult, error) {
+	d, err := l.Farm.Acquire(platform, holder)
+	if err != nil {
+		return nil, err
+	}
+	defer l.Farm.Release(d)
+	return MeasureOn(d, g)
+}

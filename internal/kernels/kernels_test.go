@@ -1,0 +1,137 @@
+package kernels
+
+import (
+	"math/rand"
+	"testing"
+
+	"nnlqp/internal/hwsim"
+	"nnlqp/internal/models"
+	"nnlqp/internal/onnx"
+)
+
+func datasetPlatform(t *testing.T) *hwsim.Platform {
+	t.Helper()
+	p, err := hwsim.PlatformByName(hwsim.DatasetPlatform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestKernelGraphsAreValidAndMeasurable(t *testing.T) {
+	p := datasetPlatform(t)
+	g := models.BuildMobileNetV2(models.BaseMobileNetV2(1))
+	samples, err := Split(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) == 0 {
+		t.Fatal("no kernels")
+	}
+	for _, s := range samples {
+		if err := s.Graph.Validate(); err != nil {
+			t.Fatalf("kernel graph invalid: %v", err)
+		}
+		// The kernel graph itself must be executable by the simulator.
+		if _, err := p.TrueLatencyMS(s.Graph); err != nil {
+			t.Fatalf("kernel graph not measurable: %v", err)
+		}
+		if s.LatencyMS <= 0 {
+			t.Fatal("kernel latency must be positive")
+		}
+		if len(s.Features) != len(FeatureNames) {
+			t.Fatalf("features = %d, want %d", len(s.Features), len(FeatureNames))
+		}
+	}
+}
+
+func TestSplitKernelCountMatchesKernelize(t *testing.T) {
+	p := datasetPlatform(t)
+	g := models.BuildResNet(models.BaseResNet(1))
+	ks, err := hwsim.Kernelize(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := Split(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != len(ks) {
+		t.Fatalf("samples = %d, kernels = %d", len(samples), len(ks))
+	}
+}
+
+func TestDatasetCapsPerFamily(t *testing.T) {
+	p := datasetPlatform(t)
+	rng := rand.New(rand.NewSource(1))
+	var graphs []*onnx.Graph
+	for i := 0; i < 4; i++ {
+		g, _ := models.Variant(models.FamilyResNet, rng, 1)
+		graphs = append(graphs, g)
+	}
+	ds, err := Dataset(graphs, p, 5, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) == 0 {
+		t.Fatal("empty dataset")
+	}
+	for fam, ss := range ds {
+		if len(ss) > 5 {
+			t.Fatalf("family %s has %d > cap", fam, len(ss))
+		}
+	}
+	// Deterministic under seed.
+	ds2, _ := Dataset(graphs, p, 5, 42)
+	for fam := range ds {
+		if len(ds[fam]) != len(ds2[fam]) {
+			t.Fatal("dataset not deterministic")
+		}
+	}
+}
+
+func TestStatsTable8Shape(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var graphs []*onnx.Graph
+	for _, fam := range models.Families {
+		g, _ := models.Variant(fam, rng, 1)
+		graphs = append(graphs, g)
+	}
+	stats, total, err := Stats(graphs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total <= 0 || len(stats) == 0 {
+		t.Fatal("degenerate stats")
+	}
+	var pctSum float64
+	sum := 0
+	for _, s := range stats {
+		pctSum += s.Percentage
+		sum += s.Count
+	}
+	if sum != total {
+		t.Fatalf("counts sum %d != total %d", sum, total)
+	}
+	if pctSum < 99.9 || pctSum > 100.1 {
+		t.Fatalf("percentages sum to %f", pctSum)
+	}
+	// The paper's dominant family must be present and dominant.
+	best := stats[0]
+	for _, s := range stats {
+		if s.Count > best.Count {
+			best = s
+		}
+	}
+	if best.Family != "Conv+Relu" && best.Family != "Conv+Clip" {
+		t.Fatalf("dominant kernel family = %s", best.Family)
+	}
+}
+
+func TestKernelGraphMissingShape(t *testing.T) {
+	g := models.BuildResNet(models.BaseResNet(1))
+	ks, _ := hwsim.Kernelize(g)
+	if _, err := KernelGraph(ks[1], onnx.ShapeMap{}, "x"); err == nil {
+		t.Fatal("want missing-shape error")
+	}
+}

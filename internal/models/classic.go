@@ -1,0 +1,267 @@
+package models
+
+import (
+	"math/rand"
+
+	"nnlqp/internal/onnx"
+)
+
+// AlexNetConfig parameterizes the AlexNet family (Krizhevsky et al.).
+type AlexNetConfig struct {
+	Batch      int
+	Channels   [5]int // conv1..conv5 output channels
+	Kernels    [5]int
+	FCWidth    int
+	NumClasses int
+}
+
+// BaseAlexNet is the canonical configuration.
+func BaseAlexNet(batch int) AlexNetConfig {
+	return AlexNetConfig{
+		Batch:      batch,
+		Channels:   [5]int{96, 256, 384, 384, 256},
+		Kernels:    [5]int{11, 5, 3, 3, 3},
+		FCWidth:    4096,
+		NumClasses: 1000,
+	}
+}
+
+// BuildAlexNet constructs the graph for a configuration.
+func BuildAlexNet(cfg AlexNetConfig) *onnx.Graph {
+	b := onnx.NewBuilder("alexnet", FamilyAlexNet, onnx.Shape{cfg.Batch, 3, 224, 224})
+	x := b.Relu(b.Conv(b.Input(), cfg.Channels[0], cfg.Kernels[0], 4, cfg.Kernels[0]/2-2, 1))
+	x = b.LRN(x, 5)
+	x = b.MaxPool(x, 3, 2, 0)
+	x = b.Relu(b.Conv(x, cfg.Channels[1], cfg.Kernels[1], 1, cfg.Kernels[1]/2, 2))
+	x = b.LRN(x, 5)
+	x = b.MaxPool(x, 3, 2, 0)
+	x = b.Relu(b.Conv(x, cfg.Channels[2], cfg.Kernels[2], 1, cfg.Kernels[2]/2, 1))
+	x = b.Relu(b.Conv(x, cfg.Channels[3], cfg.Kernels[3], 1, cfg.Kernels[3]/2, 2))
+	x = b.Relu(b.Conv(x, cfg.Channels[4], cfg.Kernels[4], 1, cfg.Kernels[4]/2, 2))
+	x = b.MaxPool(x, 3, 2, 0)
+	x = b.Flatten(x)
+	x = b.Dropout(b.Relu(b.Gemm(x, cfg.FCWidth)))
+	x = b.Dropout(b.Relu(b.Gemm(x, cfg.FCWidth)))
+	x = b.Gemm(x, cfg.NumClasses)
+	return b.MustFinish(x)
+}
+
+// AlexNetVariant draws a random kernel-size / channel variant.
+func AlexNetVariant(rng *rand.Rand, batch int) *onnx.Graph {
+	cfg := BaseAlexNet(batch)
+	m := widthMult(rng, 0.5, 1.75)
+	for i := range cfg.Channels {
+		group := 1
+		if i == 1 || i == 3 || i == 4 {
+			group = 2
+		}
+		cfg.Channels[i] = roundCh(float64(cfg.Channels[i])*m, 8*group)
+	}
+	cfg.Kernels[1] = pickKernel(rng, 3, 5, 7)
+	for i := 2; i < 5; i++ {
+		cfg.Kernels[i] = pickKernel(rng, 3, 5)
+	}
+	cfg.FCWidth = roundCh(float64(cfg.FCWidth)*widthMult(rng, 0.5, 1.25), 64)
+	return BuildAlexNet(cfg)
+}
+
+// VGGConfig parameterizes the VGG family (Simonyan & Zisserman).
+type VGGConfig struct {
+	Batch      int
+	Widths     [5]int
+	Depths     [5]int
+	Kernel     int
+	FCWidth    int
+	NumClasses int
+}
+
+// BaseVGG is VGG-16.
+func BaseVGG(batch int) VGGConfig {
+	return VGGConfig{
+		Batch:      batch,
+		Widths:     [5]int{64, 128, 256, 512, 512},
+		Depths:     [5]int{2, 2, 3, 3, 3},
+		Kernel:     3,
+		FCWidth:    4096,
+		NumClasses: 1000,
+	}
+}
+
+// BuildVGG constructs the graph for a configuration.
+func BuildVGG(cfg VGGConfig) *onnx.Graph {
+	b := onnx.NewBuilder("vgg", FamilyVGG, onnx.Shape{cfg.Batch, 3, 224, 224})
+	x := b.Input()
+	for s := 0; s < 5; s++ {
+		for d := 0; d < cfg.Depths[s]; d++ {
+			x = b.Relu(b.Conv(x, cfg.Widths[s], cfg.Kernel, 1, cfg.Kernel/2, 1))
+		}
+		x = b.MaxPool(x, 2, 2, 0)
+	}
+	x = b.Flatten(x)
+	x = b.Dropout(b.Relu(b.Gemm(x, cfg.FCWidth)))
+	x = b.Dropout(b.Relu(b.Gemm(x, cfg.FCWidth)))
+	x = b.Gemm(x, cfg.NumClasses)
+	return b.MustFinish(x)
+}
+
+// VGGVariant draws a random kernel-size / channel / depth variant.
+func VGGVariant(rng *rand.Rand, batch int) *onnx.Graph {
+	cfg := BaseVGG(batch)
+	m := widthMult(rng, 0.35, 1.25)
+	for i := range cfg.Widths {
+		cfg.Widths[i] = scaleCh(cfg.Widths[i], m)
+	}
+	for i := range cfg.Depths {
+		cfg.Depths[i] += rng.Intn(3) - 1 // -1, 0, +1
+		if cfg.Depths[i] < 1 {
+			cfg.Depths[i] = 1
+		}
+	}
+	cfg.Kernel = pickKernel(rng, 3, 3, 5) // mostly 3x3
+	cfg.FCWidth = roundCh(float64(cfg.FCWidth)*widthMult(rng, 0.5, 1.0), 64)
+	return BuildVGG(cfg)
+}
+
+// inceptionSpec describes one GoogleNet inception module's branch widths.
+type inceptionSpec struct {
+	c1, c3r, c3, c5r, c5, pp int
+}
+
+// GoogleNetConfig parameterizes GoogleNet (Szegedy et al.).
+type GoogleNetConfig struct {
+	Batch      int
+	Modules    []inceptionSpec
+	Kernel3    int // kernel of the "3x3" branch
+	Kernel5    int // kernel of the "5x5" branch
+	NumClasses int
+}
+
+// BaseGoogleNet is the canonical 9-module configuration.
+func BaseGoogleNet(batch int) GoogleNetConfig {
+	return GoogleNetConfig{
+		Batch: batch,
+		Modules: []inceptionSpec{
+			{64, 96, 128, 16, 32, 32},
+			{128, 128, 192, 32, 96, 64},
+			{192, 96, 208, 16, 48, 64},
+			{160, 112, 224, 24, 64, 64},
+			{128, 128, 256, 24, 64, 64},
+			{112, 144, 288, 32, 64, 64},
+			{256, 160, 320, 32, 128, 128},
+			{256, 160, 320, 32, 128, 128},
+			{384, 192, 384, 48, 128, 128},
+		},
+		Kernel3:    3,
+		Kernel5:    5,
+		NumClasses: 1000,
+	}
+}
+
+func (cfg GoogleNetConfig) inception(b *onnx.Builder, x string, m inceptionSpec) string {
+	b1 := b.Relu(b.Conv(x, m.c1, 1, 1, 0, 1))
+	b3 := b.Relu(b.Conv(x, m.c3r, 1, 1, 0, 1))
+	b3 = b.Relu(b.Conv(b3, m.c3, cfg.Kernel3, 1, cfg.Kernel3/2, 1))
+	b5 := b.Relu(b.Conv(x, m.c5r, 1, 1, 0, 1))
+	b5 = b.Relu(b.Conv(b5, m.c5, cfg.Kernel5, 1, cfg.Kernel5/2, 1))
+	bp := b.MaxPool(x, 3, 1, 1)
+	bp = b.Relu(b.Conv(bp, m.pp, 1, 1, 0, 1))
+	return b.Concat(b1, b3, b5, bp)
+}
+
+// BuildGoogleNet constructs the graph for a configuration.
+func BuildGoogleNet(cfg GoogleNetConfig) *onnx.Graph {
+	b := onnx.NewBuilder("googlenet", FamilyGoogleNet, onnx.Shape{cfg.Batch, 3, 224, 224})
+	x := b.Relu(b.Conv(b.Input(), 64, 7, 2, 3, 1))
+	x = b.MaxPool(x, 3, 2, 1)
+	x = b.Relu(b.Conv(x, 64, 1, 1, 0, 1))
+	x = b.Relu(b.Conv(x, 192, 3, 1, 1, 1))
+	x = b.MaxPool(x, 3, 2, 1)
+	for i, m := range cfg.Modules {
+		x = cfg.inception(b, x, m)
+		if i == 1 || i == 6 {
+			x = b.MaxPool(x, 3, 2, 1)
+		}
+	}
+	x = b.GlobalAveragePool(x)
+	x = b.Flatten(x)
+	x = b.Dropout(x)
+	x = b.Gemm(x, cfg.NumClasses)
+	return b.MustFinish(x)
+}
+
+// GoogleNetVariant draws a random branch-width / kernel variant.
+func GoogleNetVariant(rng *rand.Rand, batch int) *onnx.Graph {
+	cfg := BaseGoogleNet(batch)
+	m := widthMult(rng, 0.5, 1.5)
+	for i := range cfg.Modules {
+		s := &cfg.Modules[i]
+		s.c1 = scaleCh(s.c1, m)
+		s.c3r = scaleCh(s.c3r, m)
+		s.c3 = scaleCh(s.c3, m)
+		s.c5r = scaleCh(s.c5r, m)
+		s.c5 = scaleCh(s.c5, m)
+		s.pp = scaleCh(s.pp, m)
+	}
+	cfg.Kernel3 = pickKernel(rng, 3, 3, 5)
+	cfg.Kernel5 = pickKernel(rng, 3, 5, 5, 7)
+	return BuildGoogleNet(cfg)
+}
+
+// SqueezeNetConfig parameterizes SqueezeNet (Iandola et al.).
+type SqueezeNetConfig struct {
+	Batch        int
+	Squeeze      [8]int
+	Expand       [8]int // per fire module, each of the two expand branches
+	ExpandKernel int
+	NumClasses   int
+}
+
+// BaseSqueezeNet is SqueezeNet v1.1.
+func BaseSqueezeNet(batch int) SqueezeNetConfig {
+	return SqueezeNetConfig{
+		Batch:        batch,
+		Squeeze:      [8]int{16, 16, 32, 32, 48, 48, 64, 64},
+		Expand:       [8]int{64, 64, 128, 128, 192, 192, 256, 256},
+		ExpandKernel: 3,
+		NumClasses:   1000,
+	}
+}
+
+// BuildSqueezeNet constructs the graph for a configuration.
+func BuildSqueezeNet(cfg SqueezeNetConfig) *onnx.Graph {
+	b := onnx.NewBuilder("squeezenet", FamilySqueezeNet, onnx.Shape{cfg.Batch, 3, 224, 224})
+	fire := func(x string, sq, ex int) string {
+		s := b.Relu(b.Conv(x, sq, 1, 1, 0, 1))
+		e1 := b.Relu(b.Conv(s, ex, 1, 1, 0, 1))
+		e3 := b.Relu(b.Conv(s, ex, cfg.ExpandKernel, 1, cfg.ExpandKernel/2, 1))
+		return b.Concat(e1, e3)
+	}
+	x := b.Relu(b.Conv(b.Input(), 64, 3, 2, 1, 1))
+	x = b.MaxPool(x, 3, 2, 0)
+	x = fire(x, cfg.Squeeze[0], cfg.Expand[0])
+	x = fire(x, cfg.Squeeze[1], cfg.Expand[1])
+	x = b.MaxPool(x, 3, 2, 0)
+	x = fire(x, cfg.Squeeze[2], cfg.Expand[2])
+	x = fire(x, cfg.Squeeze[3], cfg.Expand[3])
+	x = b.MaxPool(x, 3, 2, 0)
+	for i := 4; i < 8; i++ {
+		x = fire(x, cfg.Squeeze[i], cfg.Expand[i])
+	}
+	x = b.Dropout(x)
+	x = b.Relu(b.Conv(x, cfg.NumClasses, 1, 1, 0, 1))
+	x = b.GlobalAveragePool(x)
+	x = b.Flatten(x)
+	return b.MustFinish(x)
+}
+
+// SqueezeNetVariant draws a random fire-module variant.
+func SqueezeNetVariant(rng *rand.Rand, batch int) *onnx.Graph {
+	cfg := BaseSqueezeNet(batch)
+	m := widthMult(rng, 0.5, 2.0)
+	for i := range cfg.Squeeze {
+		cfg.Squeeze[i] = scaleCh(cfg.Squeeze[i], m)
+		cfg.Expand[i] = scaleCh(cfg.Expand[i], m)
+	}
+	cfg.ExpandKernel = pickKernel(rng, 3, 3, 5)
+	return BuildSqueezeNet(cfg)
+}

@@ -1,0 +1,94 @@
+package models
+
+import (
+	"math/rand"
+
+	"nnlqp/internal/onnx"
+)
+
+// DetectionConfig parameterizes a RetinaNet-style single-stage detector:
+// a ResNet backbone, lateral 1×1 feature-pyramid projections on the last
+// three stages, and convolutional classification/regression towers on each
+// level (Fig. 8's detection task). The top-down upsampling path of a true
+// FPN has no counterpart in our operator set; the multi-scale head towers,
+// which dominate detector latency relative to the classifier head, are
+// preserved. See DESIGN.md substitution notes.
+type DetectionConfig struct {
+	Batch      int
+	Backbone   ResNetConfig
+	FPNCh      int
+	TowerDepth int
+	NumAnchors int
+	NumClasses int
+}
+
+// BaseDetection is RetinaNet with a ResNet-34 backbone, the configuration
+// Fig. 8 references.
+func BaseDetection(batch int) DetectionConfig {
+	return DetectionConfig{
+		Batch:      batch,
+		Backbone:   ResNet34(batch),
+		FPNCh:      256,
+		TowerDepth: 4,
+		NumAnchors: 9,
+		NumClasses: 80,
+	}
+}
+
+// BuildDetection constructs the detector graph. The graph has six outputs:
+// a classification and a box-regression map per pyramid level.
+func BuildDetection(cfg DetectionConfig) *onnx.Graph {
+	bb := cfg.Backbone
+	b := onnx.NewBuilder("retinanet", FamilyDetection, onnx.Shape{cfg.Batch, 3, 224, 224})
+
+	// Backbone trunk, capturing the outputs of stages 2..4 (C3, C4, C5).
+	x := b.ConvBNRelu(b.Input(), bb.Widths[0], 7, 2, 3, 1)
+	x = b.MaxPool(x, 3, 2, 1)
+	inCh := bb.Widths[0]
+	var pyramids []string
+	for s := 0; s < 4; s++ {
+		for d := 0; d < bb.Depths[s]; d++ {
+			stride := 1
+			if d == 0 && s > 0 {
+				stride = 2
+			}
+			x = basicBlock(b, x, inCh, bb.Widths[s], stride, bb.Kernel)
+			inCh = bb.Widths[s]
+		}
+		if s >= 1 {
+			pyramids = append(pyramids, x)
+		}
+	}
+
+	tower := func(p string) string {
+		for i := 0; i < cfg.TowerDepth; i++ {
+			p = b.Relu(b.Conv(p, cfg.FPNCh, 3, 1, 1, 1))
+		}
+		return p
+	}
+
+	var outputs []string
+	for _, p := range pyramids {
+		lat := b.Relu(b.Conv(p, cfg.FPNCh, 1, 1, 0, 1))
+		cls := b.Conv(tower(lat), cfg.NumAnchors*cfg.NumClasses, 3, 1, 1, 1)
+		box := b.Conv(tower(lat), cfg.NumAnchors*4, 3, 1, 1, 1)
+		outputs = append(outputs, b.Sigmoid(cls), box)
+	}
+	return b.MustFinish(outputs...)
+}
+
+// DetectionVariant draws a random detector: backbone widths/depths and
+// head width/depth vary as a detection-NAS space would.
+func DetectionVariant(rng *rand.Rand, batch int) *onnx.Graph {
+	cfg := BaseDetection(batch)
+	m := widthMult(rng, 0.5, 1.25)
+	for i := range cfg.Backbone.Widths {
+		cfg.Backbone.Widths[i] = scaleCh(cfg.Backbone.Widths[i], m)
+	}
+	for i := range cfg.Backbone.Depths {
+		cfg.Backbone.Depths[i] = 1 + rng.Intn(4)
+	}
+	cfg.FPNCh = scaleCh(cfg.FPNCh, widthMult(rng, 0.5, 1.25))
+	cfg.TowerDepth = 2 + rng.Intn(3)
+	return BuildDetection(cfg)
+}

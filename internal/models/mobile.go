@@ -1,0 +1,285 @@
+package models
+
+import (
+	"math/rand"
+
+	"nnlqp/internal/onnx"
+)
+
+// mbStage describes one stage of inverted-residual blocks: the core unit of
+// MobileNetV2/V3, MnasNet and EfficientNet.
+type mbStage struct {
+	Expand  float64 // expansion ratio t
+	Out     int     // output channels
+	Repeat  int
+	Stride  int // stride of the first block in the stage
+	Kernel  int
+	SE      bool // squeeze-excite
+	HSwish  bool // hard-swish activation (else ReLU6)
+	SEHard  bool // hard-sigmoid SE gating (MobileNetV3)
+	SwishSE bool // sigmoid-swish activation (EfficientNet)
+}
+
+// invertedResidual appends one MBConv block. Returns the output tensor.
+func invertedResidual(b *onnx.Builder, x string, inCh int, st mbStage, stride int) string {
+	act := func(t string) string {
+		switch {
+		case st.HSwish:
+			return b.HardSwish(t)
+		case st.SwishSE:
+			return b.Swish(t)
+		default:
+			return b.Clip(t, 0, 6)
+		}
+	}
+	identity := x
+	mid := roundCh(float64(inCh)*st.Expand, 8)
+	y := x
+	if st.Expand != 1 {
+		y = act(b.BatchNorm(b.Conv(y, mid, 1, 1, 0, 1)))
+	} else {
+		mid = inCh
+	}
+	y = act(b.BatchNorm(b.Conv(y, mid, st.Kernel, stride, st.Kernel/2, mid)))
+	if st.SE {
+		y = b.SqueezeExcite(y, mid, 4, st.SEHard)
+	}
+	y = b.BatchNorm(b.Conv(y, st.Out, 1, 1, 0, 1)) // linear bottleneck
+	if stride == 1 && inCh == st.Out {
+		y = b.AddTensors(y, identity)
+	}
+	return y
+}
+
+// buildMBNet assembles a full mobile-style network from a stem, stages, and
+// a classifier head.
+func buildMBNet(name, family string, batch, stemCh int, stemHSwish bool, stages []mbStage, headCh, fcCh, numClasses int) *onnx.Graph {
+	b := onnx.NewBuilder(name, family, onnx.Shape{batch, 3, 224, 224})
+	var x string
+	if stemHSwish {
+		x = b.HardSwish(b.BatchNorm(b.Conv(b.Input(), stemCh, 3, 2, 1, 1)))
+	} else {
+		x = b.ConvBNClip(b.Input(), stemCh, 3, 2, 1, 1)
+	}
+	inCh := stemCh
+	for _, st := range stages {
+		for r := 0; r < st.Repeat; r++ {
+			stride := 1
+			if r == 0 {
+				stride = st.Stride
+			}
+			x = invertedResidual(b, x, inCh, st, stride)
+			inCh = st.Out
+		}
+	}
+	if headCh > 0 {
+		if stemHSwish {
+			x = b.HardSwish(b.BatchNorm(b.Conv(x, headCh, 1, 1, 0, 1)))
+		} else {
+			x = b.ConvBNClip(x, headCh, 1, 1, 0, 1)
+		}
+	}
+	x = b.GlobalAveragePool(x)
+	x = b.Flatten(x)
+	if fcCh > 0 {
+		x = b.Relu(b.Gemm(x, fcCh))
+		x = b.Dropout(x)
+	}
+	x = b.Gemm(x, numClasses)
+	return b.MustFinish(x)
+}
+
+// MobileNetV2Config parameterizes MobileNetV2 (Sandler et al.).
+type MobileNetV2Config struct {
+	Batch  int
+	Stages []mbStage
+	StemCh int
+	HeadCh int
+}
+
+// BaseMobileNetV2 is the 1.0× configuration.
+func BaseMobileNetV2(batch int) MobileNetV2Config {
+	return MobileNetV2Config{
+		Batch:  batch,
+		StemCh: 32,
+		HeadCh: 1280,
+		Stages: []mbStage{
+			{Expand: 1, Out: 16, Repeat: 1, Stride: 1, Kernel: 3},
+			{Expand: 6, Out: 24, Repeat: 2, Stride: 2, Kernel: 3},
+			{Expand: 6, Out: 32, Repeat: 3, Stride: 2, Kernel: 3},
+			{Expand: 6, Out: 64, Repeat: 4, Stride: 2, Kernel: 3},
+			{Expand: 6, Out: 96, Repeat: 3, Stride: 1, Kernel: 3},
+			{Expand: 6, Out: 160, Repeat: 3, Stride: 2, Kernel: 3},
+			{Expand: 6, Out: 320, Repeat: 1, Stride: 1, Kernel: 3},
+		},
+	}
+}
+
+// BuildMobileNetV2 constructs the graph for a configuration.
+func BuildMobileNetV2(cfg MobileNetV2Config) *onnx.Graph {
+	return buildMBNet("mobilenetv2", FamilyMobileNetV2, cfg.Batch, cfg.StemCh, false, cfg.Stages, cfg.HeadCh, 0, 1000)
+}
+
+// MobileNetV2Variant draws a random width / kernel / expand variant.
+func MobileNetV2Variant(rng *rand.Rand, batch int) *onnx.Graph {
+	cfg := BaseMobileNetV2(batch)
+	m := widthMult(rng, 0.5, 1.6)
+	cfg.StemCh = scaleCh(cfg.StemCh, m)
+	cfg.HeadCh = scaleCh(cfg.HeadCh, m)
+	for i := range cfg.Stages {
+		st := &cfg.Stages[i]
+		st.Out = scaleCh(st.Out, m)
+		st.Kernel = pickKernel(rng, 3, 3, 5, 7)
+		if i > 0 {
+			st.Expand = float64(pickKernel(rng, 3, 4, 6))
+		}
+	}
+	return BuildMobileNetV2(cfg)
+}
+
+// MobileNetV3Config parameterizes MobileNetV3-Large (Howard et al.).
+type MobileNetV3Config struct {
+	Batch  int
+	Stages []mbStage
+	StemCh int
+	HeadCh int
+	FCCh   int
+}
+
+// BaseMobileNetV3 is the Large 1.0× configuration.
+func BaseMobileNetV3(batch int) MobileNetV3Config {
+	return MobileNetV3Config{
+		Batch:  batch,
+		StemCh: 16,
+		HeadCh: 960,
+		FCCh:   1280,
+		Stages: []mbStage{
+			{Expand: 1, Out: 16, Repeat: 1, Stride: 1, Kernel: 3},
+			{Expand: 4, Out: 24, Repeat: 1, Stride: 2, Kernel: 3},
+			{Expand: 3, Out: 24, Repeat: 1, Stride: 1, Kernel: 3},
+			{Expand: 3, Out: 40, Repeat: 3, Stride: 2, Kernel: 5, SE: true, SEHard: true},
+			{Expand: 6, Out: 80, Repeat: 1, Stride: 2, Kernel: 3, HSwish: true},
+			{Expand: 2.5, Out: 80, Repeat: 3, Stride: 1, Kernel: 3, HSwish: true},
+			{Expand: 6, Out: 112, Repeat: 2, Stride: 1, Kernel: 3, SE: true, SEHard: true, HSwish: true},
+			{Expand: 6, Out: 160, Repeat: 3, Stride: 2, Kernel: 5, SE: true, SEHard: true, HSwish: true},
+		},
+	}
+}
+
+// BuildMobileNetV3 constructs the graph for a configuration.
+func BuildMobileNetV3(cfg MobileNetV3Config) *onnx.Graph {
+	return buildMBNet("mobilenetv3", FamilyMobileNetV3, cfg.Batch, cfg.StemCh, true, cfg.Stages, cfg.HeadCh, cfg.FCCh, 1000)
+}
+
+// MobileNetV3Variant draws a random width / kernel / expand variant.
+func MobileNetV3Variant(rng *rand.Rand, batch int) *onnx.Graph {
+	cfg := BaseMobileNetV3(batch)
+	m := widthMult(rng, 0.5, 1.5)
+	cfg.StemCh = scaleCh(cfg.StemCh, m)
+	cfg.HeadCh = scaleCh(cfg.HeadCh, m)
+	for i := range cfg.Stages {
+		st := &cfg.Stages[i]
+		st.Out = scaleCh(st.Out, m)
+		st.Kernel = pickKernel(rng, 3, 3, 5, 7)
+	}
+	return BuildMobileNetV3(cfg)
+}
+
+// MnasNetConfig parameterizes MnasNet-A1 (Tan et al.).
+type MnasNetConfig struct {
+	Batch  int
+	Stages []mbStage
+	StemCh int
+	HeadCh int
+}
+
+// BaseMnasNet is the A1 configuration.
+func BaseMnasNet(batch int) MnasNetConfig {
+	return MnasNetConfig{
+		Batch:  batch,
+		StemCh: 32,
+		HeadCh: 1280,
+		Stages: []mbStage{
+			{Expand: 1, Out: 16, Repeat: 1, Stride: 1, Kernel: 3},
+			{Expand: 6, Out: 24, Repeat: 2, Stride: 2, Kernel: 3},
+			{Expand: 3, Out: 40, Repeat: 3, Stride: 2, Kernel: 5, SE: true},
+			{Expand: 6, Out: 80, Repeat: 4, Stride: 2, Kernel: 3},
+			{Expand: 6, Out: 112, Repeat: 2, Stride: 1, Kernel: 3, SE: true},
+			{Expand: 6, Out: 160, Repeat: 3, Stride: 2, Kernel: 5, SE: true},
+			{Expand: 6, Out: 320, Repeat: 1, Stride: 1, Kernel: 3},
+		},
+	}
+}
+
+// BuildMnasNet constructs the graph for a configuration.
+func BuildMnasNet(cfg MnasNetConfig) *onnx.Graph {
+	return buildMBNet("mnasnet", FamilyMnasNet, cfg.Batch, cfg.StemCh, false, cfg.Stages, cfg.HeadCh, 0, 1000)
+}
+
+// MnasNetVariant draws a random width / kernel variant.
+func MnasNetVariant(rng *rand.Rand, batch int) *onnx.Graph {
+	cfg := BaseMnasNet(batch)
+	m := widthMult(rng, 0.5, 1.5)
+	cfg.StemCh = scaleCh(cfg.StemCh, m)
+	cfg.HeadCh = scaleCh(cfg.HeadCh, m)
+	for i := range cfg.Stages {
+		st := &cfg.Stages[i]
+		st.Out = scaleCh(st.Out, m)
+		st.Kernel = pickKernel(rng, 3, 3, 5)
+		if i > 0 && rng.Intn(3) == 0 {
+			st.Expand = float64(pickKernel(rng, 3, 6))
+		}
+	}
+	return BuildMnasNet(cfg)
+}
+
+// EfficientNetConfig parameterizes EfficientNet-B0 (Tan & Le).
+type EfficientNetConfig struct {
+	Batch  int
+	Stages []mbStage
+	StemCh int
+	HeadCh int
+}
+
+// BaseEfficientNet is the B0 configuration (swish activations + SE).
+func BaseEfficientNet(batch int) EfficientNetConfig {
+	return EfficientNetConfig{
+		Batch:  batch,
+		StemCh: 32,
+		HeadCh: 1280,
+		Stages: []mbStage{
+			{Expand: 1, Out: 16, Repeat: 1, Stride: 1, Kernel: 3, SE: true, SwishSE: true},
+			{Expand: 6, Out: 24, Repeat: 2, Stride: 2, Kernel: 3, SE: true, SwishSE: true},
+			{Expand: 6, Out: 40, Repeat: 2, Stride: 2, Kernel: 5, SE: true, SwishSE: true},
+			{Expand: 6, Out: 80, Repeat: 3, Stride: 2, Kernel: 3, SE: true, SwishSE: true},
+			{Expand: 6, Out: 112, Repeat: 3, Stride: 1, Kernel: 5, SE: true, SwishSE: true},
+			{Expand: 6, Out: 192, Repeat: 4, Stride: 2, Kernel: 5, SE: true, SwishSE: true},
+			{Expand: 6, Out: 320, Repeat: 1, Stride: 1, Kernel: 3, SE: true, SwishSE: true},
+		},
+	}
+}
+
+// BuildEfficientNet constructs the graph for a configuration.
+func BuildEfficientNet(cfg EfficientNetConfig) *onnx.Graph {
+	return buildMBNet("efficientnet", FamilyEfficientNet, cfg.Batch, cfg.StemCh, false, cfg.Stages, cfg.HeadCh, 0, 1000)
+}
+
+// EfficientNetVariant draws a random width / depth / kernel variant
+// (compound-scaling style).
+func EfficientNetVariant(rng *rand.Rand, batch int) *onnx.Graph {
+	cfg := BaseEfficientNet(batch)
+	wm := widthMult(rng, 0.5, 1.4)
+	dm := widthMult(rng, 0.7, 1.4)
+	cfg.StemCh = scaleCh(cfg.StemCh, wm)
+	cfg.HeadCh = scaleCh(cfg.HeadCh, wm)
+	for i := range cfg.Stages {
+		st := &cfg.Stages[i]
+		st.Out = scaleCh(st.Out, wm)
+		st.Repeat = int(float64(st.Repeat)*dm + 0.5)
+		if st.Repeat < 1 {
+			st.Repeat = 1
+		}
+		st.Kernel = pickKernel(rng, 3, 5)
+	}
+	return BuildEfficientNet(cfg)
+}

@@ -1,0 +1,94 @@
+package models
+
+import (
+	"math/rand"
+
+	"nnlqp/internal/onnx"
+)
+
+// OFASpec is one sub-network drawn from a Once-for-All-style MobileNetV2
+// supernet: per-stage depth, kernel size and expansion ratio, plus input
+// resolution (Fig. 9's 1,000-sample NAS experiment).
+type OFASpec struct {
+	Batch      int
+	Resolution int
+	Depths     [5]int // blocks per stage, 2..4
+	Kernels    [5]int // 3, 5 or 7
+	Expands    [5]int // 3, 4 or 6
+}
+
+// ofaStageOut are the fixed stage output widths of the supernet.
+var ofaStageOut = [5]int{24, 40, 80, 112, 160}
+
+// ofaStageStride are the per-stage strides.
+var ofaStageStride = [5]int{2, 2, 2, 1, 2}
+
+// RandomOFASpec samples a sub-network uniformly from the supernet space.
+func RandomOFASpec(rng *rand.Rand, batch int) OFASpec {
+	s := OFASpec{Batch: batch}
+	s.Resolution = []int{160, 176, 192, 208, 224}[rng.Intn(5)]
+	for i := 0; i < 5; i++ {
+		s.Depths[i] = 2 + rng.Intn(3)
+		s.Kernels[i] = pickKernel(rng, 3, 5, 7)
+		s.Expands[i] = pickKernel(rng, 3, 4, 6)
+	}
+	return s
+}
+
+// BuildOFA constructs the sub-network graph for a specification.
+func BuildOFA(spec OFASpec) *onnx.Graph {
+	b := onnx.NewBuilder("ofa-subnet", FamilyOFA, onnx.Shape{spec.Batch, 3, spec.Resolution, spec.Resolution})
+	x := b.ConvBNClip(b.Input(), 16, 3, 2, 1, 1)
+	// First fixed block (expand 1).
+	x = invertedResidual(b, x, 16, mbStage{Expand: 1, Out: 16, Kernel: 3}, 1)
+	inCh := 16
+	for s := 0; s < 5; s++ {
+		st := mbStage{
+			Expand: float64(spec.Expands[s]),
+			Out:    ofaStageOut[s],
+			Kernel: spec.Kernels[s],
+		}
+		for d := 0; d < spec.Depths[s]; d++ {
+			stride := 1
+			if d == 0 {
+				stride = ofaStageStride[s]
+			}
+			x = invertedResidual(b, x, inCh, st, stride)
+			inCh = st.Out
+		}
+	}
+	x = b.ConvBNClip(x, 960, 1, 1, 0, 1)
+	x = b.GlobalAveragePool(x)
+	x = b.Flatten(x)
+	x = b.Gemm(x, 1000)
+	return b.MustFinish(x)
+}
+
+// OFAVariant samples and builds a random sub-network.
+func OFAVariant(rng *rand.Rand, batch int) *onnx.Graph {
+	return BuildOFA(RandomOFASpec(rng, batch))
+}
+
+// SyntheticAccuracy assigns a deterministic pseudo-accuracy to an OFA
+// sub-network, playing the role of the paper's accuracy predictor in the
+// Fig. 9 Pareto experiment. Larger capacity (more FLOPs, bigger kernels,
+// deeper stages, higher resolution) yields higher accuracy with saturating
+// returns, plus a small spec-dependent deterministic residual so the
+// frontier is not a pure function of FLOPs.
+func SyntheticAccuracy(spec OFASpec) float64 {
+	capacity := 0.0
+	for i := 0; i < 5; i++ {
+		capacity += float64(spec.Depths[i]) * float64(spec.Expands[i]) *
+			(1.0 + 0.15*float64(spec.Kernels[i]-3)/2.0)
+	}
+	capacity *= float64(spec.Resolution) / 224.0
+	// Saturating accuracy curve around the MobileNet regime (~70-80%).
+	acc := 80.0 - 28.0/(1.0+capacity/25.0)
+	// Deterministic residual in [-0.4, 0.4] from a cheap spec hash.
+	h := uint64(spec.Resolution)
+	for i := 0; i < 5; i++ {
+		h = h*1000003 + uint64(spec.Depths[i]*100+spec.Kernels[i]*10+spec.Expands[i])
+	}
+	acc += (float64(h%1000)/1000.0 - 0.5) * 0.8
+	return acc
+}

@@ -1,0 +1,93 @@
+package models
+
+import (
+	"math/rand"
+
+	"nnlqp/internal/onnx"
+)
+
+// ResNetConfig parameterizes the ResNet family (He et al.) with basic
+// residual blocks.
+type ResNetConfig struct {
+	Batch      int
+	Widths     [4]int
+	Depths     [4]int
+	Kernel     int
+	NumClasses int
+}
+
+// BaseResNet is ResNet-18.
+func BaseResNet(batch int) ResNetConfig {
+	return ResNetConfig{
+		Batch:      batch,
+		Widths:     [4]int{64, 128, 256, 512},
+		Depths:     [4]int{2, 2, 2, 2},
+		Kernel:     3,
+		NumClasses: 1000,
+	}
+}
+
+// ResNet34 is the deeper basic-block configuration used as the detection
+// backbone in Fig. 8.
+func ResNet34(batch int) ResNetConfig {
+	cfg := BaseResNet(batch)
+	cfg.Depths = [4]int{3, 4, 6, 3}
+	return cfg
+}
+
+// basicBlock appends one residual basic block and returns its output,
+// together with the updated current channel count.
+func basicBlock(b *onnx.Builder, x string, inCh, outCh, stride, kernel int) string {
+	identity := x
+	y := b.ConvBNRelu(x, outCh, kernel, stride, kernel/2, 1)
+	y = b.BatchNorm(b.Conv(y, outCh, kernel, 1, kernel/2, 1))
+	if stride != 1 || inCh != outCh {
+		identity = b.BatchNorm(b.Conv(x, outCh, 1, stride, 0, 1))
+	}
+	return b.Relu(b.AddTensors(y, identity))
+}
+
+// BuildResNet constructs the graph for a configuration; stemAndHead controls
+// whether the classifier head is attached (the detection builder reuses the
+// trunk without it).
+func BuildResNet(cfg ResNetConfig) *onnx.Graph {
+	b := onnx.NewBuilder("resnet", FamilyResNet, onnx.Shape{cfg.Batch, 3, 224, 224})
+	x := buildResNetTrunk(b, cfg)
+	x = b.GlobalAveragePool(x)
+	x = b.Flatten(x)
+	x = b.Gemm(x, cfg.NumClasses)
+	return b.MustFinish(x)
+}
+
+// buildResNetTrunk appends the stem and the four residual stages, returning
+// the final feature map.
+func buildResNetTrunk(b *onnx.Builder, cfg ResNetConfig) string {
+	x := b.ConvBNRelu(b.Input(), cfg.Widths[0], 7, 2, 3, 1)
+	x = b.MaxPool(x, 3, 2, 1)
+	inCh := cfg.Widths[0]
+	for s := 0; s < 4; s++ {
+		for d := 0; d < cfg.Depths[s]; d++ {
+			stride := 1
+			if d == 0 && s > 0 {
+				stride = 2
+			}
+			x = basicBlock(b, x, inCh, cfg.Widths[s], stride, cfg.Kernel)
+			inCh = cfg.Widths[s]
+		}
+	}
+	return x
+}
+
+// ResNetVariant draws a random width / depth / kernel variant.
+func ResNetVariant(rng *rand.Rand, batch int) *onnx.Graph {
+	cfg := BaseResNet(batch)
+	m := widthMult(rng, 0.4, 1.5)
+	for i := range cfg.Widths {
+		cfg.Widths[i] = scaleCh(cfg.Widths[i], m)
+	}
+	for i := range cfg.Depths {
+		cfg.Depths[i] = 1 + rng.Intn(3) // 1..3
+	}
+	cfg.Kernel = pickKernel(rng, 3, 3, 5)
+	return BuildResNet(cfg)
+}

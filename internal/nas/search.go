@@ -1,0 +1,178 @@
+package nas
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"nnlqp/internal/models"
+	"nnlqp/internal/onnx"
+)
+
+// This file implements the hardware-aware architecture search the paper
+// motivates in §8.7/§9: with a fast and accurate latency oracle (the NNLP
+// predictor), an evolutionary search can screen thousands of candidates
+// against a latency budget and surface the highest-accuracy architectures.
+
+// LatencyOracle estimates a model's latency in milliseconds. Both the NNLP
+// predictor and the simulator's ground truth satisfy it.
+type LatencyOracle func(g *onnx.Graph) (float64, error)
+
+// AccuracyOracle scores an OFA specification (the synthetic accuracy model
+// in this reproduction; an accuracy predictor in the paper's pipeline).
+type AccuracyOracle func(spec models.OFASpec) float64
+
+// SearchConfig controls the evolutionary search.
+type SearchConfig struct {
+	// LatencyBudgetMS is the hard constraint.
+	LatencyBudgetMS float64
+	// Population / Generations / MutateProb shape the evolution.
+	Population  int
+	Generations int
+	MutateProb  float64
+	// ParentFrac is the top fraction kept as parents each generation.
+	ParentFrac float64
+	// Batch is the model batch size.
+	Batch int
+	// Seed drives all stochastic choices.
+	Seed int64
+}
+
+// DefaultSearchConfig returns a CPU-friendly configuration.
+func DefaultSearchConfig(budgetMS float64) SearchConfig {
+	return SearchConfig{
+		LatencyBudgetMS: budgetMS,
+		Population:      64,
+		Generations:     8,
+		MutateProb:      0.25,
+		ParentFrac:      0.25,
+		Batch:           1,
+		Seed:            1,
+	}
+}
+
+// SearchResult is the best architecture found plus search telemetry.
+type SearchResult struct {
+	BestSpec     models.OFASpec
+	BestGraph    *onnx.Graph
+	BestAccuracy float64
+	// BestLatencyMS is the oracle's estimate for the winner.
+	BestLatencyMS float64
+	// Evaluated counts oracle calls (the quantity the predictor makes
+	// ~1000x cheaper than measurement).
+	Evaluated int
+	// History records the best feasible accuracy per generation.
+	History []float64
+}
+
+type searchIndividual struct {
+	spec models.OFASpec
+	acc  float64
+	lat  float64
+	ok   bool // within budget
+}
+
+// mutateSpec flips each gene with probability p.
+func mutateSpec(spec models.OFASpec, rng *rand.Rand, p float64) models.OFASpec {
+	out := spec
+	if rng.Float64() < p {
+		res := []int{160, 176, 192, 208, 224}
+		out.Resolution = res[rng.Intn(len(res))]
+	}
+	for i := 0; i < 5; i++ {
+		if rng.Float64() < p {
+			out.Depths[i] = 2 + rng.Intn(3)
+		}
+		if rng.Float64() < p {
+			out.Kernels[i] = []int{3, 5, 7}[rng.Intn(3)]
+		}
+		if rng.Float64() < p {
+			out.Expands[i] = []int{3, 4, 6}[rng.Intn(3)]
+		}
+	}
+	return out
+}
+
+// EvolutionarySearch runs constrained evolutionary search over the OFA
+// space: random init, latency-feasibility filtering, top-k parents,
+// mutation offspring.
+func EvolutionarySearch(cfg SearchConfig, latency LatencyOracle, accuracy AccuracyOracle) (*SearchResult, error) {
+	if cfg.LatencyBudgetMS <= 0 {
+		return nil, fmt.Errorf("nas: non-positive latency budget")
+	}
+	if cfg.Population < 4 {
+		cfg.Population = 4
+	}
+	if cfg.ParentFrac <= 0 || cfg.ParentFrac > 1 {
+		cfg.ParentFrac = 0.25
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	res := &SearchResult{}
+
+	eval := func(spec models.OFASpec) (searchIndividual, error) {
+		g := models.BuildOFA(spec)
+		g.Name = fmt.Sprintf("evo-%06d", res.Evaluated)
+		lat, err := latency(g)
+		if err != nil {
+			return searchIndividual{}, err
+		}
+		res.Evaluated++
+		return searchIndividual{
+			spec: spec, acc: accuracy(spec), lat: lat,
+			ok: lat <= cfg.LatencyBudgetMS,
+		}, nil
+	}
+
+	pop := make([]searchIndividual, 0, cfg.Population)
+	for i := 0; i < cfg.Population; i++ {
+		ind, err := eval(models.RandomOFASpec(rng, cfg.Batch))
+		if err != nil {
+			return nil, err
+		}
+		pop = append(pop, ind)
+	}
+
+	better := func(a, b searchIndividual) bool {
+		if a.ok != b.ok {
+			return a.ok // feasible beats infeasible
+		}
+		if a.ok {
+			return a.acc > b.acc // among feasible: accuracy
+		}
+		return a.lat < b.lat // among infeasible: closer to budget
+	}
+
+	for gen := 0; gen < cfg.Generations; gen++ {
+		sort.Slice(pop, func(i, j int) bool { return better(pop[i], pop[j]) })
+		if pop[0].ok {
+			res.History = append(res.History, pop[0].acc)
+		} else {
+			res.History = append(res.History, 0)
+		}
+		nParents := int(float64(cfg.Population) * cfg.ParentFrac)
+		if nParents < 2 {
+			nParents = 2
+		}
+		parents := pop[:nParents]
+		next := append([]searchIndividual(nil), parents...)
+		for len(next) < cfg.Population {
+			p := parents[rng.Intn(len(parents))]
+			child, err := eval(mutateSpec(p.spec, rng, cfg.MutateProb))
+			if err != nil {
+				return nil, err
+			}
+			next = append(next, child)
+		}
+		pop = next
+	}
+	sort.Slice(pop, func(i, j int) bool { return better(pop[i], pop[j]) })
+	best := pop[0]
+	if !best.ok {
+		return nil, fmt.Errorf("nas: no architecture within %.3f ms after %d evaluations", cfg.LatencyBudgetMS, res.Evaluated)
+	}
+	res.BestSpec = best.spec
+	res.BestGraph = models.BuildOFA(best.spec)
+	res.BestAccuracy = best.acc
+	res.BestLatencyMS = best.lat
+	return res, nil
+}

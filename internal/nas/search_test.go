@@ -1,0 +1,117 @@
+package nas
+
+import (
+	"testing"
+
+	"nnlqp/internal/hwsim"
+	"nnlqp/internal/models"
+	"nnlqp/internal/onnx"
+)
+
+func trueOracle(t *testing.T) LatencyOracle {
+	t.Helper()
+	p, err := hwsim.PlatformByName(hwsim.DatasetPlatform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return func(g *onnx.Graph) (float64, error) { return p.TrueLatencyMS(g) }
+}
+
+func TestEvolutionarySearchFindsFeasible(t *testing.T) {
+	cfg := DefaultSearchConfig(2.0)
+	cfg.Population = 16
+	cfg.Generations = 4
+	res, err := EvolutionarySearch(cfg, trueOracle(t), models.SyntheticAccuracy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestLatencyMS > cfg.LatencyBudgetMS {
+		t.Fatalf("winner violates budget: %.3f > %.3f", res.BestLatencyMS, cfg.LatencyBudgetMS)
+	}
+	if res.BestAccuracy <= 0 || res.BestGraph == nil {
+		t.Fatalf("degenerate result %+v", res)
+	}
+	if res.Evaluated < cfg.Population {
+		t.Fatalf("evaluated only %d candidates", res.Evaluated)
+	}
+	if len(res.History) != cfg.Generations {
+		t.Fatalf("history length %d", len(res.History))
+	}
+}
+
+func TestEvolutionarySearchImprovesOverRandom(t *testing.T) {
+	oracle := trueOracle(t)
+	cfg := DefaultSearchConfig(1.8)
+	cfg.Population = 20
+	cfg.Generations = 5
+	cfg.Seed = 9
+	res, err := EvolutionarySearch(cfg, oracle, models.SyntheticAccuracy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The evolved winner must be at least as good as the best of the
+	// initial random generation.
+	first := res.History[0]
+	if res.BestAccuracy < first {
+		t.Fatalf("evolution regressed: final %.2f < initial %.2f", res.BestAccuracy, first)
+	}
+	// And the best feasible accuracy must be non-decreasing by the end.
+	last := res.History[len(res.History)-1]
+	if last < first {
+		t.Fatalf("history regressed: %v", res.History)
+	}
+}
+
+func TestEvolutionarySearchTightBudgetFails(t *testing.T) {
+	cfg := DefaultSearchConfig(1e-9) // impossible budget
+	cfg.Population = 8
+	cfg.Generations = 2
+	if _, err := EvolutionarySearch(cfg, trueOracle(t), models.SyntheticAccuracy); err == nil {
+		t.Fatal("want infeasible error")
+	}
+	cfg.LatencyBudgetMS = 0
+	if _, err := EvolutionarySearch(cfg, trueOracle(t), models.SyntheticAccuracy); err == nil {
+		t.Fatal("want bad-budget error")
+	}
+}
+
+func TestEvolutionarySearchDeterministic(t *testing.T) {
+	cfg := DefaultSearchConfig(2.0)
+	cfg.Population = 12
+	cfg.Generations = 3
+	a, err := EvolutionarySearch(cfg, trueOracle(t), models.SyntheticAccuracy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EvolutionarySearch(cfg, trueOracle(t), models.SyntheticAccuracy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.BestAccuracy != b.BestAccuracy || a.BestLatencyMS != b.BestLatencyMS {
+		t.Fatal("search not deterministic under a fixed seed")
+	}
+}
+
+func TestMutateSpecStaysInSpace(t *testing.T) {
+	rng := newTestRng()
+	spec := models.RandomOFASpec(rng, 1)
+	for i := 0; i < 200; i++ {
+		spec = mutateSpec(spec, rng, 0.5)
+		switch spec.Resolution {
+		case 160, 176, 192, 208, 224:
+		default:
+			t.Fatalf("resolution %d outside space", spec.Resolution)
+		}
+		for s := 0; s < 5; s++ {
+			if spec.Depths[s] < 2 || spec.Depths[s] > 4 {
+				t.Fatalf("depth %d outside space", spec.Depths[s])
+			}
+			if k := spec.Kernels[s]; k != 3 && k != 5 && k != 7 {
+				t.Fatalf("kernel %d outside space", k)
+			}
+			if e := spec.Expands[s]; e != 3 && e != 4 && e != 6 {
+				t.Fatalf("expand %d outside space", e)
+			}
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package onnx
+
+import "testing"
+
+func TestAttrAccessorsWithDefaults(t *testing.T) {
+	as := Attrs{
+		"i":  IntAttr(7),
+		"is": IntsAttr(1, 2, 3),
+		"f":  FloatAttr(2.5),
+		"s":  StringAttr("hello"),
+	}
+	if as.Int("i", 0) != 7 || as.Int("missing", 42) != 42 {
+		t.Fatal("Int accessor wrong")
+	}
+	if got := as.Ints("is", nil); len(got) != 3 || got[2] != 3 {
+		t.Fatal("Ints accessor wrong")
+	}
+	if as.Float("f", 0) != 2.5 || as.Float("missing", 1.5) != 1.5 {
+		t.Fatal("Float accessor wrong")
+	}
+	if as.Str("s", "") != "hello" || as.Str("missing", "d") != "d" {
+		t.Fatal("Str accessor wrong")
+	}
+	// Wrong-kind lookups fall back to the default.
+	if as.Int("f", 9) != 9 {
+		t.Fatal("kind-mismatched lookup should return default")
+	}
+}
+
+func TestAttrEqual(t *testing.T) {
+	cases := []struct {
+		a, b Attr
+		want bool
+	}{
+		{IntAttr(1), IntAttr(1), true},
+		{IntAttr(1), IntAttr(2), false},
+		{IntAttr(1), FloatAttr(1), false},
+		{IntsAttr(1, 2), IntsAttr(1, 2), true},
+		{IntsAttr(1, 2), IntsAttr(1, 3), false},
+		{IntsAttr(1, 2), IntsAttr(1), false},
+		{FloatAttr(0.5), FloatAttr(0.5), true},
+		{StringAttr("a"), StringAttr("a"), true},
+		{StringAttr("a"), StringAttr("b"), false},
+	}
+	for i, c := range cases {
+		if got := c.a.Equal(c.b); got != c.want {
+			t.Errorf("case %d: Equal = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestAttrsCanonicalIsSortedAndStable(t *testing.T) {
+	as := Attrs{
+		"strides":      IntsAttr(2, 2),
+		"kernel_shape": IntsAttr(3, 3),
+		"group":        IntAttr(1),
+	}
+	want := "group=1;kernel_shape=[3,3];strides=[2,2]"
+	for i := 0; i < 10; i++ {
+		if got := as.Canonical(); got != want {
+			t.Fatalf("Canonical = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestAttrsCloneIsDeep(t *testing.T) {
+	as := Attrs{"k": IntsAttr(1, 2, 3)}
+	c := as.Clone()
+	c["k"].Ints[0] = 99
+	if as["k"].Ints[0] == 99 {
+		t.Fatal("Clone shares Ints backing array")
+	}
+	var nilAttrs Attrs
+	if nilAttrs.Clone() != nil {
+		t.Fatal("nil clone should stay nil")
+	}
+}
+
+func TestAttrsEqualMap(t *testing.T) {
+	a := Attrs{"x": IntAttr(1), "y": StringAttr("s")}
+	b := Attrs{"y": StringAttr("s"), "x": IntAttr(1)}
+	if !a.Equal(b) {
+		t.Fatal("order-independent equality failed")
+	}
+	if a.Equal(Attrs{"x": IntAttr(1)}) {
+		t.Fatal("length mismatch should be unequal")
+	}
+	if a.Equal(Attrs{"x": IntAttr(1), "z": StringAttr("s")}) {
+		t.Fatal("key mismatch should be unequal")
+	}
+}
+
+func TestAttrStringForms(t *testing.T) {
+	if IntAttr(5).String() != "5" {
+		t.Fatal("int string")
+	}
+	if IntsAttr(1, 2).String() != "[1,2]" {
+		t.Fatal("ints string")
+	}
+	if FloatAttr(0.25).String() != "0.25" {
+		t.Fatal("float string")
+	}
+	if StringAttr("a b").String() != `"a b"` {
+		t.Fatal("string string")
+	}
+	if (Attr{}).String() != "<invalid>" {
+		t.Fatal("invalid attr string")
+	}
+}
+
+func TestAttrKindString(t *testing.T) {
+	if AttrInt.String() != "int" || AttrInts.String() != "ints" ||
+		AttrFloat.String() != "float" || AttrString.String() != "string" {
+		t.Fatal("kind names wrong")
+	}
+	if AttrKind(99).String() != "AttrKind(99)" {
+		t.Fatal("unknown kind string wrong")
+	}
+}

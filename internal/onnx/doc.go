@@ -1,0 +1,24 @@
+// Package onnx implements a compact, dependency-free intermediate
+// representation for deep neural network computation graphs, modeled on the
+// Open Neural Network Exchange (ONNX) format that NNLQP uses as its unified
+// model input.
+//
+// A Graph is a directed acyclic graph of operator Nodes. Each node consumes
+// named tensors and produces exactly one output tensor that carries the
+// node's name; this single-output convention keeps the IR small while still
+// expressing every topology in the NNLQP evaluation set (sequential chains,
+// residual adds, inception-style branches, squeeze-excite gates, NAS cells).
+//
+// The package provides:
+//
+//   - graph construction, validation, cloning and topological ordering
+//   - static shape inference for every supported operator
+//   - per-node and whole-graph cost accounting (FLOPs, parameters, memory
+//     access bytes) used both by the hardware simulator and by the
+//     FLOPs/FLOPs+MAC baselines
+//   - deterministic binary and JSON serialization so models can be stored
+//     in the latency database exactly as the paper stores weight-free ONNX
+//
+// Weights are never materialized: like the paper's database schema, only
+// structure and attributes are kept, which is all that latency depends on.
+package onnx

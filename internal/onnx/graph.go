@@ -1,0 +1,364 @@
+package onnx
+
+import (
+	"fmt"
+	"sort"
+)
+
+// OpType identifies an operator. The vocabulary below covers every operator
+// emitted by the model builders in internal/models, which together span the
+// ten model families of the NNLQP evaluation.
+type OpType string
+
+// Supported operator types.
+const (
+	OpConv              OpType = "Conv"
+	OpRelu              OpType = "Relu"
+	OpClip              OpType = "Clip" // ReLU6 and friends
+	OpAdd               OpType = "Add"
+	OpMul               OpType = "Mul"
+	OpSigmoid           OpType = "Sigmoid"
+	OpHardSigmoid       OpType = "HardSigmoid"
+	OpMaxPool           OpType = "MaxPool"
+	OpAveragePool       OpType = "AveragePool"
+	OpGlobalAveragePool OpType = "GlobalAveragePool"
+	OpGemm              OpType = "Gemm"
+	OpFlatten           OpType = "Flatten"
+	OpConcat            OpType = "Concat"
+	OpBatchNorm         OpType = "BatchNormalization"
+	OpReduceMean        OpType = "ReduceMean"
+	OpSoftmax           OpType = "Softmax"
+	OpLRN               OpType = "LRN"
+	OpDropout           OpType = "Dropout"
+	OpIdentity          OpType = "Identity"
+)
+
+// AllOpTypes lists every supported operator in a fixed order. The feature
+// extractor uses the index in this slice as the operator's one-hot code, so
+// the order is part of the (serialized-model ↔ predictor) contract and must
+// only ever be appended to.
+var AllOpTypes = []OpType{
+	OpConv, OpRelu, OpClip, OpAdd, OpMul, OpSigmoid, OpHardSigmoid,
+	OpMaxPool, OpAveragePool, OpGlobalAveragePool, OpGemm, OpFlatten,
+	OpConcat, OpBatchNorm, OpReduceMean, OpSoftmax, OpLRN, OpDropout,
+	OpIdentity,
+}
+
+// OpCode returns the dense integer code of op (its index in AllOpTypes) and
+// whether the operator is known.
+func OpCode(op OpType) (int, bool) {
+	for i, o := range AllOpTypes {
+		if o == op {
+			return i, true
+		}
+	}
+	return -1, false
+}
+
+// Shape is a tensor shape in NCHW (or [N, F] for flattened tensors).
+type Shape []int
+
+// Clone returns a copy of the shape.
+func (s Shape) Clone() Shape { return append(Shape(nil), s...) }
+
+// Numel returns the number of elements, or 0 for an empty shape.
+func (s Shape) Numel() int64 {
+	if len(s) == 0 {
+		return 0
+	}
+	n := int64(1)
+	for _, d := range s {
+		n *= int64(d)
+	}
+	return n
+}
+
+// Equal reports whether two shapes are identical.
+func (s Shape) Equal(t Shape) bool {
+	if len(s) != len(t) {
+		return false
+	}
+	for i := range s {
+		if s[i] != t[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (s Shape) String() string {
+	out := "("
+	for i, d := range s {
+		if i > 0 {
+			out += ","
+		}
+		out += fmt.Sprint(d)
+	}
+	return out + ")"
+}
+
+// ValueInfo names a graph input tensor and declares its shape.
+type ValueInfo struct {
+	Name  string
+	Shape Shape
+}
+
+// Node is one operator in the graph. Its single output tensor is named after
+// the node itself.
+type Node struct {
+	Name   string
+	Op     OpType
+	Inputs []string // tensor names: graph inputs or producer node names
+	Attrs  Attrs
+}
+
+// Clone deep-copies the node.
+func (n *Node) Clone() *Node {
+	return &Node{
+		Name:   n.Name,
+		Op:     n.Op,
+		Inputs: append([]string(nil), n.Inputs...),
+		Attrs:  n.Attrs.Clone(),
+	}
+}
+
+// Graph is a weight-free DNN computation graph: the unit stored in the
+// latency database and fed to both the hardware simulator and the
+// predictors.
+type Graph struct {
+	Name    string
+	Family  string // model family label, e.g. "ResNet" (used by experiments)
+	Inputs  []ValueInfo
+	Nodes   []*Node
+	Outputs []string
+}
+
+// Clone deep-copies the graph.
+func (g *Graph) Clone() *Graph {
+	out := &Graph{
+		Name:    g.Name,
+		Family:  g.Family,
+		Inputs:  make([]ValueInfo, len(g.Inputs)),
+		Nodes:   make([]*Node, len(g.Nodes)),
+		Outputs: append([]string(nil), g.Outputs...),
+	}
+	for i, vi := range g.Inputs {
+		out.Inputs[i] = ValueInfo{Name: vi.Name, Shape: vi.Shape.Clone()}
+	}
+	for i, n := range g.Nodes {
+		out.Nodes[i] = n.Clone()
+	}
+	return out
+}
+
+// NumNodes returns the operator count.
+func (g *Graph) NumNodes() int { return len(g.Nodes) }
+
+// Node returns the node with the given name, or nil.
+func (g *Graph) Node(name string) *Node {
+	for _, n := range g.Nodes {
+		if n.Name == name {
+			return n
+		}
+	}
+	return nil
+}
+
+// isGraphInput reports whether name refers to a declared graph input.
+func (g *Graph) isGraphInput(name string) bool {
+	for _, vi := range g.Inputs {
+		if vi.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Successors returns, for each node name, the names of nodes that consume
+// its output, in deterministic order.
+func (g *Graph) Successors() map[string][]string {
+	succ := make(map[string][]string, len(g.Nodes))
+	for _, n := range g.Nodes {
+		succ[n.Name] = nil
+	}
+	for _, n := range g.Nodes {
+		for _, in := range n.Inputs {
+			if _, ok := succ[in]; ok {
+				succ[in] = append(succ[in], n.Name)
+			}
+		}
+	}
+	for k := range succ {
+		sort.Strings(succ[k])
+	}
+	return succ
+}
+
+// Predecessors returns, for each node name, the names of producer nodes it
+// consumes (graph inputs excluded), in deterministic order.
+func (g *Graph) Predecessors() map[string][]string {
+	byName := make(map[string]*Node, len(g.Nodes))
+	for _, n := range g.Nodes {
+		byName[n.Name] = n
+	}
+	pred := make(map[string][]string, len(g.Nodes))
+	for _, n := range g.Nodes {
+		var ps []string
+		for _, in := range n.Inputs {
+			if _, ok := byName[in]; ok {
+				ps = append(ps, in)
+			}
+		}
+		sort.Strings(ps)
+		pred[n.Name] = ps
+	}
+	return pred
+}
+
+// SourceNodes returns the nodes with no predecessor operators (i.e. fed only
+// by graph inputs), in deterministic order. These are the Pre(u)=∅ nodes of
+// Eq. 2 in the paper.
+func (g *Graph) SourceNodes() []*Node {
+	pred := g.Predecessors()
+	var out []*Node
+	for _, n := range g.Nodes {
+		if len(pred[n.Name]) == 0 {
+			out = append(out, n)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// TopoSort returns the nodes in a deterministic topological order
+// (producers before consumers), or an error if the graph has a cycle.
+func (g *Graph) TopoSort() ([]*Node, error) {
+	byName := make(map[string]*Node, len(g.Nodes))
+	for _, n := range g.Nodes {
+		byName[n.Name] = n
+	}
+	indeg := make(map[string]int, len(g.Nodes))
+	succ := make(map[string][]string, len(g.Nodes))
+	for _, n := range g.Nodes {
+		for _, in := range n.Inputs {
+			if _, ok := byName[in]; ok {
+				indeg[n.Name]++
+				succ[in] = append(succ[in], n.Name)
+			}
+		}
+	}
+	var ready []string
+	for _, n := range g.Nodes {
+		if indeg[n.Name] == 0 {
+			ready = append(ready, n.Name)
+		}
+	}
+	sort.Strings(ready)
+	out := make([]*Node, 0, len(g.Nodes))
+	for len(ready) > 0 {
+		name := ready[0]
+		ready = ready[1:]
+		out = append(out, byName[name])
+		next := succ[name]
+		sort.Strings(next)
+		var unlocked []string
+		for _, s := range next {
+			indeg[s]--
+			if indeg[s] == 0 {
+				unlocked = append(unlocked, s)
+			}
+		}
+		if len(unlocked) > 0 {
+			ready = append(ready, unlocked...)
+			sort.Strings(ready)
+		}
+	}
+	if len(out) != len(g.Nodes) {
+		return nil, fmt.Errorf("onnx: graph %q contains a cycle", g.Name)
+	}
+	return out, nil
+}
+
+// ReverseTopoSort returns nodes in reverse topological order (consumers
+// before producers), the traversal order required by the graph hash (Eq. 1).
+func (g *Graph) ReverseTopoSort() ([]*Node, error) {
+	fwd, err := g.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Node, len(fwd))
+	for i, n := range fwd {
+		out[len(fwd)-1-i] = n
+	}
+	return out, nil
+}
+
+// Validate checks structural well-formedness: unique names, resolvable
+// inputs, known operators, at least one declared input and output, and
+// acyclicity.
+func (g *Graph) Validate() error {
+	if len(g.Inputs) == 0 {
+		return fmt.Errorf("onnx: graph %q has no inputs", g.Name)
+	}
+	if len(g.Outputs) == 0 {
+		return fmt.Errorf("onnx: graph %q has no outputs", g.Name)
+	}
+	seen := make(map[string]bool, len(g.Nodes)+len(g.Inputs))
+	for _, vi := range g.Inputs {
+		if vi.Name == "" {
+			return fmt.Errorf("onnx: graph %q has an unnamed input", g.Name)
+		}
+		if seen[vi.Name] {
+			return fmt.Errorf("onnx: duplicate input name %q", vi.Name)
+		}
+		if len(vi.Shape) == 0 {
+			return fmt.Errorf("onnx: input %q has no shape", vi.Name)
+		}
+		for _, d := range vi.Shape {
+			if d <= 0 {
+				return fmt.Errorf("onnx: input %q has non-positive dim in %v", vi.Name, vi.Shape)
+			}
+		}
+		seen[vi.Name] = true
+	}
+	for _, n := range g.Nodes {
+		if n.Name == "" {
+			return fmt.Errorf("onnx: graph %q has an unnamed node", g.Name)
+		}
+		if seen[n.Name] {
+			return fmt.Errorf("onnx: duplicate tensor name %q", n.Name)
+		}
+		seen[n.Name] = true
+		if _, ok := OpCode(n.Op); !ok {
+			return fmt.Errorf("onnx: node %q has unknown op %q", n.Name, n.Op)
+		}
+		if len(n.Inputs) == 0 {
+			return fmt.Errorf("onnx: node %q has no inputs", n.Name)
+		}
+	}
+	for _, n := range g.Nodes {
+		for _, in := range n.Inputs {
+			if !seen[in] {
+				return fmt.Errorf("onnx: node %q consumes undefined tensor %q", n.Name, in)
+			}
+		}
+	}
+	for _, out := range g.Outputs {
+		if !seen[out] {
+			return fmt.Errorf("onnx: graph output %q is undefined", out)
+		}
+	}
+	if _, err := g.TopoSort(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// BatchSize returns the leading dimension of the first graph input, the
+// batch size the paper stores alongside every latency record.
+func (g *Graph) BatchSize() int {
+	if len(g.Inputs) == 0 || len(g.Inputs[0].Shape) == 0 {
+		return 0
+	}
+	return g.Inputs[0].Shape[0]
+}

@@ -1,0 +1,204 @@
+package onnx
+
+import (
+	"strings"
+	"testing"
+)
+
+// smallResidual builds a tiny residual block used across tests:
+// input -> conv1 -> relu1 -> conv2 -> add(relu1 shortcut) -> gap -> flatten -> fc
+func smallResidual(t testing.TB) *Graph {
+	t.Helper()
+	b := NewBuilder("tiny-res", "Test", Shape{1, 16, 8, 8})
+	c1 := b.Conv(b.Input(), 16, 3, 1, 1, 1)
+	r1 := b.Relu(c1)
+	c2 := b.Conv(r1, 16, 3, 1, 1, 1)
+	sum := b.AddTensors(c2, r1)
+	g := b.GlobalAveragePool(sum)
+	f := b.Flatten(g)
+	fc := b.Gemm(f, 10)
+	graph, err := b.Finish(fc)
+	if err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	return graph
+}
+
+func TestValidateAcceptsWellFormedGraph(t *testing.T) {
+	g := smallResidual(t)
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestValidateRejectsDuplicateNames(t *testing.T) {
+	g := smallResidual(t)
+	g.Nodes = append(g.Nodes, &Node{Name: g.Nodes[0].Name, Op: OpRelu, Inputs: []string{"input"}})
+	if err := g.Validate(); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("want duplicate-name error, got %v", err)
+	}
+}
+
+func TestValidateRejectsUndefinedInput(t *testing.T) {
+	g := smallResidual(t)
+	g.Nodes[2].Inputs[0] = "ghost"
+	if err := g.Validate(); err == nil || !strings.Contains(err.Error(), "undefined") {
+		t.Fatalf("want undefined-tensor error, got %v", err)
+	}
+}
+
+func TestValidateRejectsUnknownOp(t *testing.T) {
+	g := smallResidual(t)
+	g.Nodes[0].Op = "Teleport"
+	if err := g.Validate(); err == nil || !strings.Contains(err.Error(), "unknown op") {
+		t.Fatalf("want unknown-op error, got %v", err)
+	}
+}
+
+func TestValidateRejectsCycle(t *testing.T) {
+	g := &Graph{
+		Name:   "cycle",
+		Inputs: []ValueInfo{{Name: "input", Shape: Shape{1, 3, 4, 4}}},
+		Nodes: []*Node{
+			{Name: "a", Op: OpRelu, Inputs: []string{"b"}},
+			{Name: "b", Op: OpRelu, Inputs: []string{"a"}},
+		},
+		Outputs: []string{"b"},
+	}
+	if err := g.Validate(); err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("want cycle error, got %v", err)
+	}
+}
+
+func TestTopoSortOrdersProducersFirst(t *testing.T) {
+	g := smallResidual(t)
+	order, err := g.TopoSort()
+	if err != nil {
+		t.Fatalf("TopoSort: %v", err)
+	}
+	pos := make(map[string]int, len(order))
+	for i, n := range order {
+		pos[n.Name] = i
+	}
+	for _, n := range g.Nodes {
+		for _, in := range n.Inputs {
+			if p, ok := pos[in]; ok && p >= pos[n.Name] {
+				t.Errorf("node %s at %d consumes %s at %d", n.Name, pos[n.Name], in, p)
+			}
+		}
+	}
+}
+
+func TestTopoSortDeterministic(t *testing.T) {
+	g := smallResidual(t)
+	a, _ := g.TopoSort()
+	for i := 0; i < 10; i++ {
+		b, _ := g.TopoSort()
+		for j := range a {
+			if a[j].Name != b[j].Name {
+				t.Fatalf("order differs at %d: %s vs %s", j, a[j].Name, b[j].Name)
+			}
+		}
+	}
+}
+
+func TestReverseTopoSort(t *testing.T) {
+	g := smallResidual(t)
+	fwd, _ := g.TopoSort()
+	rev, err := g.ReverseTopoSort()
+	if err != nil {
+		t.Fatalf("ReverseTopoSort: %v", err)
+	}
+	for i := range fwd {
+		if fwd[i].Name != rev[len(rev)-1-i].Name {
+			t.Fatalf("reverse order mismatch at %d", i)
+		}
+	}
+}
+
+func TestSuccessorsPredecessors(t *testing.T) {
+	g := smallResidual(t)
+	succ := g.Successors()
+	pred := g.Predecessors()
+	// relu1 feeds conv2 and the Add.
+	if got := succ["Relu_1"]; len(got) != 2 {
+		t.Fatalf("Relu_1 successors = %v, want 2 entries", got)
+	}
+	// Add has two predecessors.
+	if got := pred["Add_1"]; len(got) != 2 {
+		t.Fatalf("Add_1 predecessors = %v, want 2 entries", got)
+	}
+	// conv1 reads only the graph input, so it has no predecessors.
+	if got := pred["Conv_1"]; len(got) != 0 {
+		t.Fatalf("Conv_1 predecessors = %v, want none", got)
+	}
+}
+
+func TestSourceNodes(t *testing.T) {
+	g := smallResidual(t)
+	srcs := g.SourceNodes()
+	if len(srcs) != 1 || srcs[0].Name != "Conv_1" {
+		t.Fatalf("SourceNodes = %v, want [Conv_1]", srcs)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	g := smallResidual(t)
+	c := g.Clone()
+	c.Nodes[0].Attrs["channels"] = IntAttr(999)
+	c.Inputs[0].Shape[0] = 42
+	if g.Nodes[0].Attrs.Int("channels", 0) == 999 {
+		t.Error("clone shares attrs with original")
+	}
+	if g.Inputs[0].Shape[0] == 42 {
+		t.Error("clone shares input shape with original")
+	}
+}
+
+func TestBatchSize(t *testing.T) {
+	g := smallResidual(t)
+	if got := g.BatchSize(); got != 1 {
+		t.Fatalf("BatchSize = %d, want 1", got)
+	}
+}
+
+func TestOpCodeCoversAllOps(t *testing.T) {
+	seen := make(map[int]OpType)
+	for _, op := range AllOpTypes {
+		code, ok := OpCode(op)
+		if !ok {
+			t.Fatalf("OpCode(%s) not found", op)
+		}
+		if prev, dup := seen[code]; dup {
+			t.Fatalf("ops %s and %s share code %d", prev, op, code)
+		}
+		seen[code] = op
+	}
+	if _, ok := OpCode("Nonexistent"); ok {
+		t.Fatal("OpCode accepted unknown op")
+	}
+}
+
+func TestBuilderErrorPropagates(t *testing.T) {
+	b := NewBuilder("bad", "Test", Shape{1, 3, 8, 8})
+	b.Add(OpRelu, nil) // no inputs -> error
+	if _, err := b.Finish("x"); err == nil {
+		t.Fatal("Finish should surface builder error")
+	}
+}
+
+func TestShapeHelpers(t *testing.T) {
+	s := Shape{2, 3, 4, 5}
+	if s.Numel() != 120 {
+		t.Fatalf("Numel = %d", s.Numel())
+	}
+	if !s.Equal(Shape{2, 3, 4, 5}) || s.Equal(Shape{2, 3, 4}) || s.Equal(Shape{2, 3, 4, 6}) {
+		t.Fatal("Equal misbehaves")
+	}
+	if (Shape{}).Numel() != 0 {
+		t.Fatal("empty shape Numel should be 0")
+	}
+	if s.String() != "(2,3,4,5)" {
+		t.Fatalf("String = %s", s.String())
+	}
+}

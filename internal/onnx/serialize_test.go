@@ -1,0 +1,153 @@
+package onnx
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func graphsEqual(a, b *Graph) bool {
+	if a.Name != b.Name || a.Family != b.Family ||
+		len(a.Inputs) != len(b.Inputs) || len(a.Nodes) != len(b.Nodes) ||
+		len(a.Outputs) != len(b.Outputs) {
+		return false
+	}
+	for i := range a.Inputs {
+		if a.Inputs[i].Name != b.Inputs[i].Name || !a.Inputs[i].Shape.Equal(b.Inputs[i].Shape) {
+			return false
+		}
+	}
+	for i := range a.Nodes {
+		an, bn := a.Nodes[i], b.Nodes[i]
+		if an.Name != bn.Name || an.Op != bn.Op || len(an.Inputs) != len(bn.Inputs) {
+			return false
+		}
+		for j := range an.Inputs {
+			if an.Inputs[j] != bn.Inputs[j] {
+				return false
+			}
+		}
+		if !an.Attrs.Equal(bn.Attrs) {
+			return false
+		}
+	}
+	for i := range a.Outputs {
+		if a.Outputs[i] != b.Outputs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	g := smallResidual(t)
+	data, err := g.EncodeBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeBinary(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graphsEqual(g, back) {
+		t.Fatal("binary round trip changed the graph")
+	}
+}
+
+func TestBinaryDeterministic(t *testing.T) {
+	g := smallResidual(t)
+	a, _ := g.EncodeBinary()
+	for i := 0; i < 5; i++ {
+		b, _ := g.EncodeBinary()
+		if !bytes.Equal(a, b) {
+			t.Fatal("binary encoding is not deterministic")
+		}
+	}
+}
+
+func TestBinaryCompact(t *testing.T) {
+	// The paper stores each model in "hundreds of bytes"; our tiny graph
+	// should comfortably fit in under 1 KiB.
+	g := smallResidual(t)
+	data, _ := g.EncodeBinary()
+	if len(data) > 1024 {
+		t.Fatalf("encoding is %d bytes, want < 1024", len(data))
+	}
+}
+
+func TestBinaryRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("XXXX"),
+		[]byte("NLQP"),         // truncated after magic
+		[]byte("NLQP\x02"),     // bad version
+		[]byte("NLQP\x01\xff"), // bogus string length
+	}
+	for i, c := range cases {
+		if _, err := DecodeBinary(c); err == nil {
+			t.Errorf("case %d: DecodeBinary accepted garbage", i)
+		}
+	}
+}
+
+func TestBinaryRejectsTrailingBytes(t *testing.T) {
+	g := smallResidual(t)
+	data, _ := g.EncodeBinary()
+	if _, err := DecodeBinary(append(data, 0x00)); err == nil {
+		t.Fatal("want trailing-bytes error")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	g := smallResidual(t)
+	data, err := g.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graphsEqual(g, back) {
+		t.Fatal("JSON round trip changed the graph")
+	}
+}
+
+func TestJSONRejectsUnknownAttrKind(t *testing.T) {
+	if _, err := DecodeJSON([]byte(`{"name":"x","nodes":[{"name":"a","op":"Relu","inputs":["input"],"attrs":{"k":{"kind":"tensor"}}}]}`)); err == nil {
+		t.Fatal("want unknown-kind error")
+	}
+}
+
+// TestAttrRoundTripProperty drives attribute serialization with random
+// values via testing/quick.
+func TestAttrRoundTripProperty(t *testing.T) {
+	f := func(i int64, ints []int64, fl float64, s string) bool {
+		g := &Graph{
+			Name:   "prop",
+			Inputs: []ValueInfo{{Name: "input", Shape: Shape{1, 3, 4, 4}}},
+			Nodes: []*Node{{
+				Name: "n", Op: OpRelu, Inputs: []string{"input"},
+				Attrs: Attrs{
+					"a": IntAttr(i),
+					"b": IntsAttr(ints...),
+					"c": FloatAttr(fl),
+					"d": StringAttr(s),
+				},
+			}},
+			Outputs: []string{"n"},
+		}
+		data, err := g.EncodeBinary()
+		if err != nil {
+			return false
+		}
+		back, err := DecodeBinary(data)
+		if err != nil {
+			return false
+		}
+		return graphsEqual(g, back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,197 @@
+package onnx
+
+import (
+	"strings"
+	"testing"
+)
+
+func inferOne(t *testing.T, n *Node, ins ...Shape) Shape {
+	t.Helper()
+	out, err := inferNodeShape(n, ins)
+	if err != nil {
+		t.Fatalf("infer %s: %v", n.Op, err)
+	}
+	return out
+}
+
+func TestConvShapeBasic(t *testing.T) {
+	n := &Node{Op: OpConv, Attrs: Attrs{
+		"channels":     IntAttr(64),
+		"kernel_shape": IntsAttr(3, 3),
+		"strides":      IntsAttr(1, 1),
+		"pads":         IntsAttr(1, 1, 1, 1),
+		"group":        IntAttr(1),
+	}}
+	got := inferOne(t, n, Shape{1, 3, 224, 224})
+	if !got.Equal(Shape{1, 64, 224, 224}) {
+		t.Fatalf("conv same-pad shape = %v", got)
+	}
+}
+
+func TestConvShapeStrideAndNoPad(t *testing.T) {
+	n := &Node{Op: OpConv, Attrs: Attrs{
+		"channels":     IntAttr(96),
+		"kernel_shape": IntsAttr(11, 11),
+		"strides":      IntsAttr(4, 4),
+		"pads":         IntsAttr(2, 2, 2, 2),
+		"group":        IntAttr(1),
+	}}
+	// AlexNet conv1: (224+4-11)/4+1 = 55
+	got := inferOne(t, n, Shape{1, 3, 224, 224})
+	if !got.Equal(Shape{1, 96, 55, 55}) {
+		t.Fatalf("alexnet conv1 shape = %v", got)
+	}
+}
+
+func TestConvDepthwiseGroups(t *testing.T) {
+	n := &Node{Op: OpConv, Attrs: Attrs{
+		"channels":     IntAttr(32),
+		"kernel_shape": IntsAttr(3, 3),
+		"strides":      IntsAttr(2, 2),
+		"pads":         IntsAttr(1, 1, 1, 1),
+		"group":        IntAttr(32),
+	}}
+	got := inferOne(t, n, Shape{1, 32, 112, 112})
+	if !got.Equal(Shape{1, 32, 56, 56}) {
+		t.Fatalf("depthwise shape = %v", got)
+	}
+}
+
+func TestConvRejectsBadGroup(t *testing.T) {
+	n := &Node{Op: OpConv, Attrs: Attrs{
+		"channels":     IntAttr(30),
+		"kernel_shape": IntsAttr(3, 3),
+		"strides":      IntsAttr(1, 1),
+		"pads":         IntsAttr(1, 1, 1, 1),
+		"group":        IntAttr(4), // 30 % 4 != 0
+	}}
+	if _, err := inferNodeShape(n, []Shape{{1, 32, 8, 8}}); err == nil {
+		t.Fatal("want invalid group error")
+	}
+}
+
+func TestConvRejectsKernelLargerThanInput(t *testing.T) {
+	n := &Node{Op: OpConv, Attrs: Attrs{
+		"channels":     IntAttr(8),
+		"kernel_shape": IntsAttr(7, 7),
+		"strides":      IntsAttr(1, 1),
+		"pads":         IntsAttr(0, 0, 0, 0),
+		"group":        IntAttr(1),
+	}}
+	if _, err := inferNodeShape(n, []Shape{{1, 3, 4, 4}}); err == nil {
+		t.Fatal("want kernel-too-large error")
+	}
+}
+
+func TestPoolShape(t *testing.T) {
+	n := &Node{Op: OpMaxPool, Attrs: poolAttrs(3, 2, 0)}
+	got := inferOne(t, n, Shape{1, 64, 55, 55})
+	if !got.Equal(Shape{1, 64, 27, 27}) {
+		t.Fatalf("pool shape = %v", got)
+	}
+}
+
+func TestGlobalAveragePoolShape(t *testing.T) {
+	n := &Node{Op: OpGlobalAveragePool}
+	got := inferOne(t, n, Shape{2, 1280, 7, 7})
+	if !got.Equal(Shape{2, 1280, 1, 1}) {
+		t.Fatalf("gap shape = %v", got)
+	}
+}
+
+func TestGemmFlattenShapes(t *testing.T) {
+	f := &Node{Op: OpFlatten}
+	flat := inferOne(t, f, Shape{2, 512, 7, 7})
+	if !flat.Equal(Shape{2, 512 * 49}) {
+		t.Fatalf("flatten shape = %v", flat)
+	}
+	gm := &Node{Op: OpGemm, Attrs: Attrs{"out_features": IntAttr(1000)}}
+	out := inferOne(t, gm, flat)
+	if !out.Equal(Shape{2, 1000}) {
+		t.Fatalf("gemm shape = %v", out)
+	}
+}
+
+func TestConcatShape(t *testing.T) {
+	n := &Node{Op: OpConcat, Attrs: Attrs{"axis": IntAttr(1)}}
+	got := inferOne(t, n, Shape{1, 64, 28, 28}, Shape{1, 128, 28, 28}, Shape{1, 32, 28, 28})
+	if !got.Equal(Shape{1, 224, 28, 28}) {
+		t.Fatalf("concat shape = %v", got)
+	}
+}
+
+func TestConcatRejectsMismatch(t *testing.T) {
+	n := &Node{Op: OpConcat, Attrs: Attrs{"axis": IntAttr(1)}}
+	if _, err := inferNodeShape(n, []Shape{{1, 64, 28, 28}, {1, 64, 14, 14}}); err == nil {
+		t.Fatal("want concat mismatch error")
+	}
+}
+
+func TestBinaryBroadcast(t *testing.T) {
+	n := &Node{Op: OpMul}
+	// SE gate: [N,C,H,W] * [N,C,1,1]
+	got := inferOne(t, n, Shape{1, 96, 14, 14}, Shape{1, 96, 1, 1})
+	if !got.Equal(Shape{1, 96, 14, 14}) {
+		t.Fatalf("broadcast mul shape = %v", got)
+	}
+	got = inferOne(t, n, Shape{1, 96, 1, 1}, Shape{1, 96, 14, 14})
+	if !got.Equal(Shape{1, 96, 14, 14}) {
+		t.Fatalf("reversed broadcast mul shape = %v", got)
+	}
+}
+
+func TestBinaryRejectsIncompatible(t *testing.T) {
+	n := &Node{Op: OpAdd}
+	if _, err := inferNodeShape(n, []Shape{{1, 64, 28, 28}, {1, 32, 28, 28}}); err == nil {
+		t.Fatal("want incompatible shapes error")
+	}
+}
+
+func TestReduceMeanShapes(t *testing.T) {
+	keep := &Node{Op: OpReduceMean, Attrs: Attrs{"axes": IntsAttr(2, 3), "keepdims": IntAttr(1)}}
+	got := inferOne(t, keep, Shape{1, 576, 14, 14})
+	if !got.Equal(Shape{1, 576, 1, 1}) {
+		t.Fatalf("reducemean keepdims shape = %v", got)
+	}
+	drop := &Node{Op: OpReduceMean, Attrs: Attrs{"axes": IntsAttr(2, 3), "keepdims": IntAttr(0)}}
+	got = inferOne(t, drop, Shape{1, 576, 14, 14})
+	if !got.Equal(Shape{1, 576}) {
+		t.Fatalf("reducemean dropdims shape = %v", got)
+	}
+}
+
+func TestElementwisePreserveShape(t *testing.T) {
+	for _, op := range []OpType{OpRelu, OpClip, OpSigmoid, OpHardSigmoid, OpBatchNorm, OpSoftmax, OpLRN, OpDropout, OpIdentity} {
+		n := &Node{Op: op}
+		got := inferOne(t, n, Shape{3, 17, 9, 9})
+		if !got.Equal(Shape{3, 17, 9, 9}) {
+			t.Fatalf("%s changed shape: %v", op, got)
+		}
+	}
+}
+
+func TestInferShapesWholeGraph(t *testing.T) {
+	g := smallResidual(t)
+	shapes, err := g.InferShapes()
+	if err != nil {
+		t.Fatalf("InferShapes: %v", err)
+	}
+	if !shapes["Gemm_1"].Equal(Shape{1, 10}) {
+		t.Fatalf("final shape = %v", shapes["Gemm_1"])
+	}
+	if !shapes["Add_1"].Equal(Shape{1, 16, 8, 8}) {
+		t.Fatalf("residual add shape = %v", shapes["Add_1"])
+	}
+}
+
+func TestInferShapesReportsNodeContext(t *testing.T) {
+	b := NewBuilder("bad-shapes", "Test", Shape{1, 3, 8, 8})
+	c := b.Conv(b.Input(), 8, 3, 1, 1, 1)
+	b.g.Nodes = append(b.g.Nodes, &Node{Name: "badconv", Op: OpConv, Inputs: []string{c},
+		Attrs: Attrs{"kernel_shape": IntsAttr(3, 3), "strides": IntsAttr(1, 1), "pads": IntsAttr(1, 1, 1, 1)}})
+	b.g.Outputs = []string{"badconv"}
+	_, err := b.g.InferShapes()
+	if err == nil || !strings.Contains(err.Error(), "badconv") {
+		t.Fatalf("want error naming badconv, got %v", err)
+	}
+}

@@ -1,0 +1,123 @@
+package onnx
+
+import "fmt"
+
+// NodeCost is the static cost accounting for one operator: the quantities
+// the paper's static feature vector F_G^static and the FLOPs / FLOPs+MAC
+// baselines are built from.
+type NodeCost struct {
+	// FLOPs counts floating point operations (multiply-accumulate = 2 ops).
+	FLOPs int64
+	// Params counts learnable parameters (weights + biases).
+	Params int64
+	// InputBytes / OutputBytes / WeightBytes are memory traffic components
+	// assuming elemSize-byte elements. MAC (memory access cost) is their sum.
+	InputBytes  int64
+	OutputBytes int64
+	WeightBytes int64
+}
+
+// MAC returns total memory access bytes for the node.
+func (c NodeCost) MAC() int64 { return c.InputBytes + c.OutputBytes + c.WeightBytes }
+
+// GraphCost aggregates node costs over a whole model.
+type GraphCost struct {
+	FLOPs  int64
+	Params int64
+	MAC    int64
+	// PerNode maps node name to its cost, for kernel-level accounting.
+	PerNode map[string]NodeCost
+}
+
+// Cost computes FLOPs / parameter / memory-access accounting for every node
+// given element size in bytes (4 for fp32, 2 for fp16/int16, 1 for int8).
+func (g *Graph) Cost(elemSize int) (*GraphCost, error) {
+	if elemSize <= 0 {
+		return nil, fmt.Errorf("onnx: non-positive element size %d", elemSize)
+	}
+	shapes, err := g.InferShapes()
+	if err != nil {
+		return nil, err
+	}
+	return g.CostWithShapes(shapes, elemSize)
+}
+
+// CostWithShapes is Cost with pre-computed shapes, letting callers that
+// already ran inference avoid repeating it.
+func (g *Graph) CostWithShapes(shapes ShapeMap, elemSize int) (*GraphCost, error) {
+	total := &GraphCost{PerNode: make(map[string]NodeCost, len(g.Nodes))}
+	for _, n := range g.Nodes {
+		c, err := nodeCost(n, shapes, elemSize)
+		if err != nil {
+			return nil, fmt.Errorf("onnx: node %q (%s): %w", n.Name, n.Op, err)
+		}
+		total.PerNode[n.Name] = c
+		total.FLOPs += c.FLOPs
+		total.Params += c.Params
+		total.MAC += c.MAC()
+	}
+	return total, nil
+}
+
+func nodeCost(n *Node, shapes ShapeMap, elemSize int) (NodeCost, error) {
+	out, ok := shapes[n.Name]
+	if !ok {
+		return NodeCost{}, fmt.Errorf("missing output shape")
+	}
+	var c NodeCost
+	c.OutputBytes = out.Numel() * int64(elemSize)
+	for _, in := range n.Inputs {
+		s, ok := shapes[in]
+		if !ok {
+			return NodeCost{}, fmt.Errorf("missing shape for input %q", in)
+		}
+		c.InputBytes += s.Numel() * int64(elemSize)
+	}
+
+	switch n.Op {
+	case OpConv:
+		in := shapes[n.Inputs[0]]
+		k := n.Attrs.Ints("kernel_shape", []int64{1, 1})
+		group := n.Attrs.Int("group", 1)
+		cin, cout := int64(in[1]), int64(out[1])
+		kk := k[0] * k[1]
+		weights := cout * (cin / group) * kk
+		bias := cout
+		c.Params = weights + bias
+		c.WeightBytes = (weights + bias) * int64(elemSize)
+		// 2 ops per MAC over every output element.
+		c.FLOPs = 2 * weights * int64(out[2]) * int64(out[3]) * int64(out[0])
+	case OpGemm:
+		in := shapes[n.Inputs[0]]
+		inF, outF := int64(in[1]), int64(out[1])
+		weights := inF * outF
+		c.Params = weights + outF
+		c.WeightBytes = (weights + outF) * int64(elemSize)
+		c.FLOPs = 2 * weights * int64(in[0])
+	case OpBatchNorm:
+		// scale+shift per channel; running stats are not FLOP-relevant.
+		ch := int64(out[1])
+		c.Params = 2 * ch
+		c.WeightBytes = 4 * ch * int64(elemSize)
+		c.FLOPs = 2 * out.Numel()
+	case OpMaxPool, OpAveragePool:
+		k := n.Attrs.Ints("kernel_shape", []int64{1, 1})
+		c.FLOPs = out.Numel() * k[0] * k[1]
+	case OpGlobalAveragePool, OpReduceMean:
+		in := shapes[n.Inputs[0]]
+		c.FLOPs = in.Numel()
+	case OpAdd, OpMul, OpRelu, OpClip, OpIdentity, OpDropout:
+		c.FLOPs = out.Numel()
+	case OpSigmoid, OpHardSigmoid, OpSoftmax:
+		c.FLOPs = 4 * out.Numel()
+	case OpLRN:
+		size := n.Attrs.Int("size", 5)
+		c.FLOPs = out.Numel() * (size + 2)
+	case OpConcat, OpFlatten:
+		// Pure data movement.
+		c.FLOPs = 0
+	default:
+		return NodeCost{}, fmt.Errorf("no cost rule for op %q", n.Op)
+	}
+	return c, nil
+}

@@ -1,0 +1,123 @@
+package onnx
+
+import "testing"
+
+func TestConvCost(t *testing.T) {
+	b := NewBuilder("convcost", "Test", Shape{1, 3, 32, 32})
+	c := b.Conv(b.Input(), 16, 3, 1, 1, 1)
+	g, err := b.Finish(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost, err := g.Cost(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nc := cost.PerNode["Conv_1"]
+	wantParams := int64(16*3*3*3 + 16)
+	if nc.Params != wantParams {
+		t.Fatalf("params = %d, want %d", nc.Params, wantParams)
+	}
+	// 2 * Cout*Cin*K*K * Hout*Wout * N
+	wantFLOPs := int64(2 * 16 * 3 * 3 * 3 * 32 * 32)
+	if nc.FLOPs != wantFLOPs {
+		t.Fatalf("flops = %d, want %d", nc.FLOPs, wantFLOPs)
+	}
+	if nc.InputBytes != 3*32*32*4 {
+		t.Fatalf("input bytes = %d", nc.InputBytes)
+	}
+	if nc.OutputBytes != 16*32*32*4 {
+		t.Fatalf("output bytes = %d", nc.OutputBytes)
+	}
+	if nc.WeightBytes != wantParams*4 {
+		t.Fatalf("weight bytes = %d", nc.WeightBytes)
+	}
+	if nc.MAC() != nc.InputBytes+nc.OutputBytes+nc.WeightBytes {
+		t.Fatal("MAC should sum the three traffic components")
+	}
+}
+
+func TestDepthwiseConvCostUsesGroups(t *testing.T) {
+	b := NewBuilder("dwcost", "Test", Shape{1, 32, 16, 16})
+	c := b.Conv(b.Input(), 32, 3, 1, 1, 32)
+	g, _ := b.Finish(c)
+	cost, err := g.Cost(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nc := cost.PerNode["Conv_1"]
+	wantParams := int64(32*1*3*3 + 32)
+	if nc.Params != wantParams {
+		t.Fatalf("depthwise params = %d, want %d", nc.Params, wantParams)
+	}
+}
+
+func TestGemmCost(t *testing.T) {
+	b := NewBuilder("gemmcost", "Test", Shape{4, 8, 2, 2})
+	f := b.Flatten(b.Input())
+	fc := b.Gemm(f, 10)
+	g, _ := b.Finish(fc)
+	cost, err := g.Cost(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nc := cost.PerNode["Gemm_1"]
+	if nc.Params != 32*10+10 {
+		t.Fatalf("gemm params = %d", nc.Params)
+	}
+	if nc.FLOPs != 2*32*10*4 {
+		t.Fatalf("gemm flops = %d", nc.FLOPs)
+	}
+}
+
+func TestGraphCostAggregates(t *testing.T) {
+	g := smallResidual(t)
+	cost, err := g.Cost(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flops, params, mac int64
+	for _, nc := range cost.PerNode {
+		flops += nc.FLOPs
+		params += nc.Params
+		mac += nc.MAC()
+	}
+	if cost.FLOPs != flops || cost.Params != params || cost.MAC != mac {
+		t.Fatal("aggregate totals disagree with per-node sums")
+	}
+	if cost.FLOPs <= 0 || cost.Params <= 0 || cost.MAC <= 0 {
+		t.Fatal("costs should be positive")
+	}
+}
+
+func TestCostScalesWithElemSize(t *testing.T) {
+	g := smallResidual(t)
+	c4, _ := g.Cost(4)
+	c1, _ := g.Cost(1)
+	if c4.MAC != 4*c1.MAC {
+		t.Fatalf("MAC should scale with element size: %d vs %d", c4.MAC, c1.MAC)
+	}
+	if c4.FLOPs != c1.FLOPs {
+		t.Fatal("FLOPs must not depend on element size")
+	}
+	if _, err := g.Cost(0); err == nil {
+		t.Fatal("want error for elemSize 0")
+	}
+}
+
+func TestCostScalesWithBatch(t *testing.T) {
+	mk := func(batch int) *GraphCost {
+		b := NewBuilder("batch", "Test", Shape{batch, 8, 16, 16})
+		c := b.Conv(b.Input(), 8, 3, 1, 1, 1)
+		g, _ := b.Finish(c)
+		cost, _ := g.Cost(4)
+		return cost
+	}
+	c1, c4 := mk(1), mk(4)
+	if c4.FLOPs != 4*c1.FLOPs {
+		t.Fatalf("FLOPs should scale with batch: %d vs %d", c4.FLOPs, c1.FLOPs)
+	}
+	if c4.Params != c1.Params {
+		t.Fatal("params must not depend on batch")
+	}
+}

@@ -1,0 +1,219 @@
+// Package query implements NNLQ, the neural network latency query system
+// (paper §5): automatic multi-platform deployment and measurement behind a
+// single interface, with a database cache keyed by the graph hash so that
+// repeated queries are served from accumulated latency knowledge.
+//
+// A query proceeds exactly as the paper describes: hash the model, look the
+// (model, platform, batch) triple up in the evolving database, and on a
+// miss run the measurement pipeline (model transformation → device
+// acquisition → latency measurement) through the device farm, then store
+// the fresh record for every future query.
+//
+// Real wall-clock work in this reproduction is fast (the fleet is
+// simulated), so each result also carries SimSeconds, the virtual
+// wall-clock cost of what the step would have cost on the paper's
+// infrastructure. The Table 2 experiment aggregates those.
+package query
+
+import (
+	"fmt"
+	"sync"
+
+	"nnlqp/internal/db"
+	"nnlqp/internal/graphhash"
+	"nnlqp/internal/hwsim"
+	"nnlqp/internal/onnx"
+)
+
+// Measurer abstracts the device farm; hwsim.LocalFarm and hwsim.RemoteFarm
+// both satisfy it.
+type Measurer interface {
+	Measure(platform string, g *onnx.Graph, holder string) (*hwsim.MeasureResult, error)
+}
+
+// System is the NNLQ service: storage plus a device farm.
+type System struct {
+	store *db.Store
+	farm  Measurer
+
+	mu    sync.Mutex
+	stats Stats
+}
+
+// Stats counts cache behaviour since construction.
+type Stats struct {
+	Queries int
+	Hits    int
+	Misses  int
+}
+
+// HitRatio returns hits/queries (0 when no queries yet).
+func (s Stats) HitRatio() float64 {
+	if s.Queries == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Queries)
+}
+
+// New builds a query system over a store and a farm.
+func New(store *db.Store, farm Measurer) *System {
+	return &System{store: store, farm: farm}
+}
+
+// Store exposes the underlying store (the predictor trainers read it).
+func (s *System) Store() *db.Store { return s.store }
+
+// Result is one latency query answer.
+type Result struct {
+	LatencyMS float64
+	// Hit reports whether the record came from the database cache.
+	Hit bool
+	// ModelID / PlatformID are the database keys of the touched records.
+	ModelID    uint64
+	PlatformID uint64
+	// SimSeconds is the virtual wall-clock cost of this query on the
+	// paper's infrastructure: hash + DB round trip for hits, plus the full
+	// compile/upload/measure pipeline for misses.
+	SimSeconds float64
+}
+
+// hashCostSec prices graph hashing on the virtual clock ("the query
+// requires calculating the graph hashing using CPU"): a fixed parse cost
+// plus per-node work.
+func hashCostSec(g *onnx.Graph) float64 {
+	return 0.6 + 0.004*float64(len(g.Nodes))
+}
+
+// dbCostSec prices the remote database round trip.
+const dbCostSec = 0.9
+
+// Query returns the true latency of g on the named platform, serving from
+// the cache when possible and measuring (then caching) otherwise.
+func (s *System) Query(g *onnx.Graph, platform string) (*Result, error) {
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("query: invalid model: %w", err)
+	}
+	p, err := hwsim.PlatformByName(platform)
+	if err != nil {
+		return nil, err
+	}
+	key, err := graphhash.GraphKey(g)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{SimSeconds: hashCostSec(g) + dbCostSec}
+
+	prec, err := s.store.InsertPlatform(p.Name, p.Hardware, p.Software, p.DType)
+	if err != nil {
+		return nil, err
+	}
+	res.PlatformID = prec.ID
+
+	batch := g.BatchSize()
+	if mrec, ok, err := s.store.FindModelByHash(key); err != nil {
+		return nil, err
+	} else if ok {
+		res.ModelID = mrec.ID
+		if lrec, ok, err := s.store.FindLatency(mrec.ID, prec.ID, batch); err != nil {
+			return nil, err
+		} else if ok {
+			res.Hit = true
+			res.LatencyMS = lrec.LatencyMS
+			s.count(true)
+			return res, nil
+		}
+	}
+
+	// Cache miss: run the measurement pipeline on the farm.
+	m, err := s.farm.Measure(platform, g, "nnlq")
+	if err != nil {
+		s.count(false)
+		return nil, fmt.Errorf("query: measurement on %s failed: %w", platform, err)
+	}
+	res.SimSeconds += m.PipelineSec
+	res.LatencyMS = m.LatencyMS
+
+	mrec, err := s.store.InsertModel(g)
+	if err != nil {
+		return nil, err
+	}
+	res.ModelID = mrec.ID
+	if _, err := s.store.InsertLatency(db.LatencyRecord{
+		ModelID:      mrec.ID,
+		PlatformID:   prec.ID,
+		BatchSize:    batch,
+		LatencyMS:    m.LatencyMS,
+		Runs:         m.Runs,
+		PeakMemBytes: m.PeakMemBytes,
+	}); err != nil {
+		// A concurrent query may have inserted the same key; treat as hit.
+		if _, isDup := err.(*db.UniqueViolationError); !isDup {
+			return nil, err
+		}
+	}
+	s.count(false)
+	return res, nil
+}
+
+// QueryMany measures a batch of models on one platform, returning per-model
+// results and the total virtual cost. It preserves input order.
+func (s *System) QueryMany(graphs []*onnx.Graph, platform string) ([]*Result, float64, error) {
+	out := make([]*Result, len(graphs))
+	var total float64
+	for i, g := range graphs {
+		r, err := s.Query(g, platform)
+		if err != nil {
+			return nil, 0, err
+		}
+		out[i] = r
+		total += r.SimSeconds
+	}
+	return out, total, nil
+}
+
+// Warm inserts a measured latency record directly (used to pre-populate the
+// cache for hit-ratio experiments and to bulk-build datasets).
+func (s *System) Warm(g *onnx.Graph, platform string) error {
+	p, err := hwsim.PlatformByName(platform)
+	if err != nil {
+		return err
+	}
+	m, err := s.farm.Measure(platform, g, "warm")
+	if err != nil {
+		return err
+	}
+	prec, err := s.store.InsertPlatform(p.Name, p.Hardware, p.Software, p.DType)
+	if err != nil {
+		return err
+	}
+	mrec, err := s.store.InsertModel(g)
+	if err != nil {
+		return err
+	}
+	_, err = s.store.InsertLatency(db.LatencyRecord{
+		ModelID: mrec.ID, PlatformID: prec.ID, BatchSize: g.BatchSize(),
+		LatencyMS: m.LatencyMS, Runs: m.Runs, PeakMemBytes: m.PeakMemBytes,
+	})
+	if _, isDup := err.(*db.UniqueViolationError); isDup {
+		return nil
+	}
+	return err
+}
+
+func (s *System) count(hit bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Queries++
+	if hit {
+		s.stats.Hits++
+	} else {
+		s.stats.Misses++
+	}
+}
+
+// Stats returns a snapshot of the cache counters.
+func (s *System) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}

@@ -1,0 +1,257 @@
+package query
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"nnlqp/internal/db"
+	"nnlqp/internal/hwsim"
+	"nnlqp/internal/models"
+	"nnlqp/internal/onnx"
+)
+
+func newSystem(t *testing.T) *System {
+	t.Helper()
+	store, err := db.OpenStore("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { store.Close() })
+	farm := &hwsim.LocalFarm{Farm: hwsim.NewDefaultFarm(2)}
+	return New(store, farm)
+}
+
+func TestQueryMissThenHit(t *testing.T) {
+	s := newSystem(t)
+	g := models.BuildSqueezeNet(models.BaseSqueezeNet(1))
+
+	r1, err := s.Query(g, hwsim.DatasetPlatform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Hit {
+		t.Fatal("first query must miss")
+	}
+	if r1.LatencyMS <= 0 {
+		t.Fatal("latency must be positive")
+	}
+
+	r2, err := s.Query(g, hwsim.DatasetPlatform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.Hit {
+		t.Fatal("second query must hit")
+	}
+	if r2.LatencyMS != r1.LatencyMS {
+		t.Fatalf("cached latency %.6f != measured %.6f", r2.LatencyMS, r1.LatencyMS)
+	}
+	// A hit must be vastly cheaper than the cold pipeline.
+	if r2.SimSeconds*10 > r1.SimSeconds {
+		t.Fatalf("hit cost %.2fs not ≪ miss cost %.2fs", r2.SimSeconds, r1.SimSeconds)
+	}
+	st := s.Stats()
+	if st.Queries != 2 || st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.HitRatio() != 0.5 {
+		t.Fatalf("hit ratio = %f", st.HitRatio())
+	}
+}
+
+func TestQuerySameStructureDifferentNameHits(t *testing.T) {
+	s := newSystem(t)
+	a := models.BuildResNet(models.BaseResNet(1))
+	b := a.Clone()
+	b.Name = "renamed-resnet"
+	if _, err := s.Query(a, hwsim.DatasetPlatform); err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.Query(b, hwsim.DatasetPlatform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Hit {
+		t.Fatal("structurally identical model must hit the cache")
+	}
+}
+
+func TestQueryDifferentPlatformMisses(t *testing.T) {
+	s := newSystem(t)
+	g := models.BuildSqueezeNet(models.BaseSqueezeNet(1))
+	if _, err := s.Query(g, "gpu-T4-trt7.1-fp32"); err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.Query(g, "gpu-P4-trt7.1-fp32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Hit {
+		t.Fatal("different platform must miss")
+	}
+}
+
+func TestQueryDifferentBatchMisses(t *testing.T) {
+	s := newSystem(t)
+	if _, err := s.Query(models.BuildSqueezeNet(models.BaseSqueezeNet(1)), hwsim.DatasetPlatform); err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.Query(models.BuildSqueezeNet(models.BaseSqueezeNet(4)), hwsim.DatasetPlatform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Hit {
+		t.Fatal("different batch size must miss")
+	}
+}
+
+func TestQueryUnknownPlatform(t *testing.T) {
+	s := newSystem(t)
+	g := models.BuildSqueezeNet(models.BaseSqueezeNet(1))
+	if _, err := s.Query(g, "quantum-accelerator"); err == nil {
+		t.Fatal("want unknown-platform error")
+	}
+}
+
+func TestQueryUnsupportedOpSurfacesError(t *testing.T) {
+	s := newSystem(t)
+	g := models.BuildMobileNetV3(models.BaseMobileNetV3(1))
+	if _, err := s.Query(g, "cpu-openppl-fp32"); err == nil {
+		t.Fatal("want unsupported-op error from the pipeline")
+	}
+}
+
+func TestWarmPrepopulatesCache(t *testing.T) {
+	s := newSystem(t)
+	g := models.BuildResNet(models.BaseResNet(1))
+	if err := s.Warm(g, hwsim.DatasetPlatform); err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.Query(g, hwsim.DatasetPlatform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Hit {
+		t.Fatal("warmed record must hit")
+	}
+	// Warm twice is fine (idempotent).
+	if err := s.Warm(g, hwsim.DatasetPlatform); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueryManyTotals(t *testing.T) {
+	s := newSystem(t)
+	rng := rand.New(rand.NewSource(1))
+	g1, err := models.Variant(models.FamilySqueezeNet, rng, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := models.Variant(models.FamilySqueezeNet, rng, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphs := []*onnx.Graph{g1, g2, g1} // third repeats the first -> hit
+	results, total, err := s.QueryMany(graphs, hwsim.DatasetPlatform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("results = %d", len(results))
+	}
+	if results[0].Hit || results[1].Hit || !results[2].Hit {
+		t.Fatalf("hit pattern wrong: %v %v %v", results[0].Hit, results[1].Hit, results[2].Hit)
+	}
+	var sum float64
+	for _, r := range results {
+		sum += r.SimSeconds
+	}
+	if total != sum {
+		t.Fatalf("total %.3f != sum %.3f", total, sum)
+	}
+}
+
+func TestQueryConcurrentSameModel(t *testing.T) {
+	s := newSystem(t)
+	g := models.BuildSqueezeNet(models.BaseSqueezeNet(1))
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := s.Query(g, hwsim.DatasetPlatform); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// Exactly one latency record must exist afterwards.
+	_, _, lc := s.Store().Counts()
+	if lc != 1 {
+		t.Fatalf("latency records = %d, want 1", lc)
+	}
+}
+
+func TestQueryRejectsInvalidGraph(t *testing.T) {
+	s := newSystem(t)
+	g := models.BuildSqueezeNet(models.BaseSqueezeNet(1))
+	g.Nodes[0].Inputs[0] = "ghost"
+	if _, err := s.Query(g, hwsim.DatasetPlatform); err == nil {
+		t.Fatal("want validation error")
+	}
+}
+
+func TestQueryThroughRemoteFarm(t *testing.T) {
+	// End-to-end: query system -> RPC -> device farm, with the cache layer
+	// in front, mirroring the paper's deployment (serving host separate
+	// from the device farm).
+	farm := hwsim.NewDefaultFarm(1)
+	srv, err := hwsim.ServeFarm(farm, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	remote, err := hwsim.DialFarm(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+
+	store, err := db.OpenStore("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	sys := New(store, remote)
+
+	g := models.BuildSqueezeNet(models.BaseSqueezeNet(1))
+	r1, err := sys.Query(g, hwsim.DatasetPlatform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Hit {
+		t.Fatal("first remote query must miss")
+	}
+	r2, err := sys.Query(g, hwsim.DatasetPlatform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.Hit || r2.LatencyMS != r1.LatencyMS {
+		t.Fatal("second query should hit with identical latency")
+	}
+	// Remote result must equal a local measurement of the same model.
+	local := &hwsim.LocalFarm{Farm: hwsim.NewDefaultFarm(1)}
+	lm, err := local.Measure(hwsim.DatasetPlatform, g, "check")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lm.LatencyMS != r1.LatencyMS {
+		t.Fatalf("remote %.6f != local %.6f", r1.LatencyMS, lm.LatencyMS)
+	}
+}

@@ -1,0 +1,114 @@
+package server
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"nnlqp/internal/onnx"
+)
+
+// Client is the Go client for the HTTP API.
+type Client struct {
+	BaseURL string
+	HTTP    *http.Client
+}
+
+// NewClient creates a client for a server at baseURL (e.g.
+// "http://127.0.0.1:8080").
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: baseURL, HTTP: http.DefaultClient}
+}
+
+func (c *Client) post(path string, req *Request, out any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	resp, err := c.HTTP.Post(c.BaseURL+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var er errorResponse
+		if json.Unmarshal(data, &er) == nil && er.Error != "" {
+			return fmt.Errorf("server: %s", er.Error)
+		}
+		return fmt.Errorf("server: status %d", resp.StatusCode)
+	}
+	return json.Unmarshal(data, out)
+}
+
+func encodeRequest(g *onnx.Graph, platform string, batch int) (*Request, error) {
+	raw, err := g.EncodeBinary()
+	if err != nil {
+		return nil, err
+	}
+	return &Request{
+		Model:     base64.StdEncoding.EncodeToString(raw),
+		Platform:  platform,
+		BatchSize: batch,
+	}, nil
+}
+
+// Query requests a true latency measurement (or cache hit).
+func (c *Client) Query(g *onnx.Graph, platform string, batch int) (*QueryResponse, error) {
+	req, err := encodeRequest(g, platform, batch)
+	if err != nil {
+		return nil, err
+	}
+	var out QueryResponse
+	if err := c.post("/query", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Predict requests an NNLP latency prediction.
+func (c *Client) Predict(g *onnx.Graph, platform string, batch int) (float64, error) {
+	req, err := encodeRequest(g, platform, batch)
+	if err != nil {
+		return 0, err
+	}
+	var out PredictResponse
+	if err := c.post("/predict", req, &out); err != nil {
+		return 0, err
+	}
+	return out.LatencyMS, nil
+}
+
+// Platforms lists the server's platforms.
+func (c *Client) Platforms() ([]string, error) {
+	resp, err := c.HTTP.Get(c.BaseURL + "/platforms")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var out map[string][]string
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return out["platforms"], nil
+}
+
+// Stats fetches server statistics.
+func (c *Client) Stats() (*StatsResponse, error) {
+	resp, err := c.HTTP.Get(c.BaseURL + "/stats")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var out StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}

@@ -1,0 +1,219 @@
+// Package server exposes NNLQP's unified latency query and prediction
+// interface over HTTP with JSON payloads — the reproduction's analogue of
+// the paper's Flask serving layer (§7). Endpoints:
+//
+//	POST /query    {model: <base64 binary>, platform, batch_size} -> {latency_ms, cache_hit, pipeline_seconds}
+//	POST /predict  {model: <base64 binary>, platform, batch_size} -> {latency_ms}
+//	GET  /platforms                                               -> {platforms: [...]}
+//	GET  /stats                                                   -> cache and database counters
+//	GET  /healthz                                                 -> ok
+package server
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+
+	"nnlqp/internal/core"
+	"nnlqp/internal/db"
+	"nnlqp/internal/hwsim"
+	"nnlqp/internal/onnx"
+	"nnlqp/internal/query"
+)
+
+// Server is the HTTP service state.
+type Server struct {
+	sys  *query.System
+	mu   sync.RWMutex
+	pred *core.Predictor
+}
+
+// New builds a server over a store, a device farm, and an optional trained
+// predictor (nil disables /predict until SetPredictor).
+func New(store *db.Store, farm query.Measurer, pred *core.Predictor) *Server {
+	return &Server{sys: query.New(store, farm), pred: pred}
+}
+
+// SetPredictor installs (or replaces) the predictor served by /predict.
+func (s *Server) SetPredictor(p *core.Predictor) {
+	s.mu.Lock()
+	s.pred = p
+	s.mu.Unlock()
+}
+
+// Request is the JSON body of /query and /predict.
+type Request struct {
+	// Model is the base64-encoded binary model (onnx.EncodeBinary).
+	Model string `json:"model"`
+	// Platform is the target platform name.
+	Platform string `json:"platform"`
+	// BatchSize optionally overrides the model's declared batch size.
+	BatchSize int `json:"batch_size,omitempty"`
+}
+
+// QueryResponse is the JSON body returned by /query.
+type QueryResponse struct {
+	LatencyMS       float64 `json:"latency_ms"`
+	CacheHit        bool    `json:"cache_hit"`
+	PipelineSeconds float64 `json:"pipeline_seconds"`
+}
+
+// PredictResponse is the JSON body returned by /predict.
+type PredictResponse struct {
+	LatencyMS float64 `json:"latency_ms"`
+}
+
+// StatsResponse is the JSON body returned by /stats.
+type StatsResponse struct {
+	Queries      int     `json:"queries"`
+	Hits         int     `json:"hits"`
+	Misses       int     `json:"misses"`
+	HitRatio     float64 `json:"hit_ratio"`
+	Models       int     `json:"models"`
+	Platforms    int     `json:"platforms"`
+	Latencies    int     `json:"latencies"`
+	StorageBytes int64   `json:"storage_bytes"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Handler returns the HTTP mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/predict", s.handlePredict)
+	mux.HandleFunc("/platforms", s.handlePlatforms)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+// decodeModel parses and validates the request's model.
+func decodeModel(req *Request) (*onnx.Graph, error) {
+	raw, err := base64.StdEncoding.DecodeString(req.Model)
+	if err != nil {
+		return nil, fmt.Errorf("model is not valid base64: %w", err)
+	}
+	g, err := onnx.DecodeBinary(raw)
+	if err != nil {
+		return nil, fmt.Errorf("model does not decode: %w", err)
+	}
+	if req.BatchSize > 0 {
+		for i := range g.Inputs {
+			if len(g.Inputs[i].Shape) > 0 {
+				g.Inputs[i].Shape[0] = req.BatchSize
+			}
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+func readRequest(w http.ResponseWriter, r *http.Request) (*Request, *onnx.Graph, bool) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return nil, nil, false
+	}
+	var req Request
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad json: %w", err))
+		return nil, nil, false
+	}
+	if req.Platform == "" {
+		writeErr(w, http.StatusBadRequest, errors.New("platform required"))
+		return nil, nil, false
+	}
+	g, err := decodeModel(&req)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return nil, nil, false
+	}
+	return &req, g, true
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	req, g, ok := readRequest(w, r)
+	if !ok {
+		return
+	}
+	res, err := s.sys.Query(g, req.Platform)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, QueryResponse{LatencyMS: res.LatencyMS, CacheHit: res.Hit, PipelineSeconds: res.SimSeconds})
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	req, g, ok := readRequest(w, r)
+	if !ok {
+		return
+	}
+	s.mu.RLock()
+	pred := s.pred
+	s.mu.RUnlock()
+	if pred == nil {
+		writeErr(w, http.StatusServiceUnavailable, errors.New("no trained predictor loaded"))
+		return
+	}
+	v, err := pred.Predict(g, req.Platform)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, PredictResponse{LatencyMS: v})
+}
+
+func (s *Server) handlePlatforms(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("GET required"))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string][]string{"platforms": hwsim.PlatformNames()})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("GET required"))
+		return
+	}
+	st := s.sys.Stats()
+	m, p, l := s.sys.Store().Counts()
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Queries: st.Queries, Hits: st.Hits, Misses: st.Misses, HitRatio: st.HitRatio(),
+		Models: m, Platforms: p, Latencies: l, StorageBytes: s.sys.Store().StorageBytes(),
+	})
+}
+
+// Serve starts an HTTP listener on addr (use "127.0.0.1:0" for ephemeral)
+// and returns the bound address and a shutdown func.
+func (s *Server) Serve(addr string) (string, func() error, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: s.Handler()}
+	go func() { _ = srv.Serve(lis) }()
+	return lis.Addr().String(), srv.Close, nil
+}

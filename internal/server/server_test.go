@@ -1,0 +1,196 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"nnlqp/internal/core"
+	"nnlqp/internal/db"
+	"nnlqp/internal/hwsim"
+	"nnlqp/internal/models"
+)
+
+func startServer(t *testing.T, pred *core.Predictor) (*Client, *Server) {
+	t.Helper()
+	store, err := db.OpenStore("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { store.Close() })
+	srv := New(store, &hwsim.LocalFarm{Farm: hwsim.NewDefaultFarm(2)}, pred)
+	addr, stop, err := srv.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { stop() })
+	return NewClient("http://" + addr), srv
+}
+
+func TestQueryEndpoint(t *testing.T) {
+	c, _ := startServer(t, nil)
+	g := models.BuildSqueezeNet(models.BaseSqueezeNet(1))
+
+	r1, err := c.Query(g, hwsim.DatasetPlatform, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.CacheHit || r1.LatencyMS <= 0 {
+		t.Fatalf("first query: %+v", r1)
+	}
+	r2, err := c.Query(g, hwsim.DatasetPlatform, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.CacheHit || r2.LatencyMS != r1.LatencyMS {
+		t.Fatalf("second query should hit: %+v", r2)
+	}
+
+	// Batch override changes the cache key.
+	r3, err := c.Query(g, hwsim.DatasetPlatform, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.CacheHit || r3.LatencyMS <= r1.LatencyMS {
+		t.Fatalf("batch-4 query: %+v", r3)
+	}
+
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two model records: the batch-4 variant has a different input shape
+	// and therefore a different graph hash.
+	if st.Queries != 3 || st.Hits != 1 || st.Models != 2 || st.Latencies != 2 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestPredictEndpoint(t *testing.T) {
+	// Train a minimal predictor.
+	p, err := hwsim.PlatformByName(hwsim.DatasetPlatform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Hidden, cfg.Depth, cfg.HeadHidden, cfg.Epochs = 16, 2, 16, 5
+	pred := core.New(cfg)
+	var train []core.Sample
+	for i := 0; i < 12; i++ {
+		g := models.BuildSqueezeNet(models.BaseSqueezeNet(1))
+		g.Name = string(rune('a' + i))
+		ms, _ := p.TrueLatencyMS(g)
+		s, _ := core.NewSample(g, ms, p.Name)
+		train = append(train, s)
+	}
+	if err := pred.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+
+	c, srv := startServer(t, nil)
+	g := models.BuildSqueezeNet(models.BaseSqueezeNet(1))
+	if _, err := c.Predict(g, hwsim.DatasetPlatform, 0); err == nil {
+		t.Fatal("want no-predictor error")
+	}
+	srv.SetPredictor(pred)
+	v, err := c.Predict(g, hwsim.DatasetPlatform, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v <= 0 {
+		t.Fatalf("prediction = %f", v)
+	}
+	// Unknown head.
+	if _, err := c.Predict(g, "rv1109-rknn-int8", 0); err == nil {
+		t.Fatal("want no-head error")
+	}
+}
+
+func TestPlatformsEndpoint(t *testing.T) {
+	c, _ := startServer(t, nil)
+	plats, err := c.Platforms()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plats) != len(hwsim.Platforms()) {
+		t.Fatalf("platforms = %d", len(plats))
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	c, _ := startServer(t, nil)
+	base := c.BaseURL
+
+	post := func(body string) int {
+		resp, err := http.Post(base+"/query", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		return resp.StatusCode
+	}
+	if got := post("{not json"); got != http.StatusBadRequest {
+		t.Fatalf("bad json -> %d", got)
+	}
+	if got := post(`{"model":"aGVsbG8=","platform":""}`); got != http.StatusBadRequest {
+		t.Fatalf("missing platform -> %d", got)
+	}
+	if got := post(`{"model":"!!!","platform":"x"}`); got != http.StatusBadRequest {
+		t.Fatalf("bad base64 -> %d", got)
+	}
+	if got := post(`{"model":"aGVsbG8=","platform":"x"}`); got != http.StatusBadRequest {
+		t.Fatalf("bad model bytes -> %d", got)
+	}
+	// Unknown platform with a valid model.
+	g := models.BuildSqueezeNet(models.BaseSqueezeNet(1))
+	if _, err := c.Query(g, "quantum-chip", 0); err == nil {
+		t.Fatal("want unknown-platform error")
+	}
+	// Wrong methods.
+	resp, err := http.Get(base + "/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /query -> %d", resp.StatusCode)
+	}
+	req, _ := http.NewRequest(http.MethodPost, base+"/platforms", bytes.NewReader(nil))
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /platforms -> %d", resp.StatusCode)
+	}
+	// Health check.
+	resp, err = http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz -> %d", resp.StatusCode)
+	}
+}
+
+func TestStatsJSONShape(t *testing.T) {
+	c, _ := startServer(t, nil)
+	resp, err := http.Get(c.BaseURL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"queries", "hits", "misses", "models", "latencies"} {
+		if _, ok := m[k]; !ok {
+			t.Fatalf("stats missing %q", k)
+		}
+	}
+}

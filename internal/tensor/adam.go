@@ -1,0 +1,72 @@
+package tensor
+
+import "math"
+
+// Param is one learnable tensor together with its gradient accumulator.
+type Param struct {
+	Name  string
+	Value *Matrix
+	Grad  *Matrix
+}
+
+// NewParam allocates a parameter and its gradient of the given shape.
+func NewParam(name string, rows, cols int) *Param {
+	return &Param{Name: name, Value: NewMatrix(rows, cols), Grad: NewMatrix(rows, cols)}
+}
+
+// ZeroGrad clears the gradient.
+func (p *Param) ZeroGrad() { p.Grad.Zero() }
+
+// Adam implements Kingma & Ba's optimizer (the paper trains with Adam at
+// lr=0.001), with bias-corrected first and second moments.
+type Adam struct {
+	LR      float64
+	Beta1   float64
+	Beta2   float64
+	Epsilon float64
+
+	step int
+	m    map[*Param][]float64
+	v    map[*Param][]float64
+}
+
+// NewAdam creates an optimizer with the paper's defaults.
+func NewAdam(lr float64) *Adam {
+	return &Adam{
+		LR: lr, Beta1: 0.9, Beta2: 0.999, Epsilon: 1e-8,
+		m: make(map[*Param][]float64), v: make(map[*Param][]float64),
+	}
+}
+
+// Step applies one update to every parameter from its accumulated gradient,
+// then leaves gradients untouched (call ZeroGrad separately, so gradient
+// accumulation across a mini-batch works naturally).
+func (a *Adam) Step(params []*Param) {
+	a.step++
+	b1c := 1 - math.Pow(a.Beta1, float64(a.step))
+	b2c := 1 - math.Pow(a.Beta2, float64(a.step))
+	for _, p := range params {
+		m, ok := a.m[p]
+		if !ok {
+			m = make([]float64, len(p.Value.Data))
+			a.m[p] = m
+			a.v[p] = make([]float64, len(p.Value.Data))
+		}
+		v := a.v[p]
+		for i, g := range p.Grad.Data {
+			m[i] = a.Beta1*m[i] + (1-a.Beta1)*g
+			v[i] = a.Beta2*v[i] + (1-a.Beta2)*g*g
+			mh := m[i] / b1c
+			vh := v[i] / b2c
+			p.Value.Data[i] -= a.LR * mh / (math.Sqrt(vh) + a.Epsilon)
+		}
+	}
+}
+
+// Reset forgets optimizer state (moments and step), used when fine-tuning
+// restarts from pre-trained weights.
+func (a *Adam) Reset() {
+	a.step = 0
+	a.m = make(map[*Param][]float64)
+	a.v = make(map[*Param][]float64)
+}

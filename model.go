@@ -1,0 +1,165 @@
+package nnlqp
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"nnlqp/internal/graphhash"
+	"nnlqp/internal/models"
+	"nnlqp/internal/onnx"
+)
+
+// Model is an opaque handle to a weight-free DNN computation graph (the
+// system's unit of latency query and prediction).
+type Model struct {
+	g *onnx.Graph
+}
+
+// LoadModel reads a serialized model. The format is auto-detected: the
+// compact binary encoding (recommended, extension .nnlqp) or JSON.
+func LoadModel(path string) (*Model, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeModel(data)
+}
+
+// DecodeModel parses serialized model bytes (binary or JSON).
+func DecodeModel(data []byte) (*Model, error) {
+	var g *onnx.Graph
+	var err error
+	if bytes.HasPrefix(bytes.TrimLeft(data, " \t\r\n"), []byte("{")) {
+		g, err = onnx.DecodeJSON(data)
+	} else {
+		g, err = onnx.DecodeBinary(data)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("nnlqp: decode model: %w", err)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return &Model{g: g}, nil
+}
+
+// Save writes the model in the compact binary format.
+func (m *Model) Save(path string) error {
+	data, err := m.g.EncodeBinary()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// MarshalBinary returns the compact binary encoding.
+func (m *Model) MarshalBinary() ([]byte, error) { return m.g.EncodeBinary() }
+
+// MarshalJSON returns the human-readable JSON encoding.
+func (m *Model) MarshalJSON() ([]byte, error) { return m.g.EncodeJSON() }
+
+// Name returns the model's name.
+func (m *Model) Name() string { return m.g.Name }
+
+// Family returns the model-family label.
+func (m *Model) Family() string { return m.g.Family }
+
+// NumOperators returns the operator count.
+func (m *Model) NumOperators() int { return m.g.NumNodes() }
+
+// BatchSize returns the declared batch size.
+func (m *Model) BatchSize() int { return m.g.BatchSize() }
+
+// Hash returns the 8-byte graph-hash key (hex) that identifies this model
+// structure in the database.
+func (m *Model) Hash() string { return graphhash.MustGraphKey(m.g).String() }
+
+// Stats summarizes the model's static cost figures.
+type ModelStats struct {
+	Operators int
+	GFLOPs    float64
+	MParams   float64
+	MACMB     float64
+}
+
+// Stats computes FLOPs/parameter/memory-access statistics (fp32).
+func (m *Model) Stats() (ModelStats, error) {
+	c, err := m.g.Cost(4)
+	if err != nil {
+		return ModelStats{}, err
+	}
+	return ModelStats{
+		Operators: m.g.NumNodes(),
+		GFLOPs:    float64(c.FLOPs) / 1e9,
+		MParams:   float64(c.Params) / 1e6,
+		MACMB:     float64(c.MAC) / (1 << 20),
+	}, nil
+}
+
+// WithBatchSize returns a copy of the model with a different leading input
+// dimension.
+func (m *Model) WithBatchSize(batch int) *Model {
+	g := m.g.Clone()
+	for i := range g.Inputs {
+		if len(g.Inputs[i].Shape) > 0 {
+			g.Inputs[i].Shape[0] = batch
+		}
+	}
+	return &Model{g: g}
+}
+
+// String renders a one-line summary.
+func (m *Model) String() string {
+	return fmt.Sprintf("%s (%s, %d ops, batch %d)", m.g.Name, m.g.Family, m.g.NumNodes(), m.g.BatchSize())
+}
+
+// Families lists the model-zoo family names available to NewVariant and
+// Canonical.
+func Families() []string { return append([]string(nil), models.Families...) }
+
+// NewVariant builds a random variant of the named family (deterministic
+// under seed), mirroring the dataset construction of the paper's §8.1.
+func NewVariant(family string, seed int64, batch int) (*Model, error) {
+	g, err := models.Variant(family, rand.New(rand.NewSource(seed)), batch)
+	if err != nil {
+		return nil, err
+	}
+	g.Name = fmt.Sprintf("%s-seed%d", strings.ToLower(family), seed)
+	return &Model{g: g}, nil
+}
+
+// Canonical builds the family's canonical architecture (ResNet-18, VGG-16,
+// MobileNetV2 1.0×, ...).
+func Canonical(family string, batch int) (*Model, error) {
+	var g *onnx.Graph
+	switch family {
+	case models.FamilyAlexNet:
+		g = models.BuildAlexNet(models.BaseAlexNet(batch))
+	case models.FamilyVGG:
+		g = models.BuildVGG(models.BaseVGG(batch))
+	case models.FamilyGoogleNet:
+		g = models.BuildGoogleNet(models.BaseGoogleNet(batch))
+	case models.FamilyResNet:
+		g = models.BuildResNet(models.BaseResNet(batch))
+	case models.FamilySqueezeNet:
+		g = models.BuildSqueezeNet(models.BaseSqueezeNet(batch))
+	case models.FamilyMobileNetV2:
+		g = models.BuildMobileNetV2(models.BaseMobileNetV2(batch))
+	case models.FamilyMobileNetV3:
+		g = models.BuildMobileNetV3(models.BaseMobileNetV3(batch))
+	case models.FamilyMnasNet:
+		g = models.BuildMnasNet(models.BaseMnasNet(batch))
+	case models.FamilyEfficientNet:
+		g = models.BuildEfficientNet(models.BaseEfficientNet(batch))
+	case models.FamilyNasBench201:
+		g = models.BuildNasBench201(models.BaseNasBench201(batch))
+	case models.FamilyDetection:
+		g = models.BuildDetection(models.BaseDetection(batch))
+	default:
+		return nil, fmt.Errorf("nnlqp: unknown family %q (have %v)", family, Families())
+	}
+	return &Model{g: g}, nil
+}

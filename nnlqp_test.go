@@ -1,0 +1,260 @@
+package nnlqp
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func newClient(t *testing.T) *Client {
+	t.Helper()
+	c, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestQueryInterfaceMirrorsPaper(t *testing.T) {
+	c := newClient(t)
+	m, err := Canonical("SqueezeNet", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := Params{Model: m, BatchSize: 1, PlatformName: "cpu-openppl-fp32"}
+	lat, err := c.Query(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat <= 0 {
+		t.Fatal("latency must be positive")
+	}
+	// Second query hits the evolving database.
+	r, err := c.QueryDetailed(params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.CacheHit || r.LatencyMS != lat {
+		t.Fatalf("second query should hit with same value: %+v vs %f", r, lat)
+	}
+	st := c.Stats()
+	if st.Queries != 2 || st.CacheHits != 1 || st.Models != 1 || st.Latencies != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestQueryFromModelFile(t *testing.T) {
+	c := newClient(t)
+	m, _ := Canonical("ResNet", 1)
+	path := filepath.Join(t.TempDir(), "resnet.nnlqp")
+	if err := m.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	lat, err := c.Query(Params{ModelPath: path, PlatformName: "gpu-T4-trt7.1-fp32"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat <= 0 {
+		t.Fatal("latency must be positive")
+	}
+	// Missing both Model and ModelPath.
+	if _, err := c.Query(Params{PlatformName: "gpu-T4-trt7.1-fp32"}); err == nil {
+		t.Fatal("want params error")
+	}
+}
+
+func TestBatchSizeOverride(t *testing.T) {
+	c := newClient(t)
+	m, _ := Canonical("SqueezeNet", 1)
+	l1, err := c.Query(Params{Model: m, PlatformName: "gpu-T4-trt7.1-fp32"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l8, err := c.Query(Params{Model: m, BatchSize: 8, PlatformName: "gpu-T4-trt7.1-fp32"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l8 <= l1 {
+		t.Fatalf("batch 8 (%.3f) should exceed batch 1 (%.3f)", l8, l1)
+	}
+}
+
+func TestPredictRequiresTraining(t *testing.T) {
+	c := newClient(t)
+	m, _ := Canonical("SqueezeNet", 1)
+	if _, err := c.Predict(Params{Model: m, PlatformName: "gpu-T4-trt7.1-fp32"}); err == nil {
+		t.Fatal("want untrained error")
+	}
+	if _, err := c.PredictAll(m); err == nil {
+		t.Fatal("want untrained error")
+	}
+	if c.PredictorPlatforms() != nil {
+		t.Fatal("no platforms before training")
+	}
+}
+
+func TestTrainPredictEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training test")
+	}
+	c := newClient(t)
+	err := c.TrainPredictor(TrainOptions{
+		Platforms:   []string{"gpu-T4-trt7.1-fp32"},
+		Families:    []string{"SqueezeNet", "ResNet"},
+		PerPlatform: 60,
+		Epochs:      20,
+		Hidden:      24,
+		Depth:       2,
+		Seed:        5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mape, acc, err := c.EvaluatePredictor("gpu-T4-trt7.1-fp32", 20, 99, "SqueezeNet", "ResNet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("eval: MAPE %.2f%% Acc10 %.2f%%", mape, acc)
+	if mape > 25 {
+		t.Fatalf("MAPE %.2f%% too high", mape)
+	}
+	// Predict and compare against a true query.
+	m, _ := NewVariant("SqueezeNet", 12345, 1)
+	pred, err := c.Predict(Params{Model: m, PlatformName: "gpu-T4-trt7.1-fp32"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, err := c.Query(Params{Model: m, PlatformName: "gpu-T4-trt7.1-fp32"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := (pred - truth) / truth
+	if rel < -0.6 || rel > 0.6 {
+		t.Fatalf("prediction %.3f far from truth %.3f", pred, truth)
+	}
+
+	// Save / reload through the client.
+	path := filepath.Join(t.TempDir(), "pred.gob")
+	if err := c.SavePredictor(path); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := New(Options{PredictorPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	pred2, err := c2.Predict(Params{Model: m, PlatformName: "gpu-T4-trt7.1-fp32"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred2 != pred {
+		t.Fatalf("reloaded predictor disagrees: %f vs %f", pred2, pred)
+	}
+	if got := c2.PredictorPlatforms(); len(got) != 1 || got[0] != "gpu-T4-trt7.1-fp32" {
+		t.Fatalf("predictor platforms = %v", got)
+	}
+}
+
+func TestModelZooAndSerialization(t *testing.T) {
+	fams := Families()
+	if len(fams) != 10 {
+		t.Fatalf("families = %d", len(fams))
+	}
+	m, err := NewVariant("MobileNetV2", 7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Family() != "MobileNetV2" || m.NumOperators() == 0 || m.BatchSize() != 1 {
+		t.Fatalf("model metadata wrong: %s", m)
+	}
+	st, err := m.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.GFLOPs <= 0 || st.MParams <= 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Same seed, same structure hash.
+	m2, _ := NewVariant("MobileNetV2", 7, 1)
+	if m.Hash() != m2.Hash() {
+		t.Fatal("variant not deterministic under seed")
+	}
+	// Binary and JSON round trips.
+	bin, err := m.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeModel(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Hash() != m.Hash() {
+		t.Fatal("binary round trip changed the structure")
+	}
+	js, err := m.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err = DecodeModel(js)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Hash() != m.Hash() {
+		t.Fatal("JSON round trip changed the structure")
+	}
+	if _, err := DecodeModel([]byte("garbage")); err == nil {
+		t.Fatal("want decode error")
+	}
+	if _, err := Canonical("Transformer", 1); err == nil {
+		t.Fatal("want unknown-family error")
+	}
+	if _, err := NewVariant("Transformer", 1, 1); err == nil {
+		t.Fatal("want unknown-family error")
+	}
+}
+
+func TestCanonicalFamiliesAllBuild(t *testing.T) {
+	for _, fam := range append(Families(), "Detection") {
+		m, err := Canonical(fam, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", fam, err)
+		}
+		if m.NumOperators() == 0 {
+			t.Fatalf("%s: empty model", fam)
+		}
+	}
+}
+
+func TestPlatformsListed(t *testing.T) {
+	c := newClient(t)
+	plats := c.Platforms()
+	if len(plats) < 10 {
+		t.Fatalf("platforms = %d", len(plats))
+	}
+}
+
+func TestUnsupportedOpErrorSurfaced(t *testing.T) {
+	c := newClient(t)
+	m, _ := Canonical("MobileNetV3", 1)
+	if _, err := c.Query(Params{Model: m, PlatformName: "cpu-openppl-fp32"}); err == nil {
+		t.Fatal("want unsupported-op error (hard-sigmoid on openppl)")
+	}
+}
+
+func TestProfileRendering(t *testing.T) {
+	c := newClient(t)
+	m, _ := Canonical("SqueezeNet", 1)
+	out, err := c.Profile(m, "gpu-T4-trt7.1-fp32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"profile of", "Conv+Relu", "KERNEL", "standalone kernel sum"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("profile output missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := c.Profile(m, "bogus-platform"); err == nil {
+		t.Fatal("want unknown-platform error")
+	}
+}

@@ -1,0 +1,173 @@
+package nnlqp
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"nnlqp/internal/core"
+	"nnlqp/internal/hwsim"
+	"nnlqp/internal/models"
+)
+
+// TrainOptions controls predictor training.
+type TrainOptions struct {
+	// Platforms to train heads for (default: the paper's nine evaluation
+	// platforms).
+	Platforms []string
+	// PerPlatform is the number of models measured per platform
+	// (default 200).
+	PerPlatform int
+	// Families restricts the model zoo used to build the training set
+	// (default: all ten families; models a platform cannot run are
+	// skipped, as on real hardware).
+	Families []string
+	// Epochs / Hidden / Depth size the GNN (defaults 30 / 48 / 3).
+	Epochs int
+	Hidden int
+	Depth  int
+	// Seed drives model generation and training determinism.
+	Seed int64
+}
+
+func (o TrainOptions) withDefaults() TrainOptions {
+	if len(o.Platforms) == 0 {
+		o.Platforms = append([]string(nil), hwsim.EvalPlatforms...)
+	}
+	if o.PerPlatform <= 0 {
+		o.PerPlatform = 200
+	}
+	if len(o.Families) == 0 {
+		o.Families = append([]string(nil), models.Families...)
+	}
+	if o.Epochs <= 0 {
+		o.Epochs = 30
+	}
+	if o.Hidden <= 0 {
+		o.Hidden = 48
+	}
+	if o.Depth <= 0 {
+		o.Depth = 3
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+func (o TrainOptions) config() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Epochs = o.Epochs
+	cfg.Hidden = o.Hidden
+	cfg.HeadHidden = o.Hidden
+	cfg.Depth = o.Depth
+	cfg.Seed = o.Seed
+	cfg.LR = 2e-3
+	return cfg
+}
+
+// collectSamples measures opts.PerPlatform models per platform through the
+// query system, so every measurement also lands in the evolving database.
+// Models whose operators a platform cannot run are skipped.
+func (c *Client) collectSamples(opts TrainOptions) ([]core.Sample, error) {
+	var out []core.Sample
+	for pi, plat := range opts.Platforms {
+		rng := rand.New(rand.NewSource(opts.Seed + int64(pi)*1000))
+		collected := 0
+		attempts := 0
+		for collected < opts.PerPlatform && attempts < opts.PerPlatform*3 {
+			attempts++
+			fam := opts.Families[attempts%len(opts.Families)]
+			g, err := models.Variant(fam, rng, 1)
+			if err != nil {
+				return nil, err
+			}
+			g.Name = fmt.Sprintf("train-%s-%s-%04d", plat, fam, attempts)
+			res, err := c.sys.Query(g, plat)
+			if err != nil {
+				var unsupported *hwsim.UnsupportedOpError
+				if errors.As(err, &unsupported) {
+					continue // platform cannot run this family
+				}
+				return nil, err
+			}
+			s, err := core.NewSample(g, res.LatencyMS, plat)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, s)
+			collected++
+		}
+		if collected == 0 {
+			return nil, fmt.Errorf("nnlqp: no runnable models for platform %s", plat)
+		}
+	}
+	return out, nil
+}
+
+// TrainPredictor measures a training corpus through the query system
+// (populating the evolving database as a side effect) and trains the
+// multi-platform NNLP predictor on it.
+func (c *Client) TrainPredictor(opts TrainOptions) error {
+	opts = opts.withDefaults()
+	samples, err := c.collectSamples(opts)
+	if err != nil {
+		return err
+	}
+	pred := core.New(opts.config())
+	if err := pred.Fit(samples); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.pred = pred
+	c.mu.Unlock()
+	return nil
+}
+
+// FineTuneOnPlatform extends a trained predictor to a new platform using
+// few measured samples (the paper's unseen-platform transfer learning,
+// §8.6): the shared backbone transfers, only a new head plus light
+// fine-tuning are needed.
+func (c *Client) FineTuneOnPlatform(platform string, numSamples int, epochs int, seed int64) error {
+	c.mu.Lock()
+	pred := c.pred
+	c.mu.Unlock()
+	if pred == nil {
+		return fmt.Errorf("nnlqp: no trained predictor; call TrainPredictor first")
+	}
+	opts := TrainOptions{
+		Platforms: []string{platform}, PerPlatform: numSamples, Seed: seed,
+	}.withDefaults()
+	samples, err := c.collectSamples(opts)
+	if err != nil {
+		return err
+	}
+	if epochs <= 0 {
+		epochs = 30
+	}
+	return pred.FineTune(samples, epochs)
+}
+
+// EvaluatePredictor measures fresh models on a platform and reports the
+// predictor's MAPE and Acc(10%) against them. When families are given, the
+// evaluation models are drawn from those families only (otherwise the full
+// zoo, which probes unseen-structure generalization for narrowly-trained
+// predictors).
+func (c *Client) EvaluatePredictor(platform string, numSamples int, seed int64, families ...string) (mape, acc10 float64, err error) {
+	c.mu.RLock()
+	pred := c.pred
+	c.mu.RUnlock()
+	if pred == nil {
+		return 0, 0, fmt.Errorf("nnlqp: no trained predictor")
+	}
+	opts := TrainOptions{Platforms: []string{platform}, PerPlatform: numSamples, Seed: seed, Families: families}.withDefaults()
+	samples, err := c.collectSamples(opts)
+	if err != nil {
+		return 0, 0, err
+	}
+	m, err := pred.Evaluate(samples)
+	if err != nil {
+		return 0, 0, err
+	}
+	return m.MAPE, m.Acc10, nil
+}
