@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: build test race check fmt vet bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detector pass over the packages with real concurrency.
+race:
+	$(GO) test -race ./internal/query ./internal/hwsim ./internal/server
+
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+check: fmt vet build race test
+
+bench:
+	$(GO) test -bench . -benchtime 1x

@@ -11,6 +11,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -83,7 +84,7 @@ func main() {
 					log.Fatal(err)
 				}
 				g.Name = fmt.Sprintf("%s-%05d", fam, i)
-				res, err := sys.Query(g, plat)
+				res, err := sys.Query(context.Background(), g, plat)
 				if err != nil {
 					var unsupported *hwsim.UnsupportedOpError
 					if errors.As(err, &unsupported) {

@@ -13,6 +13,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"syscall"
 
 	"nnlqp/internal/hwsim"
 )
@@ -33,7 +34,7 @@ func main() {
 	fmt.Print(hwsim.FleetSummary())
 
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	log.Println("shutting down")
+	log.Printf("shutting down (cumulative device wait %.1fs)", farm.WaitSeconds())
 }

@@ -6,6 +6,9 @@
 //
 //	nnlqp-server -addr :8080 -db ./nnlqp-data -predictor pred.gob
 //	nnlqp-server -addr :8080 -farm 127.0.0.1:9090   # remote device farm
+//
+// On SIGINT/SIGTERM the server stops accepting connections and drains
+// in-flight requests for up to -shutdown-grace before exiting.
 package main
 
 import (
@@ -14,6 +17,8 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"syscall"
+	"time"
 
 	"nnlqp/internal/core"
 	"nnlqp/internal/db"
@@ -28,6 +33,8 @@ func main() {
 	predictorPath := flag.String("predictor", "", "trained predictor file (optional)")
 	farmAddr := flag.String("farm", "", "remote device farm address (empty = in-process farm)")
 	devices := flag.Int("devices", 2, "devices per platform for the in-process farm")
+	reqTimeout := flag.Duration("request-timeout", server.DefaultRequestTimeout, "per-request deadline for /query and /predict (0 = none)")
+	shutdownGrace := flag.Duration("shutdown-grace", server.DefaultShutdownGrace, "in-flight request drain deadline on shutdown")
 	flag.Parse()
 
 	store, err := db.OpenStore(*dbDir)
@@ -63,16 +70,22 @@ func main() {
 	}
 
 	srv := server.New(store, farm, pred)
+	srv.RequestTimeout = *reqTimeout
+	srv.ShutdownGrace = *shutdownGrace
 	bound, stop, err := srv.Serve(*addr)
 	if err != nil {
 		log.Fatalf("listen: %v", err)
 	}
-	defer stop()
 	fmt.Printf("nnlqp-server listening on http://%s\n", bound)
 	fmt.Print(hwsim.FleetSummary())
 
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	log.Println("shutting down")
+	log.Printf("shutting down (draining for up to %s)", *shutdownGrace)
+	start := time.Now()
+	if err := stop(); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+	log.Printf("drained in %.1fs", time.Since(start).Seconds())
 }

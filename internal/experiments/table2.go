@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -107,7 +108,7 @@ func queryAllCost(graphs []*onnx.Graph, platform string, warm int, farm query.Me
 			return 0, err
 		}
 	}
-	_, total, err := sys.QueryMany(graphs, platform)
+	_, total, err := sys.QueryMany(context.Background(), graphs, platform)
 	return total, err
 }
 

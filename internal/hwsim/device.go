@@ -1,8 +1,10 @@
 package hwsim
 
 import (
+	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"nnlqp/internal/onnx"
 )
@@ -18,13 +20,15 @@ type Device struct {
 
 // Farm is the device pool: a set of devices per platform with
 // acquire/release semantics. Acquire blocks until a device of the requested
-// platform is idle, mirroring device contention in the real system.
+// platform is idle or the caller's context is done, mirroring device
+// contention in the real system.
 type Farm struct {
-	mu   sync.Mutex
-	cond *sync.Cond
-	idle map[string][]*Device // platform name -> idle devices
-	all  map[string][]*Device
-	held map[string]string // device ID -> holder tag
+	mu      sync.Mutex
+	cond    *sync.Cond
+	idle    map[string][]*Device // platform name -> idle devices
+	all     map[string][]*Device
+	held    map[string]string // device ID -> holder tag
+	waitSec float64           // cumulative seconds callers spent blocked in Acquire
 }
 
 // NewFarm creates an empty farm.
@@ -66,6 +70,21 @@ func (f *Farm) Devices(platform string) int {
 	return len(f.all[platform])
 }
 
+// Idle returns the number of currently idle devices for a platform.
+func (f *Farm) Idle(platform string) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.idle[platform])
+}
+
+// WaitSeconds returns the cumulative wall-clock time callers have spent
+// blocked in Acquire waiting for a device, across all platforms.
+func (f *Farm) WaitSeconds() float64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.waitSec
+}
+
 // TryAcquire grabs an idle device of the platform without blocking,
 // returning nil when none is idle.
 func (f *Farm) TryAcquire(platform, holder string) *Device {
@@ -85,15 +104,34 @@ func (f *Farm) tryAcquireLocked(platform, holder string) *Device {
 	return d
 }
 
-// Acquire blocks until a device of the platform is idle. It returns an
-// error immediately when the farm has no such devices at all.
-func (f *Farm) Acquire(platform, holder string) (*Device, error) {
+// Acquire blocks until a device of the platform is idle or ctx is done. It
+// returns an error immediately when the farm has no such devices at all,
+// and ctx.Err() when the context is cancelled while waiting; in that case
+// no device slot is consumed.
+func (f *Farm) Acquire(ctx context.Context, platform, holder string) (*Device, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if len(f.all[platform]) == 0 {
 		return nil, fmt.Errorf("hwsim: farm has no devices for platform %q", platform)
 	}
+	if d := f.tryAcquireLocked(platform, holder); d != nil {
+		return d, nil
+	}
+	// Slow path: wait on the cond until a release (or cancellation) wakes
+	// us. The AfterFunc takes f.mu before broadcasting so the wakeup cannot
+	// slip between our ctx.Err() check and cond.Wait().
+	stop := context.AfterFunc(ctx, func() {
+		f.mu.Lock()
+		f.cond.Broadcast()
+		f.mu.Unlock()
+	})
+	defer stop()
+	start := time.Now()
+	defer func() { f.waitSec += time.Since(start).Seconds() }()
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if d := f.tryAcquireLocked(platform, holder); d != nil {
 			return d, nil
 		}

@@ -13,7 +13,7 @@ func convNode(outCh, kernel, group int) (*onnx.Node, onnx.Shape) {
 			"channels":     onnx.IntAttr(int64(outCh)),
 			"kernel_shape": onnx.IntsAttr(int64(kernel), int64(kernel)),
 			"strides":      onnx.IntsAttr(1, 1),
-			"pads":         onnx.IntsAttr(int64(kernel / 2), int64(kernel / 2), int64(kernel / 2), int64(kernel / 2)),
+			"pads":         onnx.IntsAttr(int64(kernel/2), int64(kernel/2), int64(kernel/2), int64(kernel/2)),
 			"group":        onnx.IntAttr(int64(group)),
 		},
 	}

@@ -24,9 +24,14 @@
 package hwsim
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 )
+
+// ErrUnknownPlatform is wrapped by PlatformByName for names outside the
+// fleet, so serving layers can classify the failure as a client error.
+var ErrUnknownPlatform = errors.New("hwsim: unknown platform")
 
 // Platform describes one (hardware, inference library, data type) target.
 type Platform struct {
@@ -177,7 +182,7 @@ func PlatformByName(name string) (*Platform, error) {
 			return p, nil
 		}
 	}
-	return nil, fmt.Errorf("hwsim: unknown platform %q", name)
+	return nil, fmt.Errorf("%w %q", ErrUnknownPlatform, name)
 }
 
 // EvalPlatforms returns the nine platforms of the paper's Table 2/Table 6

@@ -1,10 +1,12 @@
 package hwsim
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"net/rpc"
 	"sync"
+	"time"
 
 	"nnlqp/internal/onnx"
 )
@@ -19,6 +21,10 @@ type MeasureArgs struct {
 	Platform string
 	Model    []byte // onnx binary encoding
 	Holder   string
+	// DeadlineUnixMilli carries the caller's context deadline across the
+	// wire (0 = no deadline) so a remote farm stops waiting for a device
+	// when the client has already given up.
+	DeadlineUnixMilli int64
 }
 
 // MeasureReply is the wire response.
@@ -42,7 +48,13 @@ func (s *FarmService) Measure(args *MeasureArgs, reply *MeasureReply) error {
 	if err != nil {
 		return fmt.Errorf("decode model: %w", err)
 	}
-	d, err := s.farm.Acquire(args.Platform, args.Holder)
+	ctx := context.Background()
+	if args.DeadlineUnixMilli > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, time.UnixMilli(args.DeadlineUnixMilli))
+		defer cancel()
+	}
+	d, err := s.farm.Acquire(ctx, args.Platform, args.Holder)
 	if err != nil {
 		return err
 	}
@@ -71,6 +83,34 @@ func (s *FarmService) ListPlatforms(_ *struct{}, reply *ListPlatformsReply) erro
 			reply.Platforms = append(reply.Platforms, name)
 		}
 	}
+	return nil
+}
+
+// DevicesArgs requests the device count of one platform.
+type DevicesArgs struct {
+	Platform string
+}
+
+// DevicesReply carries a platform's device count.
+type DevicesReply struct {
+	Devices int
+}
+
+// Devices reports how many devices the farm has for a platform.
+func (s *FarmService) Devices(args *DevicesArgs, reply *DevicesReply) error {
+	reply.Devices = s.farm.Devices(args.Platform)
+	return nil
+}
+
+// WaitStatsReply carries the farm's cumulative device-wait time.
+type WaitStatsReply struct {
+	WaitSeconds float64
+}
+
+// WaitStats reports the cumulative seconds callers spent blocked waiting
+// for a device.
+func (s *FarmService) WaitStats(_ *struct{}, reply *WaitStatsReply) error {
+	reply.WaitSeconds = s.farm.WaitSeconds()
 	return nil
 }
 
@@ -136,15 +176,27 @@ func DialFarm(addr string) (*RemoteFarm, error) {
 	return &RemoteFarm{client: c}, nil
 }
 
-// Measure runs the full pipeline remotely.
-func (r *RemoteFarm) Measure(platform string, g *onnx.Graph, holder string) (*MeasureResult, error) {
+// Measure runs the full pipeline remotely. The context deadline (if any) is
+// forwarded to the farm so the remote device wait is bounded too; local
+// cancellation abandons the call without waiting for the reply.
+func (r *RemoteFarm) Measure(ctx context.Context, platform string, g *onnx.Graph, holder string) (*MeasureResult, error) {
 	data, err := g.EncodeBinary()
 	if err != nil {
 		return nil, err
 	}
+	args := &MeasureArgs{Platform: platform, Model: data, Holder: holder}
+	if dl, ok := ctx.Deadline(); ok {
+		args.DeadlineUnixMilli = dl.UnixMilli()
+	}
 	var reply MeasureReply
-	if err := r.client.Call("Farm.Measure", &MeasureArgs{Platform: platform, Model: data, Holder: holder}, &reply); err != nil {
-		return nil, err
+	call := r.client.Go("Farm.Measure", args, &reply, make(chan *rpc.Call, 1))
+	select {
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case c := <-call.Done:
+		if c.Error != nil {
+			return nil, c.Error
+		}
 	}
 	return &MeasureResult{
 		LatencyMS:    reply.LatencyMS,
@@ -153,6 +205,26 @@ func (r *RemoteFarm) Measure(platform string, g *onnx.Graph, holder string) (*Me
 		NumKernels:   reply.NumKernels,
 		PipelineSec:  reply.PipelineSec,
 	}, nil
+}
+
+// Devices reports the remote farm's device count for a platform (0 on RPC
+// failure, so callers fall back to their defaults).
+func (r *RemoteFarm) Devices(platform string) int {
+	var reply DevicesReply
+	if err := r.client.Call("Farm.Devices", &DevicesArgs{Platform: platform}, &reply); err != nil {
+		return 0
+	}
+	return reply.Devices
+}
+
+// DeviceWaitSeconds reports the remote farm's cumulative device-wait time
+// (0 on RPC failure).
+func (r *RemoteFarm) DeviceWaitSeconds() float64 {
+	var reply WaitStatsReply
+	if err := r.client.Call("Farm.WaitStats", &struct{}{}, &reply); err != nil {
+		return 0
+	}
+	return reply.WaitSeconds
 }
 
 // ListPlatforms reports the remotely available platforms.
@@ -173,12 +245,22 @@ type LocalFarm struct {
 	Farm *Farm
 }
 
-// Measure acquires, measures, releases locally.
-func (l *LocalFarm) Measure(platform string, g *onnx.Graph, holder string) (*MeasureResult, error) {
-	d, err := l.Farm.Acquire(platform, holder)
+// Measure acquires, measures, releases locally, honouring ctx while
+// waiting for a device.
+func (l *LocalFarm) Measure(ctx context.Context, platform string, g *onnx.Graph, holder string) (*MeasureResult, error) {
+	d, err := l.Farm.Acquire(ctx, platform, holder)
 	if err != nil {
 		return nil, err
 	}
 	defer l.Farm.Release(d)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return MeasureOn(d, g)
 }
+
+// Devices reports the local farm's device count for a platform.
+func (l *LocalFarm) Devices(platform string) int { return l.Farm.Devices(platform) }
+
+// DeviceWaitSeconds reports the local farm's cumulative device-wait time.
+func (l *LocalFarm) DeviceWaitSeconds() float64 { return l.Farm.WaitSeconds() }

@@ -9,6 +9,13 @@
 // acquisition → latency measurement) through the device farm, then store
 // the fresh record for every future query.
 //
+// The serving path is built for concurrent multi-tenant traffic: every
+// query carries a context.Context whose deadline/cancellation propagates
+// into the device wait, and identical concurrent misses are coalesced by a
+// single-flight layer so N callers racing on the same (graph, platform,
+// batch) key trigger exactly one farm measurement — the other N−1 share the
+// winner's result and are counted as Coalesced in Stats.
+//
 // Real wall-clock work in this reproduction is fast (the fleet is
 // simulated), so each result also carries SimSeconds, the virtual
 // wall-clock cost of what the step would have cost on the paper's
@@ -16,6 +23,8 @@
 package query
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -26,9 +35,23 @@ import (
 )
 
 // Measurer abstracts the device farm; hwsim.LocalFarm and hwsim.RemoteFarm
-// both satisfy it.
+// both satisfy it. Implementations must honour ctx while waiting for a
+// device: a cancelled caller releases (or never consumes) its device slot.
 type Measurer interface {
-	Measure(platform string, g *onnx.Graph, holder string) (*hwsim.MeasureResult, error)
+	Measure(ctx context.Context, platform string, g *onnx.Graph, holder string) (*hwsim.MeasureResult, error)
+}
+
+// DeviceCounter is optionally implemented by farms that can report how many
+// devices they hold for a platform; QueryMany uses it to size its worker
+// pool. hwsim.LocalFarm and hwsim.RemoteFarm both implement it.
+type DeviceCounter interface {
+	Devices(platform string) int
+}
+
+// WaitTracker is optionally implemented by farms that track cumulative
+// device-wait time; the serving layer surfaces it in /stats.
+type WaitTracker interface {
+	DeviceWaitSeconds() float64
 }
 
 // System is the NNLQ service: storage plus a device farm.
@@ -36,8 +59,17 @@ type System struct {
 	store *db.Store
 	farm  Measurer
 
-	mu    sync.Mutex
-	stats Stats
+	mu       sync.Mutex
+	stats    Stats
+	inflight map[string]*flight // single-flight by (hash, platform, batch)
+}
+
+// flight is one in-progress farm measurement shared by coalesced callers.
+type flight struct {
+	done      chan struct{} // closed when the leader finishes
+	res       *hwsim.MeasureResult
+	err       error
+	followers int // guarded by System.mu; callers that joined this flight
 }
 
 // Stats counts cache behaviour since construction.
@@ -45,6 +77,14 @@ type Stats struct {
 	Queries int
 	Hits    int
 	Misses  int
+	// Coalesced counts queries that shared another in-flight measurement
+	// instead of starting their own (Queries = Hits + Misses + Coalesced).
+	Coalesced int
+	// InFlight is the number of queries currently being served.
+	InFlight int
+	// DeviceWaitSec is the cumulative time queries spent blocked waiting
+	// for a device (0 unless the farm implements WaitTracker).
+	DeviceWaitSec float64
 }
 
 // HitRatio returns hits/queries (0 when no queries yet).
@@ -57,7 +97,7 @@ func (s Stats) HitRatio() float64 {
 
 // New builds a query system over a store and a farm.
 func New(store *db.Store, farm Measurer) *System {
-	return &System{store: store, farm: farm}
+	return &System{store: store, farm: farm, inflight: make(map[string]*flight)}
 }
 
 // Store exposes the underlying store (the predictor trainers read it).
@@ -68,12 +108,16 @@ type Result struct {
 	LatencyMS float64
 	// Hit reports whether the record came from the database cache.
 	Hit bool
+	// Coalesced reports that this query shared a concurrent identical
+	// query's measurement instead of running its own pipeline.
+	Coalesced bool
 	// ModelID / PlatformID are the database keys of the touched records.
 	ModelID    uint64
 	PlatformID uint64
 	// SimSeconds is the virtual wall-clock cost of this query on the
 	// paper's infrastructure: hash + DB round trip for hits, plus the full
-	// compile/upload/measure pipeline for misses.
+	// compile/upload/measure pipeline for misses. Coalesced queries are
+	// priced like hits: the pipeline ran once and is charged to the leader.
 	SimSeconds float64
 }
 
@@ -88,8 +132,12 @@ func hashCostSec(g *onnx.Graph) float64 {
 const dbCostSec = 0.9
 
 // Query returns the true latency of g on the named platform, serving from
-// the cache when possible and measuring (then caching) otherwise.
-func (s *System) Query(g *onnx.Graph, platform string) (*Result, error) {
+// the cache when possible and measuring (then caching) otherwise. The
+// context bounds the whole pipeline, including the device wait: a cancelled
+// caller returns promptly without leaking a device slot.
+func (s *System) Query(ctx context.Context, g *onnx.Graph, platform string) (*Result, error) {
+	s.begin()
+	defer s.end()
 	if err := g.Validate(); err != nil {
 		return nil, fmt.Errorf("query: invalid model: %w", err)
 	}
@@ -119,56 +167,173 @@ func (s *System) Query(g *onnx.Graph, platform string) (*Result, error) {
 		} else if ok {
 			res.Hit = true
 			res.LatencyMS = lrec.LatencyMS
-			s.count(true)
+			s.count(func(st *Stats) { st.Hits++ })
 			return res, nil
 		}
 	}
 
-	// Cache miss: run the measurement pipeline on the farm.
-	m, err := s.farm.Measure(platform, g, "nnlq")
-	if err != nil {
-		s.count(false)
-		return nil, fmt.Errorf("query: measurement on %s failed: %w", platform, err)
+	// Cache miss. Join an identical in-flight measurement if one exists;
+	// otherwise become the leader and run the pipeline.
+	fkey := fmt.Sprintf("%d|%s|%d", uint64(key), platform, batch)
+	s.mu.Lock()
+	if fl, ok := s.inflight[fkey]; ok {
+		fl.followers++
+		s.mu.Unlock()
+		return s.awaitFlight(ctx, fl, res, platform)
 	}
-	res.SimSeconds += m.PipelineSec
-	res.LatencyMS = m.LatencyMS
+	fl := &flight{done: make(chan struct{})}
+	s.inflight[fkey] = fl
+	s.mu.Unlock()
 
+	m, merr := s.farm.Measure(ctx, platform, g, "nnlq")
+	if merr == nil {
+		res.SimSeconds += m.PipelineSec
+		res.LatencyMS = m.LatencyMS
+		if err := s.storeMeasurement(g, prec.ID, batch, m, res); err != nil {
+			merr = err
+		}
+	}
+	// Publish to followers and retire the flight. The flight is removed
+	// before done is closed and after the DB insert, so late arrivals
+	// either join the flight or hit the database — never re-measure.
+	fl.res, fl.err = m, merr
+	s.mu.Lock()
+	delete(s.inflight, fkey)
+	s.mu.Unlock()
+	close(fl.done)
+
+	if merr != nil {
+		s.count(func(st *Stats) { st.Misses++ })
+		return nil, fmt.Errorf("query: measurement on %s failed: %w", platform, merr)
+	}
+	s.count(func(st *Stats) { st.Misses++ })
+	return res, nil
+}
+
+// awaitFlight blocks a coalesced caller on the leader's measurement.
+func (s *System) awaitFlight(ctx context.Context, fl *flight, res *Result, platform string) (*Result, error) {
+	select {
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-fl.done:
+	}
+	if fl.err != nil {
+		return nil, fmt.Errorf("query: coalesced measurement on %s failed: %w", platform, fl.err)
+	}
+	res.LatencyMS = fl.res.LatencyMS
+	res.Coalesced = true
+	s.count(func(st *Stats) { st.Coalesced++ })
+	return res, nil
+}
+
+// storeMeasurement records the model and latency rows for a fresh
+// measurement, reconciling with a concurrent writer that won the unique-key
+// race by adopting the stored record.
+func (s *System) storeMeasurement(g *onnx.Graph, platformID uint64, batch int, m *hwsim.MeasureResult, res *Result) error {
 	mrec, err := s.store.InsertModel(g)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	res.ModelID = mrec.ID
-	if _, err := s.store.InsertLatency(db.LatencyRecord{
+	_, err = s.store.InsertLatency(db.LatencyRecord{
 		ModelID:      mrec.ID,
-		PlatformID:   prec.ID,
+		PlatformID:   platformID,
 		BatchSize:    batch,
 		LatencyMS:    m.LatencyMS,
 		Runs:         m.Runs,
 		PeakMemBytes: m.PeakMemBytes,
-	}); err != nil {
-		// A concurrent query may have inserted the same key; treat as hit.
-		if _, isDup := err.(*db.UniqueViolationError); !isDup {
-			return nil, err
+	})
+	var dup *db.UniqueViolationError
+	if errors.As(err, &dup) {
+		// A concurrent query inserted the same key first. Serve the stored
+		// record so this caller and all future hits report one latency.
+		lrec, ok, rerr := s.store.FindLatency(mrec.ID, platformID, batch)
+		if rerr != nil {
+			return rerr
 		}
+		if ok {
+			res.LatencyMS = lrec.LatencyMS
+		}
+		return nil
 	}
-	s.count(false)
-	return res, nil
+	return err
 }
 
-// QueryMany measures a batch of models on one platform, returning per-model
-// results and the total virtual cost. It preserves input order.
-func (s *System) QueryMany(graphs []*onnx.Graph, platform string) ([]*Result, float64, error) {
-	out := make([]*Result, len(graphs))
-	var total float64
-	for i, g := range graphs {
-		r, err := s.Query(g, platform)
-		if err != nil {
-			return nil, 0, err
-		}
-		out[i] = r
-		total += r.SimSeconds
+// QueryMany measures a batch of models on one platform through a bounded
+// worker pool, returning per-model results (input order preserved) and the
+// total virtual cost. The pool width defaults to the farm's device count
+// for the platform (see QueryManyWorkers). Per-model failures do not abort
+// the batch: the corresponding result is nil and the joined error reports
+// every failure.
+func (s *System) QueryMany(ctx context.Context, graphs []*onnx.Graph, platform string) ([]*Result, float64, error) {
+	return s.QueryManyWorkers(ctx, graphs, platform, 0)
+}
+
+// QueryManyWorkers is QueryMany with an explicit parallelism bound;
+// workers <= 0 selects the default (the platform's device count, at least 1).
+func (s *System) QueryManyWorkers(ctx context.Context, graphs []*onnx.Graph, platform string, workers int) ([]*Result, float64, error) {
+	if workers <= 0 {
+		workers = s.defaultWorkers(platform)
 	}
-	return out, total, nil
+	if workers > len(graphs) {
+		workers = len(graphs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	out := make([]*Result, len(graphs))
+	errs := make([]error, len(graphs))
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				r, err := s.Query(ctx, graphs[i], platform)
+				if err != nil {
+					errs[i] = fmt.Errorf("model %d (%s): %w", i, graphs[i].Name, err)
+					continue
+				}
+				out[i] = r
+			}
+		}()
+	}
+feed:
+	for i := range graphs {
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			for j := i; j < len(graphs); j++ {
+				if errs[j] == nil {
+					errs[j] = ctx.Err()
+				}
+			}
+			break feed
+		}
+	}
+	close(next)
+	wg.Wait()
+
+	var total float64
+	for _, r := range out {
+		if r != nil {
+			total += r.SimSeconds
+		}
+	}
+	return out, total, errors.Join(errs...)
+}
+
+// defaultWorkers sizes the QueryMany pool: one worker per device of the
+// platform when the farm reports a count, else a small fixed pool.
+func (s *System) defaultWorkers(platform string) int {
+	if dc, ok := s.farm.(DeviceCounter); ok {
+		if n := dc.Devices(platform); n > 0 {
+			return n
+		}
+	}
+	return 4
 }
 
 // Warm inserts a measured latency record directly (used to pre-populate the
@@ -178,7 +343,7 @@ func (s *System) Warm(g *onnx.Graph, platform string) error {
 	if err != nil {
 		return err
 	}
-	m, err := s.farm.Measure(platform, g, "warm")
+	m, err := s.farm.Measure(context.Background(), platform, g, "warm")
 	if err != nil {
 		return err
 	}
@@ -194,26 +359,42 @@ func (s *System) Warm(g *onnx.Graph, platform string) error {
 		ModelID: mrec.ID, PlatformID: prec.ID, BatchSize: g.BatchSize(),
 		LatencyMS: m.LatencyMS, Runs: m.Runs, PeakMemBytes: m.PeakMemBytes,
 	})
-	if _, isDup := err.(*db.UniqueViolationError); isDup {
+	var dup *db.UniqueViolationError
+	if errors.As(err, &dup) {
 		return nil
 	}
 	return err
 }
 
-func (s *System) count(hit bool) {
+func (s *System) begin() {
+	s.mu.Lock()
+	s.stats.InFlight++
+	s.mu.Unlock()
+}
+
+func (s *System) end() {
+	s.mu.Lock()
+	s.stats.InFlight--
+	s.mu.Unlock()
+}
+
+// count applies one outcome to the counters (queries total plus the
+// outcome-specific bucket).
+func (s *System) count(bump func(*Stats)) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.stats.Queries++
-	if hit {
-		s.stats.Hits++
-	} else {
-		s.stats.Misses++
-	}
+	bump(&s.stats)
 }
 
-// Stats returns a snapshot of the cache counters.
+// Stats returns a snapshot of the cache counters, folding in the farm's
+// device-wait time when the farm tracks it.
 func (s *System) Stats() Stats {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	st := s.stats
+	s.mu.Unlock()
+	if wt, ok := s.farm.(WaitTracker); ok {
+		st.DeviceWaitSec = wt.DeviceWaitSeconds()
+	}
+	return st
 }

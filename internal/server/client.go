@@ -2,14 +2,21 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/base64"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
+	"time"
 
 	"nnlqp/internal/onnx"
 )
+
+// DefaultClientTimeout bounds every client request unless overridden via
+// NewClientTimeout or by replacing Client.HTTP.
+const DefaultClientTimeout = 30 * time.Second
 
 // Client is the Go client for the HTTP API.
 type Client struct {
@@ -18,17 +25,28 @@ type Client struct {
 }
 
 // NewClient creates a client for a server at baseURL (e.g.
-// "http://127.0.0.1:8080").
+// "http://127.0.0.1:8080") with the default request timeout.
 func NewClient(baseURL string) *Client {
-	return &Client{BaseURL: baseURL, HTTP: http.DefaultClient}
+	return NewClientTimeout(baseURL, DefaultClientTimeout)
 }
 
-func (c *Client) post(path string, req *Request, out any) error {
+// NewClientTimeout creates a client with an explicit request timeout
+// (0 disables the timeout).
+func NewClientTimeout(baseURL string, timeout time.Duration) *Client {
+	return &Client{BaseURL: baseURL, HTTP: &http.Client{Timeout: timeout}}
+}
+
+func (c *Client) post(ctx context.Context, path string, req *Request, out any) error {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return err
 	}
-	resp, err := c.HTTP.Post(c.BaseURL+path, "application/json", bytes.NewReader(body))
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := c.HTTP.Do(hreq)
 	if err != nil {
 		return err
 	}
@@ -40,7 +58,16 @@ func (c *Client) post(path string, req *Request, out any) error {
 	if resp.StatusCode != http.StatusOK {
 		var er errorResponse
 		if json.Unmarshal(data, &er) == nil && er.Error != "" {
-			return fmt.Errorf("server: %s", er.Error)
+			return fmt.Errorf("server: status %d: %s", resp.StatusCode, er.Error)
+		}
+		// Non-JSON error body (proxy page, truncated response, panic text):
+		// surface it intact rather than swallowing it.
+		if msg := strings.TrimSpace(string(data)); msg != "" {
+			const maxErrBody = 512
+			if len(msg) > maxErrBody {
+				msg = msg[:maxErrBody] + "..."
+			}
+			return fmt.Errorf("server: status %d: %s", resp.StatusCode, msg)
 		}
 		return fmt.Errorf("server: status %d", resp.StatusCode)
 	}
@@ -61,12 +88,18 @@ func encodeRequest(g *onnx.Graph, platform string, batch int) (*Request, error) 
 
 // Query requests a true latency measurement (or cache hit).
 func (c *Client) Query(g *onnx.Graph, platform string, batch int) (*QueryResponse, error) {
+	return c.QueryContext(context.Background(), g, platform, batch)
+}
+
+// QueryContext is Query bounded by ctx; cancelling it abandons the request
+// (and, server side, releases any pending device wait).
+func (c *Client) QueryContext(ctx context.Context, g *onnx.Graph, platform string, batch int) (*QueryResponse, error) {
 	req, err := encodeRequest(g, platform, batch)
 	if err != nil {
 		return nil, err
 	}
 	var out QueryResponse
-	if err := c.post("/query", req, &out); err != nil {
+	if err := c.post(ctx, "/query", req, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -74,12 +107,17 @@ func (c *Client) Query(g *onnx.Graph, platform string, batch int) (*QueryRespons
 
 // Predict requests an NNLP latency prediction.
 func (c *Client) Predict(g *onnx.Graph, platform string, batch int) (float64, error) {
+	return c.PredictContext(context.Background(), g, platform, batch)
+}
+
+// PredictContext is Predict bounded by ctx.
+func (c *Client) PredictContext(ctx context.Context, g *onnx.Graph, platform string, batch int) (float64, error) {
 	req, err := encodeRequest(g, platform, batch)
 	if err != nil {
 		return 0, err
 	}
 	var out PredictResponse
-	if err := c.post("/predict", req, &out); err != nil {
+	if err := c.post(ctx, "/predict", req, &out); err != nil {
 		return 0, err
 	}
 	return out.LatencyMS, nil

@@ -2,14 +2,21 @@
 // interface over HTTP with JSON payloads — the reproduction's analogue of
 // the paper's Flask serving layer (§7). Endpoints:
 //
-//	POST /query    {model: <base64 binary>, platform, batch_size} -> {latency_ms, cache_hit, pipeline_seconds}
+//	POST /query    {model: <base64 binary>, platform, batch_size} -> {latency_ms, cache_hit, coalesced, pipeline_seconds}
 //	POST /predict  {model: <base64 binary>, platform, batch_size} -> {latency_ms}
 //	GET  /platforms                                               -> {platforms: [...]}
-//	GET  /stats                                                   -> cache and database counters
+//	GET  /stats                                                   -> cache, concurrency and database counters
 //	GET  /healthz                                                 -> ok
+//
+// The serving path is deadline-aware: every request runs under a
+// per-request timeout (RequestTimeout), the request context is plumbed into
+// the query system so a disconnected client releases its device wait, and
+// Serve's stop function drains in-flight requests via http.Server.Shutdown
+// before closing.
 package server
 
 import (
+	"context"
 	"encoding/base64"
 	"encoding/json"
 	"errors"
@@ -17,6 +24,7 @@ import (
 	"net"
 	"net/http"
 	"sync"
+	"time"
 
 	"nnlqp/internal/core"
 	"nnlqp/internal/db"
@@ -25,17 +33,35 @@ import (
 	"nnlqp/internal/query"
 )
 
+// Default serving timeouts, overridable on Server before Serve is called.
+const (
+	DefaultRequestTimeout = 60 * time.Second
+	DefaultShutdownGrace  = 10 * time.Second
+)
+
 // Server is the HTTP service state.
 type Server struct {
 	sys  *query.System
 	mu   sync.RWMutex
 	pred *core.Predictor
+
+	// RequestTimeout bounds each /query and /predict request (device wait
+	// included); 0 disables the per-request deadline.
+	RequestTimeout time.Duration
+	// ShutdownGrace bounds how long the stop function returned by Serve
+	// waits for in-flight requests to drain before force-closing.
+	ShutdownGrace time.Duration
 }
 
 // New builds a server over a store, a device farm, and an optional trained
 // predictor (nil disables /predict until SetPredictor).
 func New(store *db.Store, farm query.Measurer, pred *core.Predictor) *Server {
-	return &Server{sys: query.New(store, farm), pred: pred}
+	return &Server{
+		sys:            query.New(store, farm),
+		pred:           pred,
+		RequestTimeout: DefaultRequestTimeout,
+		ShutdownGrace:  DefaultShutdownGrace,
+	}
 }
 
 // SetPredictor installs (or replaces) the predictor served by /predict.
@@ -59,6 +85,7 @@ type Request struct {
 type QueryResponse struct {
 	LatencyMS       float64 `json:"latency_ms"`
 	CacheHit        bool    `json:"cache_hit"`
+	Coalesced       bool    `json:"coalesced,omitempty"`
 	PipelineSeconds float64 `json:"pipeline_seconds"`
 }
 
@@ -69,14 +96,17 @@ type PredictResponse struct {
 
 // StatsResponse is the JSON body returned by /stats.
 type StatsResponse struct {
-	Queries      int     `json:"queries"`
-	Hits         int     `json:"hits"`
-	Misses       int     `json:"misses"`
-	HitRatio     float64 `json:"hit_ratio"`
-	Models       int     `json:"models"`
-	Platforms    int     `json:"platforms"`
-	Latencies    int     `json:"latencies"`
-	StorageBytes int64   `json:"storage_bytes"`
+	Queries       int     `json:"queries"`
+	Hits          int     `json:"hits"`
+	Misses        int     `json:"misses"`
+	Coalesced     int     `json:"coalesced"`
+	InFlight      int     `json:"in_flight"`
+	HitRatio      float64 `json:"hit_ratio"`
+	DeviceWaitSec float64 `json:"device_wait_seconds"`
+	Models        int     `json:"models"`
+	Platforms     int     `json:"platforms"`
+	Latencies     int     `json:"latencies"`
+	StorageBytes  int64   `json:"storage_bytes"`
 }
 
 type errorResponse struct {
@@ -86,8 +116,8 @@ type errorResponse struct {
 // Handler returns the HTTP mux.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/query", s.handleQuery)
-	mux.HandleFunc("/predict", s.handlePredict)
+	mux.HandleFunc("/query", s.withTimeout(s.handleQuery))
+	mux.HandleFunc("/predict", s.withTimeout(s.handlePredict))
 	mux.HandleFunc("/platforms", s.handlePlatforms)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
@@ -95,6 +125,19 @@ func (s *Server) Handler() http.Handler {
 		fmt.Fprintln(w, "ok")
 	})
 	return mux
+}
+
+// withTimeout bounds a handler with the per-request deadline so slow device
+// waits cannot pin a connection forever.
+func (s *Server) withTimeout(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.RequestTimeout > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), s.RequestTimeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		h(w, r)
+	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -107,7 +150,29 @@ func writeErr(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, errorResponse{Error: err.Error()})
 }
 
-// decodeModel parses and validates the request's model.
+// statusForError classifies a query/predict failure: problems with the
+// request (bad model, unknown platform, op the platform cannot run) are the
+// caller's to fix (400); an expired deadline is 504; everything else —
+// farm, database, internal — is a 500 the caller may retry.
+func statusForError(err error) int {
+	var unsupported *hwsim.UnsupportedOpError
+	switch {
+	case errors.Is(err, hwsim.ErrUnknownPlatform) || errors.As(err, &unsupported):
+		return http.StatusBadRequest
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// decodeModel parses and validates the request's model. A batch_size
+// override rewrites the leading input dimension and re-runs shape inference
+// so an inconsistent override is rejected here (400) rather than surfacing
+// as a farm-side failure — and so downstream FLOPs/MAC stats and the
+// simulator always see shapes for the batch actually being served.
 func decodeModel(req *Request) (*onnx.Graph, error) {
 	raw, err := base64.StdEncoding.DecodeString(req.Model)
 	if err != nil {
@@ -126,6 +191,11 @@ func decodeModel(req *Request) (*onnx.Graph, error) {
 	}
 	if err := g.Validate(); err != nil {
 		return nil, err
+	}
+	if req.BatchSize > 0 {
+		if _, err := g.InferShapes(); err != nil {
+			return nil, fmt.Errorf("batch_size %d is inconsistent with the model: %w", req.BatchSize, err)
+		}
 	}
 	return g, nil
 }
@@ -157,12 +227,15 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	res, err := s.sys.Query(g, req.Platform)
+	res, err := s.sys.Query(r.Context(), g, req.Platform)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, statusForError(err), err)
 		return
 	}
-	writeJSON(w, http.StatusOK, QueryResponse{LatencyMS: res.LatencyMS, CacheHit: res.Hit, PipelineSeconds: res.SimSeconds})
+	writeJSON(w, http.StatusOK, QueryResponse{
+		LatencyMS: res.LatencyMS, CacheHit: res.Hit, Coalesced: res.Coalesced,
+		PipelineSeconds: res.SimSeconds,
+	})
 }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
@@ -179,6 +252,9 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	}
 	v, err := pred.Predict(g, req.Platform)
 	if err != nil {
+		// Predictor errors are request-shaped (unknown platform head, graph
+		// the feature extractor rejects) — the caller must change the
+		// request, so 400.
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
@@ -201,19 +277,46 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.sys.Stats()
 	m, p, l := s.sys.Store().Counts()
 	writeJSON(w, http.StatusOK, StatsResponse{
-		Queries: st.Queries, Hits: st.Hits, Misses: st.Misses, HitRatio: st.HitRatio(),
-		Models: m, Platforms: p, Latencies: l, StorageBytes: s.sys.Store().StorageBytes(),
+		Queries: st.Queries, Hits: st.Hits, Misses: st.Misses,
+		Coalesced: st.Coalesced, InFlight: st.InFlight, HitRatio: st.HitRatio(),
+		DeviceWaitSec: st.DeviceWaitSec,
+		Models:        m, Platforms: p, Latencies: l,
+		StorageBytes: s.sys.Store().StorageBytes(),
 	})
 }
 
 // Serve starts an HTTP listener on addr (use "127.0.0.1:0" for ephemeral)
-// and returns the bound address and a shutdown func.
+// and returns the bound address and a stop func. The stop func drains
+// in-flight requests for up to ShutdownGrace before force-closing; the
+// listener stops accepting new connections immediately.
 func (s *Server) Serve(addr string) (string, func() error, error) {
 	lis, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, err
 	}
-	srv := &http.Server{Handler: s.Handler()}
+	writeTimeout := 2 * s.RequestTimeout
+	if writeTimeout <= 0 {
+		writeTimeout = 5 * time.Minute
+	}
+	srv := &http.Server{
+		Handler:           s.Handler(),
+		ReadTimeout:       30 * time.Second,
+		ReadHeaderTimeout: 10 * time.Second,
+		WriteTimeout:      writeTimeout,
+		IdleTimeout:       2 * time.Minute,
+	}
 	go func() { _ = srv.Serve(lis) }()
-	return lis.Addr().String(), srv.Close, nil
+	stop := func() error {
+		grace := s.ShutdownGrace
+		if grace <= 0 {
+			grace = DefaultShutdownGrace
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), grace)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			return srv.Close()
+		}
+		return nil
+	}
+	return lis.Addr().String(), stop, nil
 }

@@ -2,31 +2,77 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
+	"fmt"
 	"net/http"
+	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"nnlqp/internal/core"
 	"nnlqp/internal/db"
 	"nnlqp/internal/hwsim"
 	"nnlqp/internal/models"
+	"nnlqp/internal/onnx"
+	"nnlqp/internal/query"
 )
 
 func startServer(t *testing.T, pred *core.Predictor) (*Client, *Server) {
+	t.Helper()
+	return startServerFarm(t, &hwsim.LocalFarm{Farm: hwsim.NewDefaultFarm(2)}, pred)
+}
+
+func startServerFarm(t *testing.T, farm query.Measurer, pred *core.Predictor) (*Client, *Server) {
 	t.Helper()
 	store, err := db.OpenStore("")
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { store.Close() })
-	srv := New(store, &hwsim.LocalFarm{Farm: hwsim.NewDefaultFarm(2)}, pred)
+	srv := New(store, farm, pred)
 	addr, stop, err := srv.Serve("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { stop() })
 	return NewClient("http://" + addr), srv
+}
+
+// slowFarm blocks each measurement until its gate closes (or ctx is done),
+// for drain/cancellation tests.
+type slowFarm struct {
+	gate    chan struct{}
+	mu      sync.Mutex
+	started int
+}
+
+func (f *slowFarm) Measure(ctx context.Context, platform string, g *onnx.Graph, holder string) (*hwsim.MeasureResult, error) {
+	f.mu.Lock()
+	f.started++
+	f.mu.Unlock()
+	select {
+	case <-f.gate:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	return &hwsim.MeasureResult{LatencyMS: 2.5, Runs: 50, PipelineSec: 10}, nil
+}
+
+func (f *slowFarm) Started() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.started
+}
+
+// errFarm fails every measurement with a server-side error.
+type errFarm struct{}
+
+func (errFarm) Measure(ctx context.Context, platform string, g *onnx.Graph, holder string) (*hwsim.MeasureResult, error) {
+	return nil, errors.New("device farm on fire")
 }
 
 func TestQueryEndpoint(t *testing.T) {
@@ -65,6 +111,28 @@ func TestQueryEndpoint(t *testing.T) {
 	// and therefore a different graph hash.
 	if st.Queries != 3 || st.Hits != 1 || st.Models != 2 || st.Latencies != 2 {
 		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestBatchSizeOverrideChangesServedLatency(t *testing.T) {
+	// Regression: the batch_size override must reach the simulator, so
+	// served latency grows with the batch instead of echoing the batch-1
+	// measurement.
+	c, _ := startServer(t, nil)
+	g := models.BuildSqueezeNet(models.BaseSqueezeNet(1))
+	var prev float64
+	for _, batch := range []int{1, 4, 8} {
+		r, err := c.Query(g, hwsim.DatasetPlatform, batch)
+		if err != nil {
+			t.Fatalf("batch %d: %v", batch, err)
+		}
+		if r.CacheHit {
+			t.Fatalf("batch %d: distinct batch must be a distinct cache key", batch)
+		}
+		if r.LatencyMS <= prev {
+			t.Fatalf("batch %d latency %.4fms not > previous %.4fms", batch, r.LatencyMS, prev)
+		}
+		prev = r.LatencyMS
 	}
 }
 
@@ -116,6 +184,118 @@ func TestPlatformsEndpoint(t *testing.T) {
 	}
 	if len(plats) != len(hwsim.Platforms()) {
 		t.Fatalf("platforms = %d", len(plats))
+	}
+}
+
+func postQuery(t *testing.T, c *Client, g *onnx.Graph, platform string, batch int) int {
+	t.Helper()
+	req, err := encodeRequest(g, platform, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(c.BaseURL+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+func TestErrorStatusClassification(t *testing.T) {
+	g := models.BuildSqueezeNet(models.BaseSqueezeNet(1))
+
+	// Client-side mistakes -> 400.
+	c, _ := startServer(t, nil)
+	if got := postQuery(t, c, g, "quantum-chip", 0); got != http.StatusBadRequest {
+		t.Fatalf("unknown platform -> %d, want 400", got)
+	}
+	unsupported := models.BuildMobileNetV3(models.BaseMobileNetV3(1))
+	if got := postQuery(t, c, unsupported, "cpu-openppl-fp32", 0); got != http.StatusBadRequest {
+		t.Fatalf("unsupported op -> %d, want 400", got)
+	}
+
+	// Server-side farm failure -> 500, so callers know to retry.
+	cErr, _ := startServerFarm(t, errFarm{}, nil)
+	if got := postQuery(t, cErr, g, hwsim.DatasetPlatform, 0); got != http.StatusInternalServerError {
+		t.Fatalf("farm failure -> %d, want 500", got)
+	}
+
+	// Request deadline expiring in the device wait -> 504.
+	slow := &slowFarm{gate: make(chan struct{})}
+	defer close(slow.gate)
+	store, err := db.OpenStore("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	srv := New(store, slow, nil)
+	srv.RequestTimeout = 50 * time.Millisecond
+	addr, stop, err := srv.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	cSlow := NewClient("http://" + addr)
+	if got := postQuery(t, cSlow, g, hwsim.DatasetPlatform, 0); got != http.StatusGatewayTimeout {
+		t.Fatalf("deadline in device wait -> %d, want 504", got)
+	}
+}
+
+func TestGracefulShutdownDrainsInFlight(t *testing.T) {
+	slow := &slowFarm{gate: make(chan struct{})}
+	store, err := db.OpenStore("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	srv := New(store, slow, nil)
+	addr, stop, err := srv.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient("http://" + addr)
+	g := models.BuildSqueezeNet(models.BaseSqueezeNet(1))
+
+	type outcome struct {
+		r   *QueryResponse
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		r, err := c.Query(g, hwsim.DatasetPlatform, 0)
+		done <- outcome{r, err}
+	}()
+	// Wait until the request is inside the farm, then shut down while it is
+	// still in flight.
+	deadline := time.Now().Add(5 * time.Second)
+	for slow.Started() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("query never reached the farm")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	stopped := make(chan error, 1)
+	go func() { stopped <- stop() }()
+	select {
+	case <-stopped:
+		t.Fatal("shutdown returned while a request was still in flight")
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(slow.gate) // let the measurement finish
+	if err := <-stopped; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	out := <-done
+	if out.err != nil {
+		t.Fatalf("drained request failed: %v", out.err)
+	}
+	if out.r.LatencyMS <= 0 {
+		t.Fatalf("drained request got %+v", out.r)
+	}
+	// The server is really down now.
+	if _, err := c.Query(g, hwsim.DatasetPlatform, 0); err == nil {
+		t.Fatal("server still serving after shutdown")
 	}
 }
 
@@ -188,9 +368,82 @@ func TestStatsJSONShape(t *testing.T) {
 	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
 		t.Fatal(err)
 	}
-	for _, k := range []string{"queries", "hits", "misses", "models", "latencies"} {
+	for _, k := range []string{
+		"queries", "hits", "misses", "models", "latencies",
+		"coalesced", "in_flight", "device_wait_seconds",
+	} {
 		if _, ok := m[k]; !ok {
 			t.Fatalf("stats missing %q", k)
 		}
+	}
+}
+
+func TestClientDefaultTimeoutAndErrorBodies(t *testing.T) {
+	if NewClient("http://x").HTTP.Timeout != DefaultClientTimeout {
+		t.Fatal("NewClient must apply the default timeout")
+	}
+	if NewClientTimeout("http://x", time.Second).HTTP.Timeout != time.Second {
+		t.Fatal("NewClientTimeout must apply the given timeout")
+	}
+
+	// A non-JSON error body (proxy page, panic text) must be surfaced
+	// intact, not reduced to a status code.
+	raw := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusBadGateway)
+		fmt.Fprint(w, "upstream exploded: txn 12345")
+	}))
+	defer raw.Close()
+	c := NewClient(raw.URL)
+	g := models.BuildSqueezeNet(models.BaseSqueezeNet(1))
+	_, err := c.Query(g, hwsim.DatasetPlatform, 0)
+	if err == nil {
+		t.Fatal("want error from 502")
+	}
+	if !strings.Contains(err.Error(), "upstream exploded: txn 12345") || !strings.Contains(err.Error(), "502") {
+		t.Fatalf("error lost the body: %v", err)
+	}
+}
+
+func TestServerCoalescesConcurrentClients(t *testing.T) {
+	slow := &slowFarm{gate: make(chan struct{})}
+	c, srv := startServerFarm(t, slow, nil)
+	g := models.BuildSqueezeNet(models.BaseSqueezeNet(1))
+
+	const n = 8
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = c.Query(g, hwsim.DatasetPlatform, 0)
+		}(i)
+	}
+	// One request reaches the farm; the rest pile onto its flight. Give the
+	// stragglers a moment to arrive, then release the measurement.
+	deadline := time.Now().Add(5 * time.Second)
+	for slow.Started() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no query reached the farm")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(50 * time.Millisecond)
+	close(slow.gate)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+	}
+	if got := slow.Started(); got != 1 {
+		t.Fatalf("farm measurements = %d, want 1 (the rest coalesced or hit)", got)
+	}
+	st := srv.sys.Stats()
+	if st.Misses != 1 || st.Queries != n {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Coalesced+st.Hits != n-1 {
+		t.Fatalf("coalesced %d + hits %d != %d", st.Coalesced, st.Hits, n-1)
 	}
 }

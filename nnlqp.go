@@ -23,6 +23,7 @@
 package nnlqp
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sync"
@@ -146,11 +147,25 @@ func (c *Client) Query(params Params) (float64, error) {
 	return r.LatencyMS, nil
 }
 
+// QueryContext is Query bounded by a context: the deadline/cancellation
+// propagates through the pipeline into the device wait, so an abandoned
+// caller never leaks a device slot.
+func (c *Client) QueryContext(ctx context.Context, params Params) (float64, error) {
+	r, err := c.QueryDetailedContext(ctx, params)
+	if err != nil {
+		return 0, err
+	}
+	return r.LatencyMS, nil
+}
+
 // QueryResult carries the latency plus cache/bookkeeping details.
 type QueryResult struct {
 	LatencyMS float64
 	// CacheHit reports whether the record came from the evolving database.
 	CacheHit bool
+	// Coalesced reports that a concurrent identical query's measurement was
+	// shared instead of running a second pipeline.
+	Coalesced bool
 	// PipelineSeconds is the virtual wall-clock cost this query would have
 	// had on physical infrastructure (compile + upload + runs on a miss).
 	PipelineSeconds float64
@@ -158,15 +173,23 @@ type QueryResult struct {
 
 // QueryDetailed is Query with cache and cost details.
 func (c *Client) QueryDetailed(params Params) (*QueryResult, error) {
+	return c.QueryDetailedContext(context.Background(), params)
+}
+
+// QueryDetailedContext is QueryDetailed bounded by a context.
+func (c *Client) QueryDetailedContext(ctx context.Context, params Params) (*QueryResult, error) {
 	m, err := c.resolveModel(params)
 	if err != nil {
 		return nil, err
 	}
-	res, err := c.sys.Query(m.g, params.PlatformName)
+	res, err := c.sys.Query(ctx, m.g, params.PlatformName)
 	if err != nil {
 		return nil, err
 	}
-	return &QueryResult{LatencyMS: res.LatencyMS, CacheHit: res.Hit, PipelineSeconds: res.SimSeconds}, nil
+	return &QueryResult{
+		LatencyMS: res.LatencyMS, CacheHit: res.Hit, Coalesced: res.Coalesced,
+		PipelineSeconds: res.SimSeconds,
+	}, nil
 }
 
 // Predict returns the NNLP-predicted latency (ms) of the model on the
@@ -215,6 +238,7 @@ type Stats struct {
 	Queries      int
 	CacheHits    int
 	CacheMisses  int
+	Coalesced    int
 	HitRatio     float64
 	Models       int
 	PlatformRows int
@@ -228,7 +252,8 @@ func (c *Client) Stats() Stats {
 	m, p, l := c.store.Counts()
 	return Stats{
 		Queries: qs.Queries, CacheHits: qs.Hits, CacheMisses: qs.Misses,
-		HitRatio: qs.HitRatio(), Models: m, PlatformRows: p, Latencies: l,
+		Coalesced: qs.Coalesced,
+		HitRatio:  qs.HitRatio(), Models: m, PlatformRows: p, Latencies: l,
 		StorageBytes: c.store.StorageBytes(),
 	}
 }

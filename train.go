@@ -1,6 +1,7 @@
 package nnlqp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -83,7 +84,7 @@ func (c *Client) collectSamples(opts TrainOptions) ([]core.Sample, error) {
 				return nil, err
 			}
 			g.Name = fmt.Sprintf("train-%s-%s-%04d", plat, fam, attempts)
-			res, err := c.sys.Query(g, plat)
+			res, err := c.sys.Query(context.Background(), g, plat)
 			if err != nil {
 				var unsupported *hwsim.UnsupportedOpError
 				if errors.As(err, &unsupported) {
