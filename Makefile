@@ -8,9 +8,11 @@ build:
 test:
 	$(GO) test ./...
 
-# Race-detector pass over the packages with real concurrency.
+# Race-detector pass over the packages with real concurrency: the serving
+# path and the data-parallel training stack.
 race:
-	$(GO) test -race ./internal/query ./internal/hwsim ./internal/server
+	$(GO) test -race ./internal/query ./internal/hwsim ./internal/server \
+		./internal/tensor ./internal/train ./internal/gnn ./internal/core ./internal/baselines
 
 fmt:
 	@out=$$(gofmt -l .); \

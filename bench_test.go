@@ -12,6 +12,7 @@ package nnlqp
 // lookup, simulator execution, GNN inference, matrix kernels) follow.
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -168,6 +169,43 @@ func BenchmarkPredictorInference(b *testing.B) {
 		if _, err := pred.Predict(m.g, p.Name); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkTrainThroughput measures training throughput (samples/sec)
+// through the shared Trainer at 1 and 4 gradient workers. The two runs
+// produce bit-identical weights (see TestTrainBitIdenticalAcrossWorkers);
+// the speedup materializes on multi-core runners.
+func BenchmarkTrainThroughput(b *testing.B) {
+	p, _ := hwsim.PlatformByName(hwsim.DatasetPlatform)
+	rng := rand.New(rand.NewSource(7))
+	var samples []core.Sample
+	for i := 0; i < 48; i++ {
+		g, _ := models.Variant(models.FamilySqueezeNet, rng, 1)
+		ms, err := p.TrueLatencyMS(g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s, _ := core.NewSample(g, ms, p.Name)
+		samples = append(samples, s)
+	}
+	const epochs = 6
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := core.DefaultConfig()
+			cfg.Hidden, cfg.Depth, cfg.HeadHidden = 32, 3, 32
+			cfg.Epochs = epochs
+			cfg.Workers = workers
+			cfg.EarlyStop = false
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pred := core.New(cfg)
+				if err := pred.Fit(samples); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(b.N*epochs*len(samples))/b.Elapsed().Seconds(), "samples/sec")
+		})
 	}
 }
 

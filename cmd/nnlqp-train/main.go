@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"strings"
 	"time"
 
@@ -27,6 +28,8 @@ func main() {
 	hidden := flag.Int("hidden", 48, "GNN hidden width")
 	depth := flag.Int("depth", 3, "GNN depth")
 	seed := flag.Int64("seed", 1, "random seed")
+	workers := flag.Int("workers", 0, "gradient workers per batch (0 = GOMAXPROCS); results are identical for any value")
+	progress := flag.Bool("progress", true, "log per-epoch training progress")
 	evalN := flag.Int("eval", 40, "fresh models per platform for post-training evaluation (0 = skip)")
 	flag.Parse()
 
@@ -38,10 +41,22 @@ func main() {
 
 	opts := nnlqp.TrainOptions{
 		PerPlatform: *perPlatform, Epochs: *epochs, Hidden: *hidden,
-		Depth: *depth, Seed: *seed,
+		Depth: *depth, Seed: *seed, Workers: *workers,
 	}
 	if *platformsFlag != "" {
 		opts.Platforms = strings.Split(*platformsFlag, ",")
+	}
+	if *progress {
+		opts.Progress = func(p nnlqp.EpochProgress) {
+			line := fmt.Sprintf("epoch %3d/%d  train %.4f", p.Epoch+1, p.Epochs, p.TrainLoss)
+			if !math.IsNaN(p.ValLoss) {
+				line += fmt.Sprintf("  val %.4f", p.ValLoss)
+				if p.Best {
+					line += " *"
+				}
+			}
+			fmt.Printf("%s  lr %.2g  %s\n", line, p.LR, p.Took.Round(time.Millisecond))
+		}
 	}
 
 	start := time.Now()

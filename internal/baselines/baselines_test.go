@@ -258,8 +258,8 @@ func TestGCNAggregateSymmetry(t *testing.T) {
 	rng := rand.New(rand.NewSource(14))
 	x := tensorRandom(rng, 3, 4)
 	y := tensorRandom(rng, 3, 4)
-	ax := aggregate(x, adj, deg)
-	ay := aggregateBackward(y, adj, deg)
+	ax := aggregate(x, adj, deg, nil)
+	ay := aggregateBackward(y, adj, deg, nil)
 	var lhs, rhs float64
 	for i := range ax.Data {
 		lhs += ax.Data[i] * y.Data[i]
@@ -267,6 +267,29 @@ func TestGCNAggregateSymmetry(t *testing.T) {
 	}
 	if math.Abs(lhs-rhs) > 1e-9 {
 		t.Fatalf("aggregate not symmetric: %f vs %f", lhs, rhs)
+	}
+}
+
+func TestBRPNASBitIdenticalAcrossWorkers(t *testing.T) {
+	samples := modelSamples(t, []string{models.FamilySqueezeNet}, 20, 15)
+	fit := func(workers int) []*tensor.Param {
+		cfg := DefaultBRPNASConfig()
+		cfg.Hidden, cfg.Depth, cfg.Epochs = 12, 2, 4
+		cfg.Workers = workers
+		b := NewBRPNAS(cfg)
+		if err := b.Fit(samples); err != nil {
+			t.Fatal(err)
+		}
+		return b.params()
+	}
+	ref := fit(1)
+	got := fit(4)
+	for pi := range ref {
+		for j := range ref[pi].Value.Data {
+			if got[pi].Value.Data[j] != ref[pi].Value.Data[j] {
+				t.Fatalf("param %d[%d]: %v != %v", pi, j, got[pi].Value.Data[j], ref[pi].Value.Data[j])
+			}
+		}
 	}
 }
 

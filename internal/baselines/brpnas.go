@@ -9,6 +9,7 @@ import (
 	"nnlqp/internal/gnn"
 	"nnlqp/internal/onnx"
 	"nnlqp/internal/tensor"
+	"nnlqp/internal/train"
 )
 
 // BRPNAS reproduces the BRP-NAS predictor (Dudziak et al., NeurIPS'20) as
@@ -36,6 +37,9 @@ type BRPNASConfig struct {
 	Epochs    int
 	BatchSize int
 	Seed      int64
+	// Workers caps the goroutines computing per-sample gradients within a
+	// batch (<=0 → GOMAXPROCS). Results are bit-identical for any value.
+	Workers int
 }
 
 // DefaultBRPNASConfig mirrors the official 4-layer GCN at test-friendly
@@ -83,9 +87,10 @@ func (b *BRPNAS) params() []*tensor.Param {
 	return ps
 }
 
-// aggregate computes Â·H with Â = D^-1/2 (A+I) D^-1/2.
-func aggregate(h *tensor.Matrix, adj [][]int, deg []float64) *tensor.Matrix {
-	out := tensor.NewMatrix(h.Rows, h.Cols)
+// aggregate computes Â·H with Â = D^-1/2 (A+I) D^-1/2, into a
+// scratch-owned matrix (nil allocates).
+func aggregate(h *tensor.Matrix, adj [][]int, deg []float64, sc *tensor.Scratch) *tensor.Matrix {
+	out := sc.Get(h.Rows, h.Cols)
 	for i := 0; i < h.Rows; i++ {
 		dst := out.Row(i)
 		// Self loop.
@@ -98,9 +103,9 @@ func aggregate(h *tensor.Matrix, adj [][]int, deg []float64) *tensor.Matrix {
 }
 
 // aggregateBackward routes gradients through Â (symmetric, so the same
-// coefficients apply transposed).
-func aggregateBackward(d *tensor.Matrix, adj [][]int, deg []float64) *tensor.Matrix {
-	out := tensor.NewMatrix(d.Rows, d.Cols)
+// coefficients apply transposed), into a scratch-owned matrix.
+func aggregateBackward(d *tensor.Matrix, adj [][]int, deg []float64, sc *tensor.Scratch) *tensor.Matrix {
+	out := sc.Get(d.Rows, d.Cols)
 	for i := 0; i < d.Rows; i++ {
 		src := d.Row(i)
 		tensor.Axpy(1/deg[i], src, out.Row(i))
@@ -120,14 +125,16 @@ func degrees(adj [][]int) []float64 {
 }
 
 // forward runs the GCN + mean pool + linear head on normalized features,
-// returning the scalar prediction and caches.
-func (b *BRPNAS) forward(gf *feats.GraphFeatures) (float64, []*gcnCache, *tensor.Matrix) {
+// returning the scalar prediction and caches. Matrix intermediates come from
+// sc (nil allocates); it only reads shared state, so concurrent samples may
+// run it against distinct scratch arenas.
+func (b *BRPNAS) forward(gf *feats.GraphFeatures, sc *tensor.Scratch) (float64, []*gcnCache, *tensor.Matrix) {
 	deg := degrees(gf.Adj)
 	h := gf.X
 	caches := make([]*gcnCache, 0, len(b.layers))
 	for _, l := range b.layers {
-		agg := aggregate(h, gf.Adj, deg)
-		y := tensor.MatMul(agg, l.w.Value)
+		agg := aggregate(h, gf.Adj, deg, sc)
+		y := tensor.MatMulInto(sc.Get(agg.Rows, l.w.Value.Cols), agg, l.w.Value)
 		mask := make([]bool, len(y.Data))
 		for i, v := range y.Data {
 			if v > 0 {
@@ -139,7 +146,7 @@ func (b *BRPNAS) forward(gf *feats.GraphFeatures) (float64, []*gcnCache, *tensor
 		caches = append(caches, &gcnCache{in: h, agg: agg, mask: mask, adj: gf.Adj, deg: deg})
 		h = y
 	}
-	pooled := gnn.SumPool(h)
+	pooled := gnn.SumPoolScratch(h, sc)
 	pooled.Scale(1 / float64(h.Rows)) // mean pooling
 	pred := tensor.Dot(pooled.Row(0), colVec(b.headW.Value)) + b.headB.Value.At(0, 0)
 	return pred, caches, pooled
@@ -153,19 +160,21 @@ func colVec(m *tensor.Matrix) []float64 {
 	return out
 }
 
-// backward accumulates gradients for a scalar loss derivative dPred.
-func (b *BRPNAS) backward(caches []*gcnCache, pooled *tensor.Matrix, numNodes int, dPred float64) {
+// backward accumulates gradients for a scalar loss derivative dPred, routed
+// to gb (nil → Param.Grad), with intermediates drawn from sc.
+func (b *BRPNAS) backward(caches []*gcnCache, pooled *tensor.Matrix, numNodes int, dPred float64, gb *tensor.GradBuf, sc *tensor.Scratch) {
 	// Head.
+	gw := gb.Grad(b.headW)
 	for i := 0; i < b.headW.Value.Rows; i++ {
-		b.headW.Grad.Data[i] += dPred * pooled.At(0, i)
+		gw.Data[i] += dPred * pooled.At(0, i)
 	}
-	b.headB.Grad.Data[0] += dPred
-	dPool := tensor.NewMatrix(1, pooled.Cols)
+	gb.Grad(b.headB).Data[0] += dPred
+	dPool := sc.Get(1, pooled.Cols)
 	for i := range dPool.Row(0) {
 		dPool.Row(0)[i] = dPred * b.headW.Value.At(i, 0)
 	}
 	// Mean pool backward.
-	dH := gnn.SumPoolBackward(dPool, numNodes)
+	dH := gnn.SumPoolBackwardScratch(dPool, numNodes, sc)
 	dH.Scale(1 / float64(numNodes))
 	// GCN layers in reverse.
 	for li := len(b.layers) - 1; li >= 0; li-- {
@@ -176,21 +185,22 @@ func (b *BRPNAS) backward(caches []*gcnCache, pooled *tensor.Matrix, numNodes in
 				dH.Data[i] = 0
 			}
 		}
-		l.w.Grad.AddInPlace(tensor.MatMulATB(c.agg, dH))
-		dAgg := tensor.MatMulABT(dH, l.w.Value)
-		dH = aggregateBackward(dAgg, c.adj, c.deg)
+		tensor.MatMulATBAdd(gb.Grad(l.w), c.agg, dH)
+		dAgg := tensor.MatMulABTInto(sc.Get(dH.Rows, l.w.Value.Rows), dH, l.w.Value)
+		dH = aggregateBackward(dAgg, c.adj, c.deg, sc)
 	}
 }
 
-// Fit implements Predictor: trains the GCN on log-latency targets with
-// Adam.
-func (b *BRPNAS) Fit(train []ModelSample) error {
-	if len(train) == 0 {
+// Fit implements Predictor: trains the GCN on log-latency targets with Adam
+// through the shared train.Trainer (constant LR, no early stop — the
+// official recipe).
+func (b *BRPNAS) Fit(samples []ModelSample) error {
+	if len(samples) == 0 {
 		return fmt.Errorf("baselines: BRP-NAS empty training set")
 	}
-	gfs := make([]*feats.GraphFeatures, len(train))
-	targets := make([]float64, len(train))
-	for i, s := range train {
+	gfs := make([]*feats.GraphFeatures, len(samples))
+	targets := make([]float64, len(samples))
+	for i, s := range samples {
 		gf, err := feats.Extract(s.Graph, 4)
 		if err != nil {
 			return err
@@ -218,33 +228,34 @@ func (b *BRPNAS) Fit(train []ModelSample) error {
 	}
 
 	opt := tensor.NewAdam(b.cfg.LR)
-	idx := make([]int, len(train))
-	for i := range idx {
-		idx[i] = i
+	tcfg := train.Config{
+		Epochs: b.cfg.Epochs, BatchSize: b.cfg.BatchSize,
+		Workers: b.cfg.Workers, Schedule: train.ConstantLR,
 	}
-	bs := b.cfg.BatchSize
-	if bs <= 0 {
-		bs = 16
+	scratch := make([]*tensor.Scratch, tcfg.WorkerCount())
+	for i := range scratch {
+		scratch[i] = tensor.NewScratch()
 	}
-	for epoch := 0; epoch < b.cfg.Epochs; epoch++ {
-		b.rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
-		for start := 0; start < len(idx); start += bs {
-			end := start + bs
-			if end > len(idx) {
-				end = len(idx)
-			}
-			for _, p := range b.params() {
-				p.ZeroGrad()
-			}
-			inv := 1.0 / float64(end-start)
-			for _, si := range idx[start:end] {
+	params := b.params()
+	tr := &train.Trainer{
+		Cfg: tcfg,
+		Opt: opt,
+		Hooks: train.Hooks{
+			Grad: func(worker, si int, inv float64, gb *tensor.GradBuf, _ *rand.Rand) float64 {
+				sc := scratch[worker]
 				gf := normed[si]
 				target := (targets[si] - b.tgtMean) / b.tgtStd
-				pred, caches, pooled := b.forward(gf)
-				b.backward(caches, pooled, gf.X.Rows, 2*(pred-target)*inv)
-			}
-			opt.Step(b.params())
-		}
+				pred, caches, pooled := b.forward(gf, sc)
+				diff := pred - target
+				b.backward(caches, pooled, gf.X.Rows, 2*diff*inv, gb, sc)
+				sc.Reset()
+				return diff * diff
+			},
+			BatchParams: func([]int) []*tensor.Param { return params },
+		},
+	}
+	if err := tr.Run(len(samples), b.rng); err != nil {
+		return err
 	}
 	b.fitted = true
 	return nil
@@ -260,6 +271,6 @@ func (b *BRPNAS) Predict(g *onnx.Graph) (float64, error) {
 		return 0, err
 	}
 	b.norm.Apply(gf)
-	pred, _, _ := b.forward(gf)
+	pred, _, _ := b.forward(gf, nil)
 	return math.Exp(pred*b.tgtStd + b.tgtMean), nil
 }

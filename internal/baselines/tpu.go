@@ -3,11 +3,13 @@ package baselines
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"nnlqp/internal/core"
 	"nnlqp/internal/hwsim"
 	"nnlqp/internal/kernels"
 	"nnlqp/internal/onnx"
+	"nnlqp/internal/train"
 )
 
 // TPU reproduces the learned-TPU-cost-model baseline (Kaufman et al.) as
@@ -67,26 +69,39 @@ func (t *TPU) predictKernelSum(g *onnx.Graph) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
+	// Kernel predictions are independent: fan out, then sum in index order
+	// so the result does not depend on scheduling.
+	vals := make([]float64, len(ks))
+	var mu sync.Mutex
+	var firstErr error
+	train.ParallelFor(t.cfg.Workers, len(ks), func(_, i int) {
+		kg, err := kernels.KernelGraph(ks[i], shapes, fmt.Sprintf("%s/k%03d", g.Name, i))
+		if err == nil {
+			vals[i], err = t.kernelP.Predict(kg, kernelPlatformTag)
+		}
+		if err != nil {
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			mu.Unlock()
+		}
+	})
+	if firstErr != nil {
+		return 0, firstErr
+	}
 	var sum float64
-	for i, k := range ks {
-		kg, err := kernels.KernelGraph(k, shapes, fmt.Sprintf("%s/k%03d", g.Name, i))
-		if err != nil {
-			return 0, err
-		}
-		v, err := t.kernelP.Predict(kg, kernelPlatformTag)
-		if err != nil {
-			return 0, err
-		}
+	for _, v := range vals {
 		sum += math.Max(v, 0)
 	}
 	return sum, nil
 }
 
 // Fit fits the linear sum→model correction on whole-model samples.
-func (t *TPU) Fit(train []ModelSample) error {
-	x := make([][]float64, 0, len(train))
-	y := make([]float64, 0, len(train))
-	for _, s := range train {
+func (t *TPU) Fit(samples []ModelSample) error {
+	x := make([][]float64, 0, len(samples))
+	y := make([]float64, 0, len(samples))
+	for _, s := range samples {
 		sum, err := t.predictKernelSum(s.Graph)
 		if err != nil {
 			return err

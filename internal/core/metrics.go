@@ -3,6 +3,9 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
+
+	"nnlqp/internal/train"
 )
 
 // MAPE is the mean absolute percentage error (Appendix C, Eq. 6), in
@@ -54,17 +57,28 @@ func (m Metrics) String() string {
 	return fmt.Sprintf("MAPE %.2f%%  Acc(10%%) %.2f%%  n=%d", m.MAPE, m.Acc10, m.Count)
 }
 
-// Evaluate runs the predictor over samples and computes metrics.
+// Evaluate runs the predictor over samples, fanning the independent forward
+// passes across Config.Workers goroutines, and computes metrics.
 func (p *Predictor) Evaluate(samples []Sample) (Metrics, error) {
-	truths := make([]float64, 0, len(samples))
-	preds := make([]float64, 0, len(samples))
-	for _, s := range samples {
-		pred, err := p.PredictSample(s.GF, s.Platform)
+	truths := make([]float64, len(samples))
+	preds := make([]float64, len(samples))
+	var mu sync.Mutex
+	var firstErr error
+	train.ParallelFor(p.cfg.Workers, len(samples), func(_, i int) {
+		pred, err := p.PredictSample(samples[i].GF, samples[i].Platform)
 		if err != nil {
-			return Metrics{}, err
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			mu.Unlock()
+			return
 		}
-		truths = append(truths, s.LatencyMS)
-		preds = append(preds, pred)
+		truths[i] = samples[i].LatencyMS
+		preds[i] = pred
+	})
+	if firstErr != nil {
+		return Metrics{}, firstErr
 	}
 	return Metrics{
 		MAPE:   MAPE(truths, preds),

@@ -17,6 +17,7 @@ import (
 	"nnlqp/internal/gnn"
 	"nnlqp/internal/onnx"
 	"nnlqp/internal/tensor"
+	"nnlqp/internal/train"
 )
 
 // Config controls predictor architecture and training.
@@ -35,6 +36,13 @@ type Config struct {
 	BatchSize int
 	// Seed makes initialization and shuffling deterministic.
 	Seed int64
+	// Workers caps the goroutines computing per-sample gradients within a
+	// batch and the fan-out of read paths (<=0 → GOMAXPROCS). Training
+	// results are bit-identical for any value.
+	Workers int
+	// ElemSize is the tensor element width in bytes used when extracting
+	// features from a raw graph (<=0 → 4, fp32).
+	ElemSize int
 	// LogTarget regresses log-latency instead of raw latency. Latencies in
 	// the fleet span three orders of magnitude, so this is on by default;
 	// the ablation bench compares both. (Design decision documented in
@@ -76,10 +84,19 @@ type Config struct {
 func DefaultConfig() Config {
 	return Config{
 		Hidden: 48, Depth: 3, HeadHidden: 48, Dropout: 0.05,
-		LR: 1e-3, Epochs: 30, BatchSize: 16, Seed: 1,
+		LR: 1e-3, Epochs: 30, BatchSize: 16, Seed: 1, ElemSize: 4,
 		LogTarget: true, MeanPool: true, NoFinalNorm: true, EarlyStop: true,
 		UseNodeFeats: true, UseGNN: true, UseStatic: true,
 	}
+}
+
+// elemSize resolves the effective tensor element width (old gob snapshots
+// carry a zero value).
+func (c Config) elemSize() int {
+	if c.ElemSize > 0 {
+		return c.ElemSize
+	}
+	return 4
 }
 
 // Sample is one training/evaluation record: a model (pre-extracted
@@ -115,7 +132,15 @@ type Predictor struct {
 	tgt   map[string]targetStats
 	rng   *rand.Rand
 	opt   *tensor.Adam
+
+	// epochHook observes per-epoch training metrics. Not serialized.
+	epochHook func(train.EpochMetrics)
 }
+
+// SetEpochHook registers a callback invoked after every training epoch
+// (progress logging, convergence tracking). Pass nil to clear it. The hook is
+// not part of the serialized model state.
+func (p *Predictor) SetEpochHook(fn func(train.EpochMetrics)) { p.epochHook = fn }
 
 // New creates an untrained predictor.
 func New(cfg Config) *Predictor {
@@ -202,23 +227,25 @@ type embedCaches struct {
 	headIn *tensor.Matrix
 }
 
-// embed computes the head input for one (already normalized) sample.
-func (p *Predictor) embed(gf *feats.GraphFeatures) *embedCaches {
+// embed computes the head input for one (already normalized) sample, drawing
+// matrix intermediates from sc (nil allocates). It only reads shared state,
+// so concurrent samples may run it against distinct scratch arenas.
+func (p *Predictor) embed(gf *feats.GraphFeatures, sc *tensor.Scratch) *embedCaches {
 	c := &embedCaches{gf: gf}
 	var parts []float64
 	switch {
 	case !p.cfg.UseNodeFeats:
 		// static only
 	case p.cfg.UseGNN:
-		h, ec := p.enc.Forward(gf.X, gf.Adj)
+		h, ec := p.enc.ForwardScratch(gf.X, gf.Adj, sc)
 		c.encC = ec
-		c.pooled = gnn.SumPool(h)
+		c.pooled = gnn.SumPoolScratch(h, sc)
 		if p.cfg.MeanPool && h.Rows > 0 {
 			c.pooled.Scale(1 / float64(h.Rows))
 		}
 		parts = append(parts, c.pooled.Row(0)...)
 	default:
-		c.pooled = gnn.SumPool(gf.X)
+		c.pooled = gnn.SumPoolScratch(gf.X, sc)
 		if p.cfg.MeanPool && gf.X.Rows > 0 {
 			c.pooled.Scale(1 / float64(gf.X.Rows))
 		}
@@ -227,7 +254,8 @@ func (p *Predictor) embed(gf *feats.GraphFeatures) *embedCaches {
 	if p.cfg.UseStatic || len(parts) == 0 {
 		parts = append(parts, gf.Static...)
 	}
-	c.headIn = tensor.FromRows([][]float64{parts})
+	c.headIn = sc.Get(1, len(parts))
+	copy(c.headIn.Row(0), parts)
 	return c
 }
 
@@ -341,10 +369,37 @@ func (p *Predictor) FineTune(samples []Sample, epochs int) error {
 	return p.train(p.normalizeSamples(samples), epochs)
 }
 
-// train runs mini-batch SGD per Algorithm 1: each sample's loss updates the
-// shared encoder and its platform's head; batches average gradients. With
-// EarlyStop, 10% of the samples are held out for per-epoch validation and
-// the best-epoch weights are restored at the end.
+// gradSample computes one sample's loss gradient into gb (the train.Hooks
+// Grad contract): forward through the shared backbone and the sample's
+// platform head, backward through both with scratch-backed intermediates.
+// Returns the sample's squared error in normalized target space.
+func (p *Predictor) gradSample(samples []Sample, si int, inv float64, gb *tensor.GradBuf, rng *rand.Rand, sc *tensor.Scratch) float64 {
+	s := samples[si]
+	c := p.embed(s.GF, sc)
+	pred, hc := p.heads[s.Platform].ForwardScratch(c.headIn, true, rng, sc)
+	target := p.encodeTarget(s.LatencyMS, s.Platform)
+	diff := pred.At(0, 0) - target
+	loss := diff * diff
+	if p.cfg.RelativeLoss && !p.cfg.LogTarget {
+		// ((ŷ-y)/y)² in raw space: scale the normalized-space
+		// gradient by (σ/y)².
+		w := p.tgt[s.Platform].Std / math.Max(s.LatencyMS, 1e-9)
+		diff *= w * w
+	}
+	dPred := sc.Get(1, 1)
+	dPred.Set(0, 0, 2*diff*inv)
+	dIn := p.heads[s.Platform].BackwardSink(hc, dPred, gb, sc)
+	p.backwardEmbed(c, dIn, gb, sc)
+	sc.Reset()
+	return loss
+}
+
+// train runs mini-batch SGD per Algorithm 1 through the shared train.Trainer:
+// each sample's loss updates the shared encoder and its platform's head;
+// batches average gradients, computed across Config.Workers goroutines with
+// bit-identical results for any worker count. With EarlyStop, 10% of the
+// samples are held out for per-epoch validation and the best-epoch weights
+// are restored at the end.
 func (p *Predictor) train(samples []Sample, epochs int) error {
 	var val []Sample
 	if p.cfg.EarlyStop && len(samples) >= 50 {
@@ -360,90 +415,80 @@ func (p *Predictor) train(samples []Sample, epochs int) error {
 		}
 		samples = tr
 	}
-	idx := make([]int, len(samples))
-	for i := range idx {
-		idx[i] = i
+	tcfg := train.Config{
+		Epochs: epochs, BatchSize: p.cfg.BatchSize,
+		Workers: p.cfg.Workers, Schedule: train.StepDecay,
 	}
-	bs := p.cfg.BatchSize
-	if bs <= 0 {
-		bs = 16
+	workers := tcfg.WorkerCount()
+	scratch := make([]*tensor.Scratch, workers)
+	for i := range scratch {
+		scratch[i] = tensor.NewScratch()
 	}
-	bestVal := math.Inf(1)
-	var bestSnap []float64
-	baseLR := p.opt.LR
-	for epoch := 0; epoch < epochs; epoch++ {
-		// Step-decay LR schedule: ×0.5 at 60%, ×0.25 at 85%.
-		switch {
-		case epoch >= epochs*85/100:
-			p.opt.LR = baseLR * 0.25
-		case epoch >= epochs*60/100:
-			p.opt.LR = baseLR * 0.5
-		default:
-			p.opt.LR = baseLR
-		}
-		p.rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
-		for start := 0; start < len(idx); start += bs {
-			end := start + bs
-			if end > len(idx) {
-				end = len(idx)
-			}
-			batch := idx[start:end]
-			for _, param := range p.allParams() {
-				param.ZeroGrad()
-			}
-			touched := make(map[string]bool)
-			inv := 1.0 / float64(len(batch))
-			for _, si := range batch {
-				s := samples[si]
-				touched[s.Platform] = true
-				c := p.embed(s.GF)
-				pred, hc := p.heads[s.Platform].Forward(c.headIn, true, p.rng)
-				target := p.encodeTarget(s.LatencyMS, s.Platform)
-				diff := pred.At(0, 0) - target
-				if p.cfg.RelativeLoss && !p.cfg.LogTarget {
-					// ((ŷ-y)/y)² in raw space: scale the normalized-space
-					// gradient by (σ/y)².
-					w := p.tgt[s.Platform].Std / math.Max(s.LatencyMS, 1e-9)
-					diff *= w * w
+	// The backbone participates in every step; head params join per batch.
+	// Both slices are hoisted out of the per-batch path and reused.
+	encParams := []*tensor.Param{}
+	if p.enc != nil {
+		encParams = p.enc.Params()
+	}
+	stepBuf := make([]*tensor.Param, 0, len(p.allParams()))
+	plats := make([]string, 0, len(p.heads))
+
+	tr := &train.Trainer{
+		Cfg: tcfg,
+		Opt: p.opt,
+		Hooks: train.Hooks{
+			Grad: func(worker, si int, inv float64, gb *tensor.GradBuf, rng *rand.Rand) float64 {
+				return p.gradSample(samples, si, inv, gb, rng, scratch[worker])
+			},
+			BatchParams: func(batch []int) []*tensor.Param {
+				// Backbone plus every head touched by this batch. Batches are
+				// small (≈16), so a linear scan beats a map allocation.
+				stepBuf = append(stepBuf[:0], encParams...)
+				plats = plats[:0]
+				for _, si := range batch {
+					plat := samples[si].Platform
+					seen := false
+					for _, q := range plats {
+						if q == plat {
+							seen = true
+							break
+						}
+					}
+					if !seen {
+						plats = append(plats, plat)
+						stepBuf = append(stepBuf, p.heads[plat].Params()...)
+					}
 				}
-				dPred := tensor.NewMatrix(1, 1)
-				dPred.Set(0, 0, 2*diff*inv)
-				dIn := p.heads[s.Platform].Backward(hc, dPred)
-				p.backwardEmbed(c, dIn)
-			}
-			// Step the backbone plus every head touched by this batch.
-			step := []*tensor.Param{}
-			if p.enc != nil {
-				step = append(step, p.enc.Params()...)
-			}
-			for plat := range touched {
-				step = append(step, p.heads[plat].Params()...)
-			}
-			p.opt.Step(step)
-		}
-		if len(val) > 0 {
-			v := p.valLoss(val)
-			if v < bestVal {
-				bestVal = v
-				bestSnap = p.snapshotParams(bestSnap)
-			}
-		}
+				return stepBuf
+			},
+			Epoch: p.epochHook,
+		},
 	}
-	p.opt.LR = baseLR
-	if bestSnap != nil {
-		p.restoreParams(bestSnap)
+	if len(val) > 0 {
+		tr.Hooks.ValLoss = func() float64 { return p.valLoss(val, workers, scratch) }
+		tr.Hooks.Snapshot = p.snapshotParams
+		tr.Hooks.Restore = p.restoreParams
 	}
-	return nil
+	return tr.Run(len(samples), p.rng)
 }
 
-// valLoss computes the mean squared error on already-normalized samples.
-func (p *Predictor) valLoss(val []Sample) float64 {
-	var sum float64
-	for _, s := range val {
-		c := p.embed(s.GF)
-		pred, _ := p.heads[s.Platform].Forward(c.headIn, false, nil)
+// valLoss computes the mean squared error on already-normalized samples,
+// fanning the forward passes across workers (squared errors are summed in
+// index order, so the result does not depend on the worker count).
+func (p *Predictor) valLoss(val []Sample, workers int, scratch []*tensor.Scratch) float64 {
+	errs := make([]float64, len(val))
+	train.ParallelFor(workers, len(val), func(w, i int) {
+		s := val[i]
+		sc := scratch[w]
+		c := p.embed(s.GF, sc)
+		pred, _ := p.heads[s.Platform].ForwardScratch(c.headIn, false, nil, sc)
 		d := pred.At(0, 0) - p.encodeTarget(s.LatencyMS, s.Platform)
-		sum += d * d
+		errs[i] = d * d
+		sc.Reset()
+	})
+	var sum float64
+	for _, e := range errs {
+		sum += e
 	}
 	return sum / float64(len(val))
 }
@@ -478,20 +523,22 @@ func (p *Predictor) restoreParams(buf []float64) {
 }
 
 // backwardEmbed routes the head-input gradient back through pooling and the
-// encoder; the static-feature slice of the gradient ends at the inputs.
-func (p *Predictor) backwardEmbed(c *embedCaches, dIn *tensor.Matrix) {
+// encoder, with gradients routed to gb (nil → Param.Grad) and intermediates
+// drawn from sc (nil allocates); the static-feature slice of the gradient
+// ends at the inputs.
+func (p *Predictor) backwardEmbed(c *embedCaches, dIn *tensor.Matrix, gb *tensor.GradBuf, sc *tensor.Scratch) {
 	if c.pooled == nil {
 		return // static-only model: nothing upstream to update
 	}
 	poolDim := c.pooled.Cols
-	dPool := tensor.NewMatrix(1, poolDim)
+	dPool := sc.Get(1, poolDim)
 	copy(dPool.Row(0), dIn.Row(0)[:poolDim])
 	if p.cfg.MeanPool && c.gf.X.Rows > 0 {
 		dPool.Scale(1 / float64(c.gf.X.Rows))
 	}
 	if p.cfg.UseGNN && p.enc != nil {
-		dH := gnn.SumPoolBackward(dPool, c.gf.X.Rows)
-		p.enc.Backward(c.encC, dH)
+		dH := gnn.SumPoolBackwardScratch(dPool, c.gf.X.Rows, sc)
+		p.enc.BackwardSink(c.encC, dH, gb, sc)
 	}
 }
 
@@ -506,14 +553,14 @@ func (p *Predictor) PredictSample(gf *feats.GraphFeatures, platform string) (flo
 	}
 	c := gf.Clone()
 	p.norm.Apply(c)
-	ec := p.embed(c)
+	ec := p.embed(c, nil)
 	pred, _ := h.Forward(ec.headIn, false, nil)
 	return p.decodeTarget(pred.At(0, 0), platform), nil
 }
 
 // Predict extracts features and predicts latency (ms) for a graph.
 func (p *Predictor) Predict(g *onnx.Graph, platform string) (float64, error) {
-	gf, err := feats.Extract(g, 4)
+	gf, err := feats.Extract(g, p.cfg.elemSize())
 	if err != nil {
 		return 0, err
 	}
@@ -529,18 +576,23 @@ func (p *Predictor) PredictAllSample(gf *feats.GraphFeatures) (map[string]float6
 	}
 	c := gf.Clone()
 	p.norm.Apply(c)
-	ec := p.embed(c)
-	out := make(map[string]float64, len(p.heads))
-	for _, plat := range p.Platforms() {
-		pred, _ := p.heads[plat].Forward(ec.headIn, false, nil)
-		out[plat] = p.decodeTarget(pred.At(0, 0), plat)
+	ec := p.embed(c, nil)
+	plats := p.Platforms()
+	preds := make([]float64, len(plats))
+	train.ParallelFor(p.cfg.Workers, len(plats), func(_, i int) {
+		pred, _ := p.heads[plats[i]].Forward(ec.headIn, false, nil)
+		preds[i] = p.decodeTarget(pred.At(0, 0), plats[i])
+	})
+	out := make(map[string]float64, len(plats))
+	for i, plat := range plats {
+		out[plat] = preds[i]
 	}
 	return out, nil
 }
 
 // PredictAll extracts features once and predicts latency on every platform.
 func (p *Predictor) PredictAll(g *onnx.Graph) (map[string]float64, error) {
-	gf, err := feats.Extract(g, 4)
+	gf, err := feats.Extract(g, p.cfg.elemSize())
 	if err != nil {
 		return nil, err
 	}

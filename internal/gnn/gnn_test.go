@@ -21,7 +21,7 @@ func tinyInputs(rng *rand.Rand) (*tensor.Matrix, [][]int) {
 func TestMeanAggregate(t *testing.T) {
 	x := tensor.FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
 	adj := [][]int{{1, 2}, {0}, nil}
-	m := meanAggregate(x, adj)
+	m := meanAggregate(x, adj, nil)
 	if m.At(0, 0) != 4 || m.At(0, 1) != 5 {
 		t.Fatalf("mean row 0 = %v", m.Row(0))
 	}
@@ -154,6 +154,68 @@ func TestGradientCheckInputs(t *testing.T) {
 		denom := math.Max(1e-6, math.Abs(numeric)+math.Abs(analytic))
 		if math.Abs(numeric-analytic)/denom > 1e-4 {
 			t.Fatalf("x[%d]: analytic %g vs numeric %g", i, analytic, numeric)
+		}
+	}
+}
+
+// TestGradientCheckSinkScratch re-runs the finite-difference check through
+// the re-entrant path: gradients into a GradBuf, intermediates from a
+// Scratch reused across samples. The analytic gradients must match both the
+// numeric ones and the legacy Param.Grad path bit for bit.
+func TestGradientCheckSinkScratch(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	enc := NewEncoder(3, 4, 2, rng)
+	head := NewHead("h", 4, 5, 0, rng)
+	x, adj := tinyInputs(rng)
+	params := append(enc.Params(), head.Params()...)
+
+	// Legacy path reference.
+	for _, p := range params {
+		p.ZeroGrad()
+	}
+	backwardOf(enc, head, x, adj)
+	want := make(map[*tensor.Param][]float64)
+	for _, p := range params {
+		want[p] = append([]float64(nil), p.Grad.Data...)
+	}
+
+	gb := tensor.NewGradBuf()
+	sc := tensor.NewScratch()
+	run := func() {
+		gb.Reset()
+		h, ec := enc.ForwardScratch(x, adj, sc)
+		pooled := SumPoolScratch(h, sc)
+		pred, hc := head.ForwardScratch(pooled, false, nil, sc)
+		dPred := sc.Get(1, 1)
+		dPred.Set(0, 0, 2*(pred.At(0, 0)-3))
+		dPool := head.BackwardSink(hc, dPred, gb, sc)
+		enc.BackwardSink(ec, SumPoolBackwardScratch(dPool, h.Rows, sc), gb, sc)
+		sc.Reset()
+	}
+	// Run twice: the second pass reuses pooled scratch matrices and a stale
+	// GradBuf cycle, which must not change the result.
+	run()
+	run()
+
+	const eps = 1e-5
+	for _, p := range params {
+		got := gb.Grad(p)
+		for i := range p.Value.Data {
+			if got.Data[i] != want[p][i] {
+				t.Fatalf("param %s[%d]: sink %g != legacy %g", p.Name, i, got.Data[i], want[p][i])
+			}
+			orig := p.Value.Data[i]
+			p.Value.Data[i] = orig + eps
+			lp := lossOf(enc, head, x, adj)
+			p.Value.Data[i] = orig - eps
+			lm := lossOf(enc, head, x, adj)
+			p.Value.Data[i] = orig
+			numeric := (lp - lm) / (2 * eps)
+			analytic := got.Data[i]
+			denom := math.Max(1e-6, math.Abs(numeric)+math.Abs(analytic))
+			if math.Abs(numeric-analytic)/denom > 1e-4 {
+				t.Fatalf("param %s[%d]: analytic %g vs numeric %g", p.Name, i, analytic, numeric)
+			}
 		}
 	}
 }

@@ -29,7 +29,12 @@ type linearCache struct{ x *tensor.Matrix }
 
 // Forward computes X·W + b.
 func (l *Linear) Forward(x *tensor.Matrix) (*tensor.Matrix, *linearCache) {
-	y := tensor.MatMul(x, l.W.Value)
+	return l.ForwardScratch(x, nil)
+}
+
+// ForwardScratch is Forward with the output drawn from sc (nil allocates).
+func (l *Linear) ForwardScratch(x *tensor.Matrix, sc *tensor.Scratch) (*tensor.Matrix, *linearCache) {
+	y := tensor.MatMulInto(sc.Get(x.Rows, l.W.Value.Cols), x, l.W.Value)
 	b := l.B.Value.Row(0)
 	for i := 0; i < y.Rows; i++ {
 		tensor.Axpy(1, b, y.Row(i))
@@ -37,14 +42,20 @@ func (l *Linear) Forward(x *tensor.Matrix) (*tensor.Matrix, *linearCache) {
 	return y, &linearCache{x: x}
 }
 
-// Backward accumulates dW, dB and returns dX.
+// Backward accumulates dW, dB into Param.Grad and returns dX.
 func (l *Linear) Backward(c *linearCache, dY *tensor.Matrix) *tensor.Matrix {
-	l.W.Grad.AddInPlace(tensor.MatMulATB(c.x, dY))
-	db := l.B.Grad.Row(0)
+	return l.BackwardSink(c, dY, nil, nil)
+}
+
+// BackwardSink is Backward with gradients routed to gb (nil → Param.Grad)
+// and dX drawn from sc (nil allocates).
+func (l *Linear) BackwardSink(c *linearCache, dY *tensor.Matrix, gb *tensor.GradBuf, sc *tensor.Scratch) *tensor.Matrix {
+	tensor.MatMulATBAdd(gb.Grad(l.W), c.x, dY)
+	db := gb.Grad(l.B).Row(0)
 	for i := 0; i < dY.Rows; i++ {
 		tensor.Axpy(1, dY.Row(i), db)
 	}
-	return tensor.MatMulABT(dY, l.W.Value)
+	return tensor.MatMulABTInto(sc.Get(dY.Rows, l.W.Value.Rows), dY, l.W.Value)
 }
 
 // Head is the per-platform prediction head g(;β) of Fig. 3: FC → ReLU →
@@ -84,9 +95,15 @@ type headCache struct {
 // dropout is sampled from rng with inverted scaling; in eval mode dropout
 // is the identity.
 func (h *Head) Forward(x *tensor.Matrix, training bool, rng *rand.Rand) (*tensor.Matrix, *headCache) {
+	return h.ForwardScratch(x, training, rng, nil)
+}
+
+// ForwardScratch is Forward with matrix intermediates drawn from sc (nil
+// allocates); the returned cache references scratch matrices.
+func (h *Head) ForwardScratch(x *tensor.Matrix, training bool, rng *rand.Rand, sc *tensor.Scratch) (*tensor.Matrix, *headCache) {
 	c := &headCache{}
 	var y *tensor.Matrix
-	y, c.c1 = h.FC1.Forward(x)
+	y, c.c1 = h.FC1.ForwardScratch(x, sc)
 	c.relu1Mask = reluInPlace(y)
 	if training && h.DropoutP > 0 {
 		c.dropMask = make([]float64, len(y.Data))
@@ -98,24 +115,30 @@ func (h *Head) Forward(x *tensor.Matrix, training bool, rng *rand.Rand) (*tensor
 			y.Data[i] *= c.dropMask[i]
 		}
 	}
-	y, c.c2 = h.FC2.Forward(y)
+	y, c.c2 = h.FC2.ForwardScratch(y, sc)
 	c.relu2Mask = reluInPlace(y)
-	y, c.c3 = h.FC3.Forward(y)
+	y, c.c3 = h.FC3.ForwardScratch(y, sc)
 	return y, c
 }
 
-// Backward accumulates gradients and returns dX.
+// Backward accumulates gradients into Param.Grad and returns dX.
 func (h *Head) Backward(c *headCache, dY *tensor.Matrix) *tensor.Matrix {
-	d := h.FC3.Backward(c.c3, dY)
+	return h.BackwardSink(c, dY, nil, nil)
+}
+
+// BackwardSink is Backward with gradients routed to gb (nil → Param.Grad)
+// and intermediates drawn from sc (nil allocates).
+func (h *Head) BackwardSink(c *headCache, dY *tensor.Matrix, gb *tensor.GradBuf, sc *tensor.Scratch) *tensor.Matrix {
+	d := h.FC3.BackwardSink(c.c3, dY, gb, sc)
 	applyMask(d, c.relu2Mask)
-	d = h.FC2.Backward(c.c2, d)
+	d = h.FC2.BackwardSink(c.c2, d, gb, sc)
 	if c.dropMask != nil {
 		for i := range d.Data {
 			d.Data[i] *= c.dropMask[i]
 		}
 	}
 	applyMask(d, c.relu1Mask)
-	return h.FC1.Backward(c.c1, d)
+	return h.FC1.BackwardSink(c.c1, d, gb, sc)
 }
 
 // reluInPlace applies ReLU and returns the positive mask.

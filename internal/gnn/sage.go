@@ -4,6 +4,13 @@
 // readout (Eq. 5), and the fully-connected / ReLU / Dropout prediction head
 // (Fig. 3) — all with hand-derived backward passes verified by
 // finite-difference gradient checks.
+//
+// Forward and backward are re-entrant: no method mutates shared state. All
+// per-sample intermediates live in caller-owned caches, matrix scratch comes
+// from an optional per-worker tensor.Scratch, and parameter gradients flow
+// to a caller-supplied tensor.GradBuf (nil falls back to Param.Grad, the
+// single-threaded convention). Concurrent samples therefore only ever read
+// the shared parameters.
 package gnn
 
 import (
@@ -57,9 +64,9 @@ type sageCache struct {
 }
 
 // meanAggregate computes M[i] = mean over neighbours of X rows (zero when a
-// node has no neighbours).
-func meanAggregate(x *tensor.Matrix, adj [][]int) *tensor.Matrix {
-	m := tensor.NewMatrix(x.Rows, x.Cols)
+// node has no neighbours), into a scratch-owned matrix.
+func meanAggregate(x *tensor.Matrix, adj [][]int, sc *tensor.Scratch) *tensor.Matrix {
+	m := sc.Get(x.Rows, x.Cols)
 	for i, nb := range adj {
 		if len(nb) == 0 {
 			continue
@@ -79,9 +86,16 @@ func meanAggregate(x *tensor.Matrix, adj [][]int) *tensor.Matrix {
 // Forward runs the layer on node features x with adjacency adj, returning
 // the output embedding and a cache for Backward.
 func (l *SAGEConv) Forward(x *tensor.Matrix, adj [][]int) (*tensor.Matrix, *sageCache) {
-	mx := meanAggregate(x, adj)
-	y := tensor.MatMul(x, l.W1.Value)
-	y.AddInPlace(tensor.MatMul(mx, l.W2.Value))
+	return l.ForwardScratch(x, adj, nil)
+}
+
+// ForwardScratch is Forward with all matrix intermediates drawn from sc
+// (nil allocates). The cache references scratch matrices, so sc must not be
+// Reset until the matching backward pass has run.
+func (l *SAGEConv) ForwardScratch(x *tensor.Matrix, adj [][]int, sc *tensor.Scratch) (*tensor.Matrix, *sageCache) {
+	mx := meanAggregate(x, adj, sc)
+	y := tensor.MatMulInto(sc.Get(x.Rows, l.Out), x, l.W1.Value)
+	tensor.MatMulAddInto(y, mx, l.W2.Value)
 
 	c := &sageCache{x: x, mx: mx, adj: adj, norms: make([]float64, y.Rows), skip: make([]bool, y.Rows)}
 	h := y // normalize in place; y is not needed un-normalized
@@ -116,11 +130,19 @@ func (l *SAGEConv) Forward(x *tensor.Matrix, adj [][]int) (*tensor.Matrix, *sage
 }
 
 // Backward accumulates parameter gradients from dH (gradient w.r.t. the
-// layer output) and returns dX (gradient w.r.t. the layer input).
+// layer output) into Param.Grad and returns dX (gradient w.r.t. the layer
+// input).
 func (l *SAGEConv) Backward(c *sageCache, dH *tensor.Matrix) *tensor.Matrix {
+	return l.BackwardSink(c, dH, nil, nil)
+}
+
+// BackwardSink is Backward with gradients routed to gb (nil → Param.Grad)
+// and intermediates drawn from sc (nil allocates). It does not touch any
+// shared state, so concurrent samples may run it against distinct sinks.
+func (l *SAGEConv) BackwardSink(c *sageCache, dH *tensor.Matrix, gb *tensor.GradBuf, sc *tensor.Scratch) *tensor.Matrix {
 	// Through L2 normalization: for h = y/r,
 	// dY = dH/r - h·(h·dH)/r; skipped rows pass dH through unchanged.
-	dY := tensor.NewMatrix(dH.Rows, dH.Cols)
+	dY := sc.Get(dH.Rows, dH.Cols)
 	for i := 0; i < dH.Rows; i++ {
 		src := dH.Row(i)
 		dst := dY.Row(i)
@@ -137,13 +159,13 @@ func (l *SAGEConv) Backward(c *sageCache, dH *tensor.Matrix) *tensor.Matrix {
 	}
 
 	// dW1 += Xᵀ·dY ; dW2 += M(X)ᵀ·dY
-	l.W1.Grad.AddInPlace(tensor.MatMulATB(c.x, dY))
-	l.W2.Grad.AddInPlace(tensor.MatMulATB(c.mx, dY))
+	tensor.MatMulATBAdd(gb.Grad(l.W1), c.x, dY)
+	tensor.MatMulATBAdd(gb.Grad(l.W2), c.mx, dY)
 
 	// dX from the self path.
-	dX := tensor.MatMulABT(dY, l.W1.Value)
+	dX := tensor.MatMulABTInto(sc.Get(dY.Rows, l.In), dY, l.W1.Value)
 	// dX from the neighbour path: dM = dY·W2ᵀ, then scatter means back.
-	dM := tensor.MatMulABT(dY, l.W2.Value)
+	dM := tensor.MatMulABTInto(sc.Get(dY.Rows, l.In), dY, l.W2.Value)
 	for i, nb := range c.adj {
 		if len(nb) == 0 {
 			continue
@@ -202,21 +224,33 @@ type EncCache struct {
 
 // Forward runs the full backbone.
 func (e *Encoder) Forward(x *tensor.Matrix, adj [][]int) (*tensor.Matrix, *EncCache) {
-	c := &EncCache{}
+	return e.ForwardScratch(x, adj, nil)
+}
+
+// ForwardScratch is Forward with intermediates drawn from sc (nil
+// allocates); the returned cache references scratch matrices.
+func (e *Encoder) ForwardScratch(x *tensor.Matrix, adj [][]int, sc *tensor.Scratch) (*tensor.Matrix, *EncCache) {
+	c := &EncCache{caches: make([]*sageCache, 0, len(e.Layers))}
 	h := x
 	for _, l := range e.Layers {
 		var lc *sageCache
-		h, lc = l.Forward(h, adj)
+		h, lc = l.ForwardScratch(h, adj, sc)
 		c.caches = append(c.caches, lc)
 	}
 	return h, c
 }
 
-// Backward propagates dH through all layers, accumulating gradients, and
-// returns the gradient w.r.t. the input features.
+// Backward propagates dH through all layers, accumulating gradients into
+// Param.Grad, and returns the gradient w.r.t. the input features.
 func (e *Encoder) Backward(c *EncCache, dH *tensor.Matrix) *tensor.Matrix {
+	return e.BackwardSink(c, dH, nil, nil)
+}
+
+// BackwardSink is Backward with gradients routed to gb (nil → Param.Grad)
+// and intermediates drawn from sc (nil allocates).
+func (e *Encoder) BackwardSink(c *EncCache, dH *tensor.Matrix, gb *tensor.GradBuf, sc *tensor.Scratch) *tensor.Matrix {
 	for i := len(e.Layers) - 1; i >= 0; i-- {
-		dH = e.Layers[i].Backward(c.caches[i], dH)
+		dH = e.Layers[i].BackwardSink(c.caches[i], dH, gb, sc)
 	}
 	return dH
 }
@@ -224,7 +258,12 @@ func (e *Encoder) Backward(c *EncCache, dH *tensor.Matrix) *tensor.Matrix {
 // SumPool reduces node embeddings to a single graph vector (the Σ of
 // Eq. 5), returning a 1×d matrix.
 func SumPool(h *tensor.Matrix) *tensor.Matrix {
-	out := tensor.NewMatrix(1, h.Cols)
+	return SumPoolScratch(h, nil)
+}
+
+// SumPoolScratch is SumPool into a scratch-owned matrix.
+func SumPoolScratch(h *tensor.Matrix, sc *tensor.Scratch) *tensor.Matrix {
+	out := sc.Get(1, h.Cols)
 	dst := out.Row(0)
 	for i := 0; i < h.Rows; i++ {
 		tensor.Axpy(1, h.Row(i), dst)
@@ -234,7 +273,12 @@ func SumPool(h *tensor.Matrix) *tensor.Matrix {
 
 // SumPoolBackward broadcasts the pooled gradient back to every node row.
 func SumPoolBackward(dPool *tensor.Matrix, numNodes int) *tensor.Matrix {
-	out := tensor.NewMatrix(numNodes, dPool.Cols)
+	return SumPoolBackwardScratch(dPool, numNodes, nil)
+}
+
+// SumPoolBackwardScratch is SumPoolBackward into a scratch-owned matrix.
+func SumPoolBackwardScratch(dPool *tensor.Matrix, numNodes int, sc *tensor.Scratch) *tensor.Matrix {
+	out := sc.Get(numNodes, dPool.Cols)
 	src := dPool.Row(0)
 	for i := 0; i < numNodes; i++ {
 		copy(out.Row(i), src)

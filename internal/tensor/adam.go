@@ -63,6 +63,18 @@ func (a *Adam) Step(params []*Param) {
 	}
 }
 
+// StepSink zeroes the gradients of params, reduces sink into Param.Grad in
+// fixed slot order, and applies one Step — the whole-batch update of the
+// data-parallel training loop. Every parameter touched by the sink's slots
+// must be in params, otherwise its contribution leaks into a stale Grad.
+func (a *Adam) StepSink(params []*Param, sink *GradSink) {
+	for _, p := range params {
+		p.ZeroGrad()
+	}
+	sink.Reduce()
+	a.Step(params)
+}
+
 // Reset forgets optimizer state (moments and step), used when fine-tuning
 // restarts from pre-trained weights.
 func (a *Adam) Reset() {

@@ -90,7 +90,34 @@ func MatMul(a, b *Matrix) *Matrix {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: matmul shape mismatch %dx%d · %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
 	}
-	out := NewMatrix(a.Rows, b.Cols)
+	return matMulAdd(NewMatrix(a.Rows, b.Cols), a, b)
+}
+
+// MatMulInto computes out = a·b into a caller-supplied (e.g. Scratch-owned)
+// matrix, zeroing it first. Returns out.
+func MatMulInto(out, a, b *Matrix) *Matrix {
+	checkMatMulInto(out, a, b)
+	out.Zero()
+	return matMulAdd(out, a, b)
+}
+
+// MatMulAddInto computes out += a·b without zeroing, for fused
+// self+neighbour transforms and gradient accumulation. Returns out.
+func MatMulAddInto(out, a, b *Matrix) *Matrix {
+	checkMatMulInto(out, a, b)
+	return matMulAdd(out, a, b)
+}
+
+func checkMatMulInto(out, a, b *Matrix) {
+	if a.Cols != b.Rows || out.Rows != a.Rows || out.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: matmul-into shape mismatch %dx%d · %dx%d -> %dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols, out.Rows, out.Cols))
+	}
+}
+
+// matMulAdd accumulates a·b into out, fanning out across goroutines when the
+// product is large enough to amortize them.
+func matMulAdd(out, a, b *Matrix) *Matrix {
 	work := a.Rows * a.Cols * b.Cols
 	if work < parallelThreshold {
 		matMulRange(a, b, out, 0, a.Rows)
@@ -142,10 +169,16 @@ func matMulRange(a, b, out *Matrix, lo, hi int) {
 // MatMulATB computes aᵀ·b (a: n×p, b: n×q → p×q), the gradient-side product
 // dW = Xᵀ·dY.
 func MatMulATB(a, b *Matrix) *Matrix {
-	if a.Rows != b.Rows {
-		panic(fmt.Sprintf("tensor: matmulATB shape mismatch %dx%d vs %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	return MatMulATBAdd(NewMatrix(a.Cols, b.Cols), a, b)
+}
+
+// MatMulATBAdd computes out += aᵀ·b, accumulating straight into a gradient
+// buffer. Returns out.
+func MatMulATBAdd(out, a, b *Matrix) *Matrix {
+	if a.Rows != b.Rows || out.Rows != a.Cols || out.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: matmulATB shape mismatch %dx%d vs %dx%d -> %dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols, out.Rows, out.Cols))
 	}
-	out := NewMatrix(a.Cols, b.Cols)
 	for n := 0; n < a.Rows; n++ {
 		ar := a.Row(n)
 		br := b.Row(n)
@@ -165,10 +198,16 @@ func MatMulATB(a, b *Matrix) *Matrix {
 // MatMulABT computes a·bᵀ (a: n×p, b: q×p → n×q), the gradient-side product
 // dX = dY·Wᵀ.
 func MatMulABT(a, b *Matrix) *Matrix {
-	if a.Cols != b.Cols {
-		panic(fmt.Sprintf("tensor: matmulABT shape mismatch %dx%d vs %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	return MatMulABTInto(NewMatrix(a.Rows, b.Rows), a, b)
+}
+
+// MatMulABTInto computes out = a·bᵀ into a caller-supplied matrix,
+// overwriting every element. Returns out.
+func MatMulABTInto(out, a, b *Matrix) *Matrix {
+	if a.Cols != b.Cols || out.Rows != a.Rows || out.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: matmulABT shape mismatch %dx%d vs %dx%d -> %dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols, out.Rows, out.Cols))
 	}
-	out := NewMatrix(a.Rows, b.Rows)
 	for i := 0; i < a.Rows; i++ {
 		ar := a.Row(i)
 		or := out.Row(i)

@@ -1,0 +1,291 @@
+// Package train provides the shared mini-batch training loop used by the
+// NNLP predictor (internal/core) and the GNN baselines (internal/baselines).
+// It owns everything the per-model code used to duplicate — epoch iteration,
+// deterministic shuffling, LR scheduling, early stopping, per-epoch metrics
+// — and runs the per-sample gradient computations of each batch across a
+// configurable number of workers.
+//
+// Determinism contract: given the same seed and samples, training produces
+// bit-identical weights for ANY worker count. Three ingredients make that
+// hold:
+//
+//  1. Each sample's gradients go to the tensor.GradSink slot of its batch
+//     position, and the sink reduces slots into Param.Grad in fixed slot
+//     order — the floating-point addition grouping never depends on how
+//     samples were scheduled onto workers.
+//  2. Per-sample RNGs (dropout) are seeded from (run seed, epoch, position),
+//     not drawn from a shared stream.
+//  3. Shuffling, validation, snapshotting and optimizer steps all run on
+//     the coordinating goroutine.
+package train
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nnlqp/internal/tensor"
+)
+
+// Config sizes one training run.
+type Config struct {
+	// Epochs is the number of passes over the sample set.
+	Epochs int
+	// BatchSize is the mini-batch size (<=0 → 16, the paper's §8.1 value).
+	BatchSize int
+	// Workers caps the goroutines computing per-sample gradients within a
+	// batch (<=0 → GOMAXPROCS). Results are bit-identical for any value.
+	Workers int
+	// Schedule maps (epoch, total epochs, base LR) to the epoch's learning
+	// rate. Nil → StepDecay. The base LR is the optimizer's LR at Run entry,
+	// restored on return.
+	Schedule func(epoch, epochs int, baseLR float64) float64
+}
+
+// WorkerCount resolves the effective worker count.
+func (c Config) WorkerCount() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (c Config) batchSize() int {
+	if c.BatchSize > 0 {
+		return c.BatchSize
+	}
+	return 16
+}
+
+// StepDecay is the default schedule: ×0.5 at 60% of the epochs, ×0.25 at
+// 85% (the decay the NNLP predictor has always trained with).
+func StepDecay(epoch, epochs int, baseLR float64) float64 {
+	switch {
+	case epoch >= epochs*85/100:
+		return baseLR * 0.25
+	case epoch >= epochs*60/100:
+		return baseLR * 0.5
+	default:
+		return baseLR
+	}
+}
+
+// ConstantLR keeps the base learning rate for every epoch.
+func ConstantLR(_, _ int, baseLR float64) float64 { return baseLR }
+
+// EpochMetrics is handed to the Epoch hook after every epoch.
+type EpochMetrics struct {
+	Epoch     int     // 0-based epoch just finished
+	Epochs    int     // total epochs of this run
+	TrainLoss float64 // mean per-sample training loss (as reported by Grad)
+	ValLoss   float64 // validation loss, NaN when early stopping is off
+	Best      bool    // this epoch improved the best validation loss
+	LR        float64 // learning rate used this epoch
+	Took      time.Duration
+}
+
+// Hooks are the model-specific callbacks a Trainer drives. Grad and
+// BatchParams are required; the early-stop trio (ValLoss, Snapshot, Restore)
+// and Epoch are optional.
+type Hooks struct {
+	// Grad computes one sample's loss gradient, scaled by inv (1/batch
+	// size), into gb. It runs concurrently with other samples of the same
+	// batch and must not touch shared mutable state: parameters are
+	// read-only, scratch is per-worker (select it by the worker index), and
+	// rng is the sample's private RNG (deterministically seeded). Returns
+	// the sample's unscaled loss for metrics.
+	Grad func(worker, sample int, inv float64, gb *tensor.GradBuf, rng *rand.Rand) float64
+	// BatchParams returns the parameters to step for a batch of sample
+	// indices (e.g. the shared backbone plus only the heads the batch
+	// touched). It must cover every parameter the batch's Grad calls wrote.
+	BatchParams func(batch []int) []*tensor.Param
+	// ValLoss computes the validation loss after an epoch; with Snapshot
+	// and Restore it enables early stopping (best-epoch weights restored
+	// at the end of the run). All three must be set together.
+	ValLoss  func() float64
+	Snapshot func(buf []float64) []float64
+	Restore  func(buf []float64)
+	// Epoch observes per-epoch metrics (progress logging, convergence
+	// tracking).
+	Epoch func(EpochMetrics)
+}
+
+// Trainer runs the shared epoch/shuffle/LR-decay/early-stop loop.
+type Trainer struct {
+	Cfg   Config
+	Opt   *tensor.Adam
+	Hooks Hooks
+}
+
+// Run trains over n samples, shuffling their indices with rng (which also
+// seeds the per-sample RNGs). It returns after Cfg.Epochs epochs with the
+// optimizer LR restored and, when early stopping is active, the best-epoch
+// weights restored.
+func (t *Trainer) Run(n int, rng *rand.Rand) error {
+	if t.Opt == nil || t.Hooks.Grad == nil || t.Hooks.BatchParams == nil {
+		return fmt.Errorf("train: Trainer needs Opt, Hooks.Grad and Hooks.BatchParams")
+	}
+	earlyStop := t.Hooks.ValLoss != nil
+	if earlyStop && (t.Hooks.Snapshot == nil || t.Hooks.Restore == nil) {
+		return fmt.Errorf("train: ValLoss requires Snapshot and Restore")
+	}
+	if n == 0 || t.Cfg.Epochs <= 0 {
+		return nil
+	}
+	bs := t.Cfg.batchSize()
+	workers := t.Cfg.WorkerCount()
+	schedule := t.Cfg.Schedule
+	if schedule == nil {
+		schedule = StepDecay
+	}
+	// Per-sample RNG seeds derive from one draw on the caller's stream, so
+	// two runs over the same rng state replay identically while successive
+	// runs (Fit then FineTune) decorrelate.
+	seedBase := rng.Int63()
+
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	slots := bs
+	if n < slots {
+		slots = n
+	}
+	sink := tensor.NewGradSink(slots)
+	losses := make([]float64, n) // indexed by epoch position, summed in order
+
+	baseLR := t.Opt.LR
+	defer func() { t.Opt.LR = baseLR }()
+	bestVal := math.Inf(1)
+	var bestSnap []float64
+
+	for epoch := 0; epoch < t.Cfg.Epochs; epoch++ {
+		epochStart := time.Now()
+		t.Opt.LR = schedule(epoch, t.Cfg.Epochs, baseLR)
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		for start := 0; start < n; start += bs {
+			end := start + bs
+			if end > n {
+				end = n
+			}
+			batch := idx[start:end]
+			sink.Reset()
+			inv := 1.0 / float64(len(batch))
+			t.runBatch(batch, start, epoch*n, inv, workers, seedBase, sink, losses)
+			t.Opt.StepSink(t.Hooks.BatchParams(batch), sink)
+		}
+		var trainLoss float64
+		for _, l := range losses {
+			trainLoss += l
+		}
+		trainLoss /= float64(n)
+
+		m := EpochMetrics{
+			Epoch: epoch, Epochs: t.Cfg.Epochs,
+			TrainLoss: trainLoss, ValLoss: math.NaN(), LR: t.Opt.LR,
+		}
+		if earlyStop {
+			m.ValLoss = t.Hooks.ValLoss()
+			if m.ValLoss < bestVal {
+				bestVal = m.ValLoss
+				bestSnap = t.Hooks.Snapshot(bestSnap)
+				m.Best = true
+			}
+		}
+		m.Took = time.Since(epochStart)
+		if t.Hooks.Epoch != nil {
+			t.Hooks.Epoch(m)
+		}
+	}
+	if bestSnap != nil {
+		t.Hooks.Restore(bestSnap)
+	}
+	return nil
+}
+
+// runBatch computes every sample gradient of one batch, fanning out across
+// workers. Slot assignment follows batch position, so the reduction order —
+// and therefore the summed gradient — is independent of scheduling.
+func (t *Trainer) runBatch(batch []int, start, epochBase int, inv float64, workers int, seedBase int64, sink *tensor.GradSink, losses []float64) {
+	w := workers
+	if w > len(batch) {
+		w = len(batch)
+	}
+	if w <= 1 {
+		rngS := rand.New(rand.NewSource(1))
+		for pos, s := range batch {
+			rngS.Seed(sampleSeed(seedBase, epochBase+start+pos))
+			losses[start+pos] = t.Hooks.Grad(0, s, inv, sink.Slot(pos), rngS)
+		}
+		return
+	}
+	var next int64
+	var wg sync.WaitGroup
+	for worker := 0; worker < w; worker++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			rngS := rand.New(rand.NewSource(1))
+			for {
+				pos := int(atomic.AddInt64(&next, 1)) - 1
+				if pos >= len(batch) {
+					return
+				}
+				rngS.Seed(sampleSeed(seedBase, epochBase+start+pos))
+				losses[start+pos] = t.Hooks.Grad(worker, batch[pos], inv, sink.Slot(pos), rngS)
+			}
+		}(worker)
+	}
+	wg.Wait()
+}
+
+// sampleSeed mixes the run seed with a sample's (epoch, position) ordinal
+// into a well-distributed int64 (splitmix64), so per-sample dropout streams
+// are decorrelated and depend only on the sample's place in the run — never
+// on which worker computed it.
+func sampleSeed(seedBase int64, ordinal int) int64 {
+	z := uint64(seedBase) + 0x9e3779b97f4a7c15*uint64(ordinal+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64((z ^ (z >> 31)) &^ (1 << 63))
+}
+
+// ParallelFor runs fn(worker, i) for every i in [0, n) across at most
+// `workers` goroutines (<=0 → GOMAXPROCS), returning once all calls finish.
+// Used by the embarrassingly-parallel read paths (validation loss, batch
+// prediction, multi-head inference). fn must write results by index; the
+// worker id selects per-worker state such as a tensor.Scratch.
+func ParallelFor(workers, n int, fn func(worker, i int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var next int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= n {
+					return
+				}
+				fn(w, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}

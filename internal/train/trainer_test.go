@@ -1,0 +1,228 @@
+package train
+
+import (
+	"math"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"nnlqp/internal/tensor"
+)
+
+// linModel is a tiny linear model y = w·x + b used to exercise the Trainer
+// without the GNN stack.
+type linModel struct {
+	w *tensor.Param
+	b *tensor.Param
+	x [][]float64
+	y []float64
+}
+
+func newLinModel(n, dim int, seed int64) *linModel {
+	rng := rand.New(rand.NewSource(seed))
+	m := &linModel{w: tensor.NewParam("w", 1, dim), b: tensor.NewParam("b", 1, 1)}
+	trueW := make([]float64, dim)
+	for i := range trueW {
+		trueW[i] = rng.NormFloat64()
+	}
+	for s := 0; s < n; s++ {
+		x := make([]float64, dim)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		m.x = append(m.x, x)
+		m.y = append(m.y, tensor.Dot(trueW, x)+0.5)
+	}
+	return m
+}
+
+func (m *linModel) params() []*tensor.Param { return []*tensor.Param{m.w, m.b} }
+
+func (m *linModel) pred(i int) float64 {
+	return tensor.Dot(m.w.Value.Row(0), m.x[i]) + m.b.Value.At(0, 0)
+}
+
+// grad writes one sample's gradient (scaled by inv) into gb, returning the
+// squared error. A tiny rng draw makes the dropout-determinism machinery
+// observable: any worker-order dependence would change the weights.
+func (m *linModel) grad(i int, inv float64, gb *tensor.GradBuf, rng *rand.Rand) float64 {
+	d := m.pred(i) - m.y[i]
+	noise := 1 + 1e-9*rng.Float64()
+	gw := gb.Grad(m.w).Row(0)
+	for j, xv := range m.x[i] {
+		gw[j] += 2 * d * xv * inv * noise
+	}
+	gb.Grad(m.b).Data[0] += 2 * d * inv * noise
+	return d * d
+}
+
+func (m *linModel) loss() float64 {
+	var sum float64
+	for i := range m.y {
+		d := m.pred(i) - m.y[i]
+		sum += d * d
+	}
+	return sum / float64(len(m.y))
+}
+
+func trainRun(t *testing.T, workers, epochs int, seed int64, hooks func(*linModel, *Hooks)) *linModel {
+	t.Helper()
+	m := newLinModel(64, 6, 42)
+	tr := &Trainer{
+		Cfg: Config{Epochs: epochs, BatchSize: 8, Workers: workers},
+		Opt: tensor.NewAdam(0.05),
+		Hooks: Hooks{
+			Grad: func(_, i int, inv float64, gb *tensor.GradBuf, rng *rand.Rand) float64 {
+				return m.grad(i, inv, gb, rng)
+			},
+			BatchParams: func([]int) []*tensor.Param { return m.params() },
+		},
+	}
+	if hooks != nil {
+		hooks(m, &tr.Hooks)
+	}
+	if err := tr.Run(len(m.y), rand.New(rand.NewSource(seed))); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestTrainerConverges(t *testing.T) {
+	m := trainRun(t, 1, 60, 1, nil)
+	if l := m.loss(); l > 1e-2 {
+		t.Fatalf("loss %g did not converge", l)
+	}
+}
+
+// TestTrainerBitIdenticalAcrossWorkerCounts is the determinism contract:
+// the same seed trains to bit-identical weights at any worker count.
+func TestTrainerBitIdenticalAcrossWorkerCounts(t *testing.T) {
+	ref := trainRun(t, 1, 20, 7, nil)
+	for _, workers := range []int{2, 4, 0} { // 0 = GOMAXPROCS
+		got := trainRun(t, workers, 20, 7, nil)
+		for pi, p := range ref.params() {
+			for j := range p.Value.Data {
+				if got.params()[pi].Value.Data[j] != p.Value.Data[j] {
+					t.Fatalf("workers=%d param %d[%d]: %v != %v",
+						workers, pi, j, got.params()[pi].Value.Data[j], p.Value.Data[j])
+				}
+			}
+		}
+	}
+}
+
+func TestTrainerEarlyStopRestoresBest(t *testing.T) {
+	var epochsSeen []EpochMetrics
+	// ValLoss decreases then increases: the best snapshot must win.
+	val := []float64{5, 3, 1, 2, 4, 6, 7, 8}
+	var call int
+	var atBest []float64
+	m := trainRun(t, 1, len(val), 3, func(m *linModel, h *Hooks) {
+		h.ValLoss = func() float64 { v := val[call]; call++; return v }
+		h.Snapshot = func(buf []float64) []float64 {
+			atBest = atBest[:0]
+			for _, p := range m.params() {
+				atBest = append(atBest, p.Value.Data...)
+			}
+			return append(buf[:0], atBest...)
+		}
+		h.Restore = func(buf []float64) {
+			off := 0
+			for _, p := range m.params() {
+				copy(p.Value.Data, buf[off:off+len(p.Value.Data)])
+				off += len(p.Value.Data)
+			}
+		}
+		h.Epoch = func(em EpochMetrics) { epochsSeen = append(epochsSeen, em) }
+	})
+	var flat []float64
+	for _, p := range m.params() {
+		flat = append(flat, p.Value.Data...)
+	}
+	for i := range flat {
+		if flat[i] != atBest[i] {
+			t.Fatal("final weights are not the best-epoch snapshot")
+		}
+	}
+	if len(epochsSeen) != len(val) {
+		t.Fatalf("epoch hook fired %d times, want %d", len(epochsSeen), len(val))
+	}
+	if !epochsSeen[2].Best || epochsSeen[3].Best {
+		t.Fatalf("best flags wrong: %+v", epochsSeen)
+	}
+	if epochsSeen[2].ValLoss != 1 {
+		t.Fatalf("epoch 2 val loss = %v", epochsSeen[2].ValLoss)
+	}
+	if math.IsNaN(epochsSeen[0].TrainLoss) || epochsSeen[0].TrainLoss <= 0 {
+		t.Fatalf("train loss = %v", epochsSeen[0].TrainLoss)
+	}
+}
+
+func TestTrainerLRScheduleAndRestore(t *testing.T) {
+	var lrs []float64
+	m := newLinModel(16, 2, 1)
+	opt := tensor.NewAdam(0.1)
+	tr := &Trainer{
+		Cfg: Config{Epochs: 20, BatchSize: 4},
+		Opt: opt,
+		Hooks: Hooks{
+			Grad: func(_, i int, inv float64, gb *tensor.GradBuf, rng *rand.Rand) float64 {
+				return m.grad(i, inv, gb, rng)
+			},
+			BatchParams: func([]int) []*tensor.Param { return m.params() },
+			Epoch:       func(em EpochMetrics) { lrs = append(lrs, em.LR) },
+		},
+	}
+	if err := tr.Run(len(m.y), rand.New(rand.NewSource(2))); err != nil {
+		t.Fatal(err)
+	}
+	if lrs[0] != 0.1 || lrs[12] != 0.05 || lrs[17] != 0.025 {
+		t.Fatalf("step decay wrong: %v", lrs)
+	}
+	if opt.LR != 0.1 {
+		t.Fatalf("base LR not restored: %v", opt.LR)
+	}
+}
+
+func TestTrainerHookValidation(t *testing.T) {
+	tr := &Trainer{Cfg: Config{Epochs: 1}, Opt: tensor.NewAdam(0.1)}
+	if err := tr.Run(4, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("want missing-hooks error")
+	}
+	tr.Hooks.Grad = func(_, _ int, _ float64, _ *tensor.GradBuf, _ *rand.Rand) float64 { return 0 }
+	tr.Hooks.BatchParams = func([]int) []*tensor.Param { return nil }
+	tr.Hooks.ValLoss = func() float64 { return 0 } // without Snapshot/Restore
+	if err := tr.Run(4, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("want early-stop-hooks error")
+	}
+	tr.Hooks.ValLoss = nil
+	if err := tr.Run(0, rand.New(rand.NewSource(1))); err != nil {
+		t.Fatalf("n=0 should be a no-op, got %v", err)
+	}
+}
+
+func TestConstantLR(t *testing.T) {
+	if ConstantLR(5, 10, 0.3) != 0.3 {
+		t.Fatal("ConstantLR must return base")
+	}
+}
+
+func TestParallelFor(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 16} {
+		out := make([]int, 37)
+		var calls int64
+		ParallelFor(workers, len(out), func(w, i int) {
+			atomic.AddInt64(&calls, 1)
+			out[i] = i + 1
+		})
+		if calls != int64(len(out)) {
+			t.Fatalf("workers=%d: %d calls", workers, calls)
+		}
+		for i, v := range out {
+			if v != i+1 {
+				t.Fatalf("workers=%d: out[%d]=%d", workers, i, v)
+			}
+		}
+	}
+	ParallelFor(4, 0, func(int, int) { t.Fatal("n=0 must not call fn") })
+}

@@ -5,11 +5,25 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"time"
 
 	"nnlqp/internal/core"
 	"nnlqp/internal/hwsim"
 	"nnlqp/internal/models"
+	"nnlqp/internal/train"
 )
+
+// EpochProgress reports one finished training epoch to a TrainOptions
+// Progress callback.
+type EpochProgress struct {
+	Epoch     int     // 0-based epoch just finished
+	Epochs    int     // total epochs of this run
+	TrainLoss float64 // mean per-sample training loss (normalized target space)
+	ValLoss   float64 // validation loss; NaN when early stopping is off
+	Best      bool    // this epoch improved the best validation loss
+	LR        float64 // learning rate used this epoch
+	Took      time.Duration
+}
 
 // TrainOptions controls predictor training.
 type TrainOptions struct {
@@ -29,6 +43,12 @@ type TrainOptions struct {
 	Depth  int
 	// Seed drives model generation and training determinism.
 	Seed int64
+	// Workers caps the goroutines computing per-sample gradients within a
+	// batch (<=0 → GOMAXPROCS). Trained weights are bit-identical for any
+	// value.
+	Workers int
+	// Progress, when set, observes every finished training epoch.
+	Progress func(EpochProgress)
 }
 
 func (o TrainOptions) withDefaults() TrainOptions {
@@ -63,6 +83,7 @@ func (o TrainOptions) config() core.Config {
 	cfg.HeadHidden = o.Hidden
 	cfg.Depth = o.Depth
 	cfg.Seed = o.Seed
+	cfg.Workers = o.Workers
 	cfg.LR = 2e-3
 	return cfg
 }
@@ -116,6 +137,16 @@ func (c *Client) TrainPredictor(opts TrainOptions) error {
 		return err
 	}
 	pred := core.New(opts.config())
+	if opts.Progress != nil {
+		progress := opts.Progress
+		pred.SetEpochHook(func(m train.EpochMetrics) {
+			progress(EpochProgress{
+				Epoch: m.Epoch, Epochs: m.Epochs,
+				TrainLoss: m.TrainLoss, ValLoss: m.ValLoss,
+				Best: m.Best, LR: m.LR, Took: m.Took,
+			})
+		})
+	}
 	if err := pred.Fit(samples); err != nil {
 		return err
 	}
