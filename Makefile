@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race check fmt vet bench
+.PHONY: build test race check fmt vet bench bench-db
 
 build:
 	$(GO) build ./...
@@ -8,10 +8,10 @@ build:
 test:
 	$(GO) test ./...
 
-# Race-detector pass over the packages with real concurrency: the serving
-# path and the data-parallel training stack.
+# Race-detector pass over the packages with real concurrency: the storage
+# engine, the serving path and the data-parallel training stack.
 race:
-	$(GO) test -race ./internal/query ./internal/hwsim ./internal/server \
+	$(GO) test -race ./internal/db ./internal/query ./internal/hwsim ./internal/server \
 		./internal/tensor ./internal/train ./internal/gnn ./internal/core ./internal/baselines
 
 fmt:
@@ -27,3 +27,9 @@ check: fmt vet build race test
 
 bench:
 	$(GO) test -bench . -benchtime 1x
+
+# Storage-engine baselines (EXPERIMENTS.md): group-commit insert throughput
+# per durability mode, the cache-hit read path, snapshot scans vs writers.
+bench-db:
+	$(GO) test ./internal/db -run '^$$' \
+		-bench 'InsertThroughput|QueryHotPath|SnapshotScanWhileWriting' -benchtime 1s

@@ -8,6 +8,7 @@
 //	nnlqp-db -db ./nnlqp-data models
 //	nnlqp-db -db ./nnlqp-data latencies -hash 9a605ea185b3ee1d
 //	nnlqp-db -db ./nnlqp-data export -hash 9a605ea185b3ee1d -out model.nnlqp
+//	nnlqp-db -db ./nnlqp-data checkpoint
 package main
 
 import (
@@ -29,7 +30,7 @@ func main() {
 	flag.Parse()
 
 	if *dbDir == "" || flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: nnlqp-db -db DIR {stats|models|platforms|latencies|export} [flags]")
+		fmt.Fprintln(os.Stderr, "usage: nnlqp-db -db DIR {stats|models|platforms|latencies|export|checkpoint} [flags]")
 		os.Exit(2)
 	}
 	store, err := db.OpenStore(*dbDir)
@@ -43,6 +44,21 @@ func main() {
 		m, p, l := store.Counts()
 		fmt.Printf("models:    %d\nplatforms: %d\nlatencies: %d\nstorage:   %.1f KiB\n",
 			m, p, l, float64(store.StorageBytes())/1024)
+		es := store.EngineStats()
+		fmt.Printf("wal:       %.1f KiB (%d records since last checkpoint)\n",
+			float64(es.WALBytes)/1024, es.WALRecords)
+		if es.SnapshotAgeSec >= 0 {
+			fmt.Printf("snapshot:  %.0fs old\n", es.SnapshotAgeSec)
+		} else {
+			fmt.Println("snapshot:  none (never checkpointed)")
+		}
+	case "checkpoint":
+		if err := store.Checkpoint(); err != nil {
+			log.Fatal(err)
+		}
+		es := store.EngineStats()
+		fmt.Printf("checkpoint written; wal truncated to %.1f KiB (%d records)\n",
+			float64(es.WALBytes)/1024, es.WALRecords)
 	case "models":
 		tbl, err := store.DB().Table(db.TableModel)
 		if err != nil {

@@ -35,9 +35,21 @@ func main() {
 	devices := flag.Int("devices", 2, "devices per platform for the in-process farm")
 	reqTimeout := flag.Duration("request-timeout", server.DefaultRequestTimeout, "per-request deadline for /query and /predict (0 = none)")
 	shutdownGrace := flag.Duration("shutdown-grace", server.DefaultShutdownGrace, "in-flight request drain deadline on shutdown")
+	syncMode := flag.String("sync", "always", "WAL durability: always (fsync per commit batch) or never (page cache only)")
+	ckptWALBytes := flag.Int64("checkpoint-wal-bytes", 0, "auto-checkpoint when the WAL exceeds this size (0 = 4 MiB default, <0 disables)")
+	ckptRecords := flag.Int64("checkpoint-records", 0, "auto-checkpoint after this many WAL records (0 = 50000 default, <0 disables)")
 	flag.Parse()
 
-	store, err := db.OpenStore(*dbDir)
+	dbOpts := db.Options{CheckpointWALBytes: *ckptWALBytes, CheckpointRecords: *ckptRecords}
+	switch *syncMode {
+	case "always":
+		dbOpts.Sync = db.SyncAlways
+	case "never":
+		dbOpts.Sync = db.SyncNever
+	default:
+		log.Fatalf("bad -sync %q (want always or never)", *syncMode)
+	}
+	store, err := db.OpenStoreWith(*dbDir, dbOpts)
 	if err != nil {
 		log.Fatalf("open store: %v", err)
 	}

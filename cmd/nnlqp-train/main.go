@@ -28,6 +28,7 @@ func main() {
 	hidden := flag.Int("hidden", 48, "GNN hidden width")
 	depth := flag.Int("depth", 3, "GNN depth")
 	seed := flag.Int64("seed", 1, "random seed")
+	fromDB := flag.Bool("from-db", false, "train from the latency records already in -db (via a frozen snapshot) instead of measuring a fresh corpus")
 	workers := flag.Int("workers", 0, "gradient workers per batch (0 = GOMAXPROCS); results are identical for any value")
 	progress := flag.Bool("progress", true, "log per-epoch training progress")
 	evalN := flag.Int("eval", 40, "fresh models per platform for post-training evaluation (0 = skip)")
@@ -60,9 +61,19 @@ func main() {
 	}
 
 	start := time.Now()
-	fmt.Printf("measuring %d models per platform and training...\n", *perPlatform)
-	if err := client.TrainPredictor(opts); err != nil {
-		log.Fatal(err)
+	if *fromDB {
+		if *dbDir == "" {
+			log.Fatal("-from-db requires -db")
+		}
+		fmt.Println("training from the evolving database (frozen snapshot)...")
+		if err := client.TrainPredictorFromDB(opts); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		fmt.Printf("measuring %d models per platform and training...\n", *perPlatform)
+		if err := client.TrainPredictor(opts); err != nil {
+			log.Fatal(err)
+		}
 	}
 	fmt.Printf("trained in %s; heads: %v\n", time.Since(start).Round(time.Second), client.PredictorPlatforms())
 

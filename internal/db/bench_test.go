@@ -1,0 +1,146 @@
+package db
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// benchOpen opens a database for benchmarking with auto-checkpoints off,
+// so the numbers measure the commit path, not checkpoint interference.
+func benchOpen(b *testing.B, dir string, sync SyncPolicy) *Database {
+	b.Helper()
+	d, err := OpenWith(dir, Schemas(), Options{Sync: sync, CheckpointWALBytes: -1, CheckpointRecords: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d
+}
+
+// BenchmarkInsertThroughput measures concurrent latency-record inserts
+// through the group-commit path: memory-only (no WAL), WAL without fsync,
+// and WAL with an fsync per commit batch (the durable default).
+func BenchmarkInsertThroughput(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		dir  bool
+		sync SyncPolicy
+	}{
+		{"memory", false, SyncNever},
+		{"wal-nosync", true, SyncNever},
+		{"wal-fsync", true, SyncAlways},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			dir := ""
+			if mode.dir {
+				dir = b.TempDir()
+			}
+			d := benchOpen(b, dir, mode.sync)
+			defer d.Close()
+			var seq atomic.Uint64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					i := seq.Add(1)
+					row := Row{uint64(0), i, i % 9, int64(1), float64(i) * 0.1,
+						int64(50), int64(1 << 20), fmt.Sprintf("%d|%d|1", i, i%9)}
+					if _, err := d.Insert(TableLatency, row); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.StopTimer()
+			if mode.dir {
+				st := d.EngineStats()
+				b.ReportMetric(float64(st.CommitRecords)/float64(max64(st.CommitBatches, 1)), "records/batch")
+			}
+		})
+	}
+}
+
+// BenchmarkQueryHotPath measures the read side the serving path hits on a
+// cache hit: a unique-index lookup on the latency table, concurrently with
+// nothing else (the common steady state of a warm cache).
+func BenchmarkQueryHotPath(b *testing.B) {
+	d := benchOpen(b, "", SyncNever)
+	defer d.Close()
+	const rows = 4096
+	for i := uint64(1); i <= rows; i++ {
+		row := Row{uint64(0), i, i % 9, int64(1), float64(i) * 0.1,
+			int64(50), int64(1 << 20), fmt.Sprintf("%d|%d|1", i, i%9)}
+		if _, err := d.Insert(TableLatency, row); err != nil {
+			b.Fatal(err)
+		}
+	}
+	tbl, err := d.Table(TableLatency)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var seq atomic.Uint64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := seq.Add(1)%rows + 1
+			if _, ok := tbl.FindUnique("lookup_key", fmt.Sprintf("%d|%d|1", i, i%9)); !ok {
+				b.Fatalf("missing key %d", i)
+			}
+		}
+	})
+}
+
+// BenchmarkSnapshotScanWhileWriting measures snapshot scans racing a
+// writer: the scan cost is what training-set extraction pays, and it must
+// not serialize against the insert stream.
+func BenchmarkSnapshotScanWhileWriting(b *testing.B) {
+	d := benchOpen(b, "", SyncNever)
+	defer d.Close()
+	const rows = 2048
+	for i := uint64(1); i <= rows; i++ {
+		row := Row{uint64(0), i, i % 9, int64(1), float64(i) * 0.1,
+			int64(50), int64(1 << 20), fmt.Sprintf("%d|%d|1", i, i%9)}
+		if _, err := d.Insert(TableLatency, row); err != nil {
+			b.Fatal(err)
+		}
+	}
+	tbl, err := d.Table(TableLatency)
+	if err != nil {
+		b.Fatal(err)
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		i := uint64(rows)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			i++
+			row := Row{uint64(0), i, i % 9, int64(1), float64(i) * 0.1,
+				int64(50), int64(1 << 20), fmt.Sprintf("%d|%d|1", i, i%9)}
+			if _, err := d.Insert(TableLatency, row); err != nil {
+				return
+			}
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		tbl.SnapshotScan(func(Row) bool { n++; return true })
+		if n < rows {
+			b.Fatalf("scan saw %d rows, want >= %d", n, rows)
+		}
+	}
+	b.StopTimer()
+	close(stop)
+	<-done
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

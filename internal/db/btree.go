@@ -33,6 +33,28 @@ func NewBTree() *BTree {
 // Len returns the number of stored keys.
 func (t *BTree) Len() int { return t.size }
 
+// Clone returns a structurally independent deep copy of the tree, used by
+// the copy-on-write snapshot machinery: mutations to either tree never
+// touch the other's nodes.
+func (t *BTree) Clone() *BTree {
+	return &BTree{root: t.root.clone(), size: t.size}
+}
+
+func (n *btreeNode) clone() *btreeNode {
+	c := &btreeNode{
+		keys: append([]uint64(nil), n.keys...),
+		vals: append([]uint64(nil), n.vals...),
+		leaf: n.leaf,
+	}
+	if n.children != nil {
+		c.children = make([]*btreeNode, len(n.children))
+		for i, ch := range n.children {
+			c.children[i] = ch.clone()
+		}
+	}
+	return c
+}
+
 // Get returns the value for key and whether it exists.
 func (t *BTree) Get(key uint64) (uint64, bool) {
 	n := t.root

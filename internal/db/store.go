@@ -1,7 +1,9 @@
 package db
 
 import (
+	"errors"
 	"fmt"
+	"sort"
 
 	"nnlqp/internal/graphhash"
 	"nnlqp/internal/onnx"
@@ -66,9 +68,16 @@ func Schemas() []Schema {
 	}
 }
 
-// OpenStore opens (or creates) an NNLQ store at dir ("" = in-memory).
+// OpenStore opens (or creates) an NNLQ store at dir ("" = in-memory) with
+// default engine Options.
 func OpenStore(dir string) (*Store, error) {
-	d, err := Open(dir, Schemas())
+	return OpenStoreWith(dir, Options{})
+}
+
+// OpenStoreWith is OpenStore with explicit storage-engine Options
+// (SyncPolicy, checkpoint thresholds).
+func OpenStoreWith(dir string, opts Options) (*Store, error) {
+	d, err := OpenWith(dir, Schemas(), opts)
 	if err != nil {
 		return nil, err
 	}
@@ -77,6 +86,16 @@ func OpenStore(dir string) (*Store, error) {
 
 // Close closes the underlying database.
 func (s *Store) Close() error { return s.db.Close() }
+
+// Checkpoint snapshots the database and truncates the WAL (no-op for
+// in-memory stores). See Database.Checkpoint.
+func (s *Store) Checkpoint() error { return s.db.Checkpoint() }
+
+// EngineStats exposes the storage engine counters.
+func (s *Store) EngineStats() EngineStats { return s.db.EngineStats() }
+
+// Snapshot returns a consistent read snapshot across the three tables.
+func (s *Store) Snapshot() *Snapshot { return s.db.Snapshot() }
 
 // DB exposes the underlying database (for tooling and tests).
 func (s *Store) DB() *Database { return s.db }
@@ -230,19 +249,14 @@ func (s *Store) FindLatency(modelID, platformID uint64, batch int) (*LatencyReco
 	return decodeLatencyRow(row), true, nil
 }
 
-// LatenciesForPlatform returns every latency record for a platform, the
-// scan that feeds predictor training datasets.
+// LatenciesForPlatform returns every latency record for a platform, read
+// from a point-in-time snapshot so a long decode never blocks writers.
 func (s *Store) LatenciesForPlatform(platformID uint64) ([]LatencyRecord, error) {
 	t, err := s.db.Table(TableLatency)
 	if err != nil {
 		return nil, err
 	}
-	rows := t.FindMulti("platform_id", platformID)
-	out := make([]LatencyRecord, 0, len(rows))
-	for _, r := range rows {
-		out = append(out, *decodeLatencyRow(r))
-	}
-	return out, nil
+	return decodeLatencyRows(t.Snapshot().FindMulti("platform_id", platformID)), nil
 }
 
 // LatenciesForModel returns every latency record for a model.
@@ -251,12 +265,96 @@ func (s *Store) LatenciesForModel(modelID uint64) ([]LatencyRecord, error) {
 	if err != nil {
 		return nil, err
 	}
-	rows := t.FindMulti("model_id", modelID)
+	return decodeLatencyRows(t.Snapshot().FindMulti("model_id", modelID)), nil
+}
+
+func decodeLatencyRows(rows []Row) []LatencyRecord {
 	out := make([]LatencyRecord, 0, len(rows))
 	for _, r := range rows {
 		out = append(out, *decodeLatencyRow(r))
 	}
-	return out, nil
+	return out
+}
+
+// TrainingSet is a frozen view of one platform's accumulated latency
+// knowledge: the latency records plus every model they reference, decoded
+// from one consistent snapshot. Serving-path writers keep inserting while
+// a trainer consumes it; the set never changes underneath them.
+type TrainingSet struct {
+	PlatformID uint64
+	Records    []LatencyRecord
+	models     map[uint64]*ModelRecord
+}
+
+// Model resolves a latency record's model from the frozen set.
+func (ts *TrainingSet) Model(id uint64) (*ModelRecord, bool) {
+	m, ok := ts.models[id]
+	return m, ok
+}
+
+// TrainingSnapshot hands the predictor trainers a frozen latency set for
+// one platform (the paper's retraining loop reads the evolving database
+// while the query path keeps growing it; the snapshot keeps the two from
+// racing). Records are ordered by insertion (primary key), so repeated
+// snapshots of an unchanged database yield identical training sets.
+func (s *Store) TrainingSnapshot(platformID uint64) (*TrainingSet, error) {
+	snap := s.db.Snapshot()
+	lt, err := snap.Table(TableLatency)
+	if err != nil {
+		return nil, err
+	}
+	mt, err := snap.Table(TableModel)
+	if err != nil {
+		return nil, err
+	}
+	ts := &TrainingSet{PlatformID: platformID, models: make(map[uint64]*ModelRecord)}
+	ts.Records = decodeLatencyRows(lt.FindMulti("platform_id", platformID))
+	sort.Slice(ts.Records, func(i, j int) bool { return ts.Records[i].ID < ts.Records[j].ID })
+	for _, rec := range ts.Records {
+		if _, done := ts.models[rec.ModelID]; done {
+			continue
+		}
+		row, ok := mt.Get(rec.ModelID)
+		if !ok {
+			return nil, fmt.Errorf("db: latency record %d references missing model %d", rec.ID, rec.ModelID)
+		}
+		m, _, err := decodeModelRow(row)
+		if err != nil {
+			return nil, err
+		}
+		ts.models[rec.ModelID] = m
+	}
+	return ts, nil
+}
+
+// RecordMeasurement persists a fresh measurement — the model row
+// (idempotent on graph hash) and its latency row — through the group
+// commit path. A concurrent writer winning the (model, platform, batch)
+// unique-key race is reconciled by adopting the stored record; the
+// returned latency is authoritative either way.
+func (s *Store) RecordMeasurement(g *onnx.Graph, platformID uint64, rec LatencyRecord) (modelID uint64, latencyMS float64, err error) {
+	mrec, err := s.InsertModel(g)
+	if err != nil {
+		return 0, 0, err
+	}
+	rec.ModelID = mrec.ID
+	rec.PlatformID = platformID
+	_, err = s.InsertLatency(rec)
+	var dup *UniqueViolationError
+	if errors.As(err, &dup) {
+		stored, ok, rerr := s.FindLatency(mrec.ID, platformID, rec.BatchSize)
+		if rerr != nil {
+			return mrec.ID, 0, rerr
+		}
+		if ok {
+			return mrec.ID, stored.LatencyMS, nil
+		}
+		return mrec.ID, rec.LatencyMS, nil
+	}
+	if err != nil {
+		return mrec.ID, 0, err
+	}
+	return mrec.ID, rec.LatencyMS, nil
 }
 
 func decodeLatencyRow(row Row) *LatencyRecord {

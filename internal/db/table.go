@@ -44,6 +44,12 @@ type Row []any
 
 // Table is one relational table with indexes.
 type Table struct {
+	// commit serializes the apply+WAL-enqueue pair of a durable mutation
+	// (Database.Insert/Delete) and is what Checkpoint/Snapshot take to get
+	// a consistent cross-table cut. It is deliberately separate from mu:
+	// commit is held across the WAL enqueue (never across WAL I/O), mu
+	// only across the in-memory map updates.
+	commit  sync.Mutex
 	mu      sync.RWMutex
 	schema  Schema
 	colIdx  map[string]int
@@ -54,6 +60,9 @@ type Table struct {
 	uniq    map[string]map[string]uint64 // other unique indexes (encoded key)
 	multi   map[string]map[string][]uint64
 	rowSize int64 // cumulative encoded size, for storage accounting
+	// shared marks the maps/trees above as referenced by a live
+	// TableSnapshot; the next mutation clones them first (copy-on-write).
+	shared bool
 }
 
 // NewTable creates an empty table from a schema.
@@ -113,6 +122,78 @@ func (t *Table) StorageBytes() int64 {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	return t.rowSize
+}
+
+// Snapshot returns an immutable point-in-time view of the table. Taking
+// one is O(1): the live maps are marked shared and the next mutation
+// copies them. Use Database.Snapshot for a cut that is consistent across
+// tables.
+func (t *Table) Snapshot() *TableSnapshot {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.shared = true
+	return &TableSnapshot{
+		schema: t.schema, colIdx: t.colIdx, rows: t.rows, pk: t.pk,
+		nextID: t.nextID, uniqBT: t.uniqBT, uniq: t.uniq, multi: t.multi,
+		rowSize: t.rowSize,
+	}
+}
+
+// SnapshotScan scans a point-in-time view of the table in primary-key
+// order. Unlike Scan it holds no lock while fn runs, so a slow consumer
+// (training-set extraction, export) never blocks writers.
+func (t *Table) SnapshotScan(fn func(Row) bool) {
+	t.Snapshot().Scan(fn)
+}
+
+// cowLocked clones the maps shared with outstanding snapshots. Callers
+// hold t.mu and are about to mutate. Row values are immutable once stored,
+// so the clones are shallow at the row level; multi-index slices are
+// copied because Insert/Delete mutate them in place.
+func (t *Table) cowLocked() {
+	if !t.shared {
+		return
+	}
+	rows := make(map[uint64]Row, len(t.rows))
+	for id, r := range t.rows {
+		rows[id] = r
+	}
+	t.rows = rows
+	t.pk = t.pk.Clone()
+	uniqBT := make(map[string]*BTree, len(t.uniqBT))
+	for name, bt := range t.uniqBT {
+		uniqBT[name] = bt.Clone()
+	}
+	t.uniqBT = uniqBT
+	uniq := make(map[string]map[string]uint64, len(t.uniq))
+	for name, idx := range t.uniq {
+		m := make(map[string]uint64, len(idx))
+		for k, v := range idx {
+			m[k] = v
+		}
+		uniq[name] = m
+	}
+	t.uniq = uniq
+	multi := make(map[string]map[string][]uint64, len(t.multi))
+	for name, idx := range t.multi {
+		m := make(map[string][]uint64, len(idx))
+		for k, ids := range idx {
+			m[k] = append([]uint64(nil), ids...)
+		}
+		multi[name] = m
+	}
+	t.multi = multi
+	t.shared = false
+}
+
+// setNextID raises the auto-increment cursor (snapshot load: deleted rows
+// must not make their ids reusable).
+func (t *Table) setNextID(next uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if next > t.nextID {
+		t.nextID = next
+	}
 }
 
 // checkRow validates types against the schema.
@@ -198,6 +279,7 @@ func (t *Table) Insert(row Row) (uint64, error) {
 			return 0, &UniqueViolationError{Table: t.schema.Name, Column: name}
 		}
 	}
+	t.cowLocked()
 	t.rows[id] = row
 	t.pk.Set(id, id)
 	for name, bt := range t.uniqBT {
@@ -233,6 +315,7 @@ func (t *Table) Delete(id uint64) bool {
 	if !ok {
 		return false
 	}
+	t.cowLocked()
 	delete(t.rows, id)
 	t.pk.Delete(id)
 	for name, bt := range t.uniqBT {

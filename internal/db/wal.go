@@ -1,0 +1,485 @@
+package db
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// --- Write-ahead log: group commit ---
+
+type walOp uint8
+
+const (
+	walInsert walOp = 1
+	walDelete walOp = 2
+)
+
+// WAL file names inside the database directory. During a checkpoint the
+// current log is renamed to the .old generation before a fresh log is
+// opened; Open replays snapshot → .old → current, all idempotently, so a
+// crash at any point of the rotation loses nothing.
+const (
+	walFile    = "nnlqp.wal"
+	walOldFile = "nnlqp.wal.old"
+	snapFile   = "nnlqp.snap"
+	snapTmp    = "nnlqp.snap.tmp"
+)
+
+// SyncPolicy selects when the WAL is fsynced.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs after every commit batch (group commit amortizes
+	// the fsync across all writers in the batch). The default.
+	SyncAlways SyncPolicy = iota
+	// SyncNever flushes to the OS page cache only — a crash can lose the
+	// tail of recent commits, a machine staying up loses nothing. For
+	// bulk loads and tests.
+	SyncNever
+)
+
+// encodeWALRecord frames one record: op u8 | tableNameLen uvarint |
+// tableName | payloadLen uvarint | payload. The layout is unchanged from
+// the pre-group-commit engine, so existing WAL files replay as-is.
+func encodeWALRecord(op walOp, table string, payload []byte) []byte {
+	var hdr [binary.MaxVarintLen64]byte
+	buf := make([]byte, 0, 1+2*binary.MaxVarintLen64+len(table)+len(payload))
+	buf = append(buf, byte(op))
+	n := binary.PutUvarint(hdr[:], uint64(len(table)))
+	buf = append(buf, hdr[:n]...)
+	buf = append(buf, table...)
+	n = binary.PutUvarint(hdr[:], uint64(len(payload)))
+	buf = append(buf, hdr[:n]...)
+	buf = append(buf, payload...)
+	return buf
+}
+
+// commitReq is one writer's record awaiting group commit.
+type commitReq struct {
+	data []byte
+	ack  chan error
+}
+
+// walCommitter batches WAL appends: writers enqueue records (cheap, under
+// their table's commit lock) and then await the ack; the first awaiting
+// writer becomes the leader, swaps out the whole pending queue, performs
+// one buffered write + flush (+ fsync under SyncAlways) for the batch and
+// acks every member. WAL I/O therefore never runs under any table lock,
+// and concurrent writers share flushes and fsyncs.
+type walCommitter struct {
+	policy SyncPolicy
+
+	mu       sync.Mutex
+	cond     *sync.Cond // signalled when a leadership stint ends
+	pending  []*commitReq
+	flushing bool
+	f        *os.File
+	bw       *bufio.Writer
+
+	// counters (guarded by mu)
+	batches      int64
+	records      int64 // records appended to the current WAL generation
+	totalRecords int64 // records committed since Open (survives rotation)
+	fsyncs       int64
+	walBytes     int64 // size of the current WAL generation
+
+	// onThreshold, when set, is called (outside mu) after a batch that
+	// leaves the WAL over the checkpoint thresholds.
+	onThreshold func(walBytes, walRecords int64)
+}
+
+func newWALCommitter(path string, policy SyncPolicy) (*walCommitter, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	size := int64(0)
+	if st, err := f.Stat(); err == nil {
+		size = st.Size()
+	}
+	w := &walCommitter{policy: policy, f: f, bw: bufio.NewWriter(f), walBytes: size}
+	w.cond = sync.NewCond(&w.mu)
+	return w, nil
+}
+
+// enqueue registers a record for the next commit batch. Call while holding
+// the owning table's commit lock so a checkpoint can never slip between
+// the in-memory apply and the WAL enqueue.
+func (w *walCommitter) enqueue(op walOp, table string, payload []byte) *commitReq {
+	req := &commitReq{data: encodeWALRecord(op, table, payload), ack: make(chan error, 1)}
+	w.mu.Lock()
+	w.pending = append(w.pending, req)
+	w.mu.Unlock()
+	return req
+}
+
+// await blocks until req's batch is durable (per the SyncPolicy), electing
+// the caller leader when no flush is in progress.
+func (w *walCommitter) await(req *commitReq) error {
+	w.mu.Lock()
+	for !w.flushing && len(w.pending) > 0 {
+		w.flushing = true
+		batch := w.pending
+		w.pending = nil
+		w.mu.Unlock()
+
+		err := w.writeBatch(batch)
+		for _, r := range batch {
+			r.ack <- err
+		}
+
+		w.mu.Lock()
+		w.flushing = false
+		var bytes, recs int64
+		var fire func(int64, int64)
+		if err == nil {
+			w.batches++
+			w.records += int64(len(batch))
+			w.totalRecords += int64(len(batch))
+			for _, r := range batch {
+				w.walBytes += int64(len(r.data))
+			}
+			bytes, recs, fire = w.walBytes, w.records, w.onThreshold
+		}
+		w.cond.Broadcast()
+		if fire != nil {
+			w.mu.Unlock()
+			fire(bytes, recs)
+			w.mu.Lock()
+		}
+	}
+	w.cond.Broadcast()
+	w.mu.Unlock()
+	return <-req.ack
+}
+
+// writeBatch appends a batch to the file. Called with flushing set, so it
+// owns the file handles without holding mu.
+func (w *walCommitter) writeBatch(batch []*commitReq) error {
+	for _, r := range batch {
+		if _, err := w.bw.Write(r.data); err != nil {
+			return err
+		}
+	}
+	if err := w.bw.Flush(); err != nil {
+		return err
+	}
+	if w.policy == SyncAlways {
+		if err := w.f.Sync(); err != nil {
+			return err
+		}
+		w.mu.Lock()
+		w.fsyncs++
+		w.mu.Unlock()
+	}
+	return nil
+}
+
+// drainLocked waits until no flush is running and nothing is pending. The
+// caller must hold every table commit lock (so no new records can arrive)
+// and w.mu.
+func (w *walCommitter) drainLocked() {
+	for w.flushing || len(w.pending) > 0 {
+		w.cond.Wait()
+	}
+}
+
+// rotate renames the quiescent current WAL to the .old generation and
+// starts a fresh one. Caller holds all table commit locks; the committer
+// must be drained.
+func (w *walCommitter) rotate(dir string) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.drainLocked()
+	if err := w.bw.Flush(); err != nil {
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.fsyncs++
+	if err := w.f.Close(); err != nil {
+		return err
+	}
+	cur := filepath.Join(dir, walFile)
+	if err := os.Rename(cur, filepath.Join(dir, walOldFile)); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(cur, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	w.f = f
+	w.bw = bufio.NewWriter(f)
+	w.walBytes = 0
+	w.records = 0
+	return nil
+}
+
+func (w *walCommitter) close() error {
+	w.mu.Lock()
+	w.drainLocked()
+	defer w.mu.Unlock()
+	if err := w.bw.Flush(); err != nil {
+		w.f.Close()
+		return err
+	}
+	if w.policy == SyncAlways {
+		if err := w.f.Sync(); err != nil {
+			w.f.Close()
+			return err
+		}
+		w.fsyncs++
+	}
+	return w.f.Close()
+}
+
+// --- WAL replay ---
+
+// replayWAL applies a WAL file to the tables, idempotently: an insert whose
+// primary key is already present is skipped (it is covered by the snapshot
+// or an earlier WAL generation — see Checkpoint's crash windows), a delete
+// of an absent row is a no-op. A torn or corrupt tail (crash mid-append)
+// is truncated away with a warning rather than failing Open; replay then
+// resumes appending after the last intact record.
+func (d *Database) replayWAL(path string) error {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	good := 0
+	r := bytes.NewReader(data)
+	for {
+		opB, err := r.ReadByte()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		table, payload, err := readWALRecord(r)
+		if err != nil {
+			return truncateTorn(path, data, good, err)
+		}
+		row, err := decodeRow(payload)
+		if err != nil {
+			return truncateTorn(path, data, good, err)
+		}
+		op := walOp(opB)
+		if op != walInsert && op != walDelete {
+			return truncateTorn(path, data, good, fmt.Errorf("bad wal op %d", opB))
+		}
+		if t, ok := d.tables[table]; ok { // unknown table: schema dropped; skip
+			switch op {
+			case walInsert:
+				id, ok := row[0].(uint64)
+				if !ok {
+					return fmt.Errorf("db: wal row in table %q has no uint64 pk", table)
+				}
+				if _, exists := t.Get(id); !exists {
+					if _, err := t.Insert(row); err != nil {
+						return fmt.Errorf("db: wal replay insert: %w", err)
+					}
+				}
+			case walDelete:
+				id, ok := row[0].(uint64)
+				if !ok {
+					return fmt.Errorf("db: wal delete in table %q has no uint64 pk", table)
+				}
+				t.Delete(id)
+			}
+		}
+		good = len(data) - r.Len()
+	}
+}
+
+// truncateTorn cuts a WAL back to its last intact record. Anything after
+// `good` is a torn or corrupt tail from a crash mid-append; dropping it
+// recovers every record that was acked durable.
+func truncateTorn(path string, data []byte, good int, cause error) error {
+	log.Printf("db: wal %s: torn tail at byte %d of %d (%v); truncating", path, good, len(data), cause)
+	if err := os.Truncate(path, int64(good)); err != nil {
+		return fmt.Errorf("db: truncating torn wal tail: %w", err)
+	}
+	return nil
+}
+
+func readWALRecord(r *bytes.Reader) (string, []byte, error) {
+	nameLen, err := binary.ReadUvarint(r)
+	if err != nil {
+		return "", nil, err
+	}
+	if nameLen > uint64(r.Len()) {
+		return "", nil, io.ErrUnexpectedEOF
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(r, name); err != nil {
+		return "", nil, err
+	}
+	payLen, err := binary.ReadUvarint(r)
+	if err != nil {
+		return "", nil, err
+	}
+	if payLen > uint64(r.Len()) {
+		return "", nil, io.ErrUnexpectedEOF
+	}
+	payload := make([]byte, payLen)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return "", nil, err
+	}
+	return string(name), payload, nil
+}
+
+// --- Snapshot (checkpoint) files ---
+
+// Snapshot file layout: magic "NNLQSNP1" | numTables uvarint | per table:
+// nameLen uvarint | name | nextID uvarint | rowCount uvarint | rows, each
+// length-prefixed encodeRow bytes.
+var snapMagic = []byte("NNLQSNP1")
+
+// writeSnapshotFile durably writes a consistent snapshot to dir/nnlqp.snap
+// (tmp file + fsync + rename, then a best-effort directory sync).
+func writeSnapshotFile(dir string, snap *Snapshot) error {
+	tmp := filepath.Join(dir, snapTmp)
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(f, 1<<16)
+	var scratch [binary.MaxVarintLen64]byte
+	writeUv := func(v uint64) error {
+		n := binary.PutUvarint(scratch[:], v)
+		_, err := bw.Write(scratch[:n])
+		return err
+	}
+	werr := func() error {
+		if _, err := bw.Write(snapMagic); err != nil {
+			return err
+		}
+		if err := writeUv(uint64(len(snap.tables))); err != nil {
+			return err
+		}
+		for _, name := range snap.names {
+			ts := snap.tables[name]
+			if err := writeUv(uint64(len(name))); err != nil {
+				return err
+			}
+			if _, err := bw.WriteString(name); err != nil {
+				return err
+			}
+			if err := writeUv(ts.nextID); err != nil {
+				return err
+			}
+			if err := writeUv(uint64(len(ts.rows))); err != nil {
+				return err
+			}
+			var rowErr error
+			ts.Scan(func(row Row) bool {
+				data := encodeRow(row)
+				if rowErr = writeUv(uint64(len(data))); rowErr != nil {
+					return false
+				}
+				_, rowErr = bw.Write(data)
+				return rowErr == nil
+			})
+			if rowErr != nil {
+				return rowErr
+			}
+		}
+		return bw.Flush()
+	}()
+	if werr != nil {
+		f.Close()
+		os.Remove(tmp)
+		return werr
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, snapFile)); err != nil {
+		return err
+	}
+	if df, err := os.Open(dir); err == nil { // directory entry durability
+		_ = df.Sync()
+		df.Close()
+	}
+	return nil
+}
+
+// loadSnapshotFile restores table contents from dir/nnlqp.snap, if present.
+func (d *Database) loadSnapshotFile(dir string) error {
+	f, err := os.Open(filepath.Join(dir, snapFile))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<16)
+	magic := make([]byte, len(snapMagic))
+	if _, err := io.ReadFull(br, magic); err != nil || !bytes.Equal(magic, snapMagic) {
+		return fmt.Errorf("db: %s is not a snapshot file", snapFile)
+	}
+	nTables, err := binary.ReadUvarint(br)
+	if err != nil {
+		return fmt.Errorf("db: corrupt snapshot header: %w", err)
+	}
+	for ti := uint64(0); ti < nTables; ti++ {
+		nameLen, err := binary.ReadUvarint(br)
+		if err != nil {
+			return fmt.Errorf("db: corrupt snapshot: %w", err)
+		}
+		nameB := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, nameB); err != nil {
+			return fmt.Errorf("db: corrupt snapshot: %w", err)
+		}
+		nextID, err := binary.ReadUvarint(br)
+		if err != nil {
+			return fmt.Errorf("db: corrupt snapshot: %w", err)
+		}
+		nRows, err := binary.ReadUvarint(br)
+		if err != nil {
+			return fmt.Errorf("db: corrupt snapshot: %w", err)
+		}
+		t := d.tables[string(nameB)] // nil when schema dropped: rows skipped
+		for ri := uint64(0); ri < nRows; ri++ {
+			rowLen, err := binary.ReadUvarint(br)
+			if err != nil {
+				return fmt.Errorf("db: corrupt snapshot row: %w", err)
+			}
+			data := make([]byte, rowLen)
+			if _, err := io.ReadFull(br, data); err != nil {
+				return fmt.Errorf("db: corrupt snapshot row: %w", err)
+			}
+			if t == nil {
+				continue
+			}
+			row, err := decodeRow(data)
+			if err != nil {
+				return fmt.Errorf("db: corrupt snapshot row in %q: %w", string(nameB), err)
+			}
+			if _, err := t.Insert(row); err != nil {
+				return fmt.Errorf("db: snapshot load insert: %w", err)
+			}
+		}
+		if t != nil {
+			t.setNextID(nextID)
+		}
+	}
+	return nil
+}

@@ -227,36 +227,23 @@ func (s *System) awaitFlight(ctx context.Context, fl *flight, res *Result, platf
 }
 
 // storeMeasurement records the model and latency rows for a fresh
-// measurement, reconciling with a concurrent writer that won the unique-key
-// race by adopting the stored record.
+// measurement through the store's batched commit path (concurrent misses
+// landing together share one WAL flush/fsync). A concurrent writer that
+// won the unique-key race is reconciled by adopting the stored record, so
+// this caller and all future hits report one latency.
 func (s *System) storeMeasurement(g *onnx.Graph, platformID uint64, batch int, m *hwsim.MeasureResult, res *Result) error {
-	mrec, err := s.store.InsertModel(g)
-	if err != nil {
-		return err
-	}
-	res.ModelID = mrec.ID
-	_, err = s.store.InsertLatency(db.LatencyRecord{
-		ModelID:      mrec.ID,
-		PlatformID:   platformID,
+	modelID, latency, err := s.store.RecordMeasurement(g, platformID, db.LatencyRecord{
 		BatchSize:    batch,
 		LatencyMS:    m.LatencyMS,
 		Runs:         m.Runs,
 		PeakMemBytes: m.PeakMemBytes,
 	})
-	var dup *db.UniqueViolationError
-	if errors.As(err, &dup) {
-		// A concurrent query inserted the same key first. Serve the stored
-		// record so this caller and all future hits report one latency.
-		lrec, ok, rerr := s.store.FindLatency(mrec.ID, platformID, batch)
-		if rerr != nil {
-			return rerr
-		}
-		if ok {
-			res.LatencyMS = lrec.LatencyMS
-		}
-		return nil
+	if err != nil {
+		return err
 	}
-	return err
+	res.ModelID = modelID
+	res.LatencyMS = latency
+	return nil
 }
 
 // QueryMany measures a batch of models on one platform through a bounded

@@ -107,6 +107,22 @@ type StatsResponse struct {
 	Platforms     int     `json:"platforms"`
 	Latencies     int     `json:"latencies"`
 	StorageBytes  int64   `json:"storage_bytes"`
+	// Storage-engine counters (zero for in-memory stores).
+	DBCommitBatches  int64   `json:"db_commit_batches"`
+	DBCommitRecords  int64   `json:"db_commit_records"`
+	DBFsyncs         int64   `json:"db_fsyncs"`
+	DBWALBytes       int64   `json:"db_wal_bytes"`
+	DBWALRecords     int64   `json:"db_wal_records"`
+	DBCheckpoints    int64   `json:"db_checkpoints"`
+	DBSnapshotAgeSec float64 `json:"db_snapshot_age_seconds"` // -1 = never checkpointed
+}
+
+// CheckpointResponse is the JSON body returned by /checkpoint.
+type CheckpointResponse struct {
+	Checkpoints    int64   `json:"db_checkpoints"`
+	WALBytes       int64   `json:"db_wal_bytes"`
+	WALRecords     int64   `json:"db_wal_records"`
+	SnapshotAgeSec float64 `json:"db_snapshot_age_seconds"`
 }
 
 type errorResponse struct {
@@ -120,6 +136,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/predict", s.withTimeout(s.handlePredict))
 	mux.HandleFunc("/platforms", s.handlePlatforms)
 	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/checkpoint", s.handleCheckpoint)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
@@ -276,12 +293,35 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	st := s.sys.Stats()
 	m, p, l := s.sys.Store().Counts()
+	es := s.sys.Store().EngineStats()
 	writeJSON(w, http.StatusOK, StatsResponse{
 		Queries: st.Queries, Hits: st.Hits, Misses: st.Misses,
 		Coalesced: st.Coalesced, InFlight: st.InFlight, HitRatio: st.HitRatio(),
 		DeviceWaitSec: st.DeviceWaitSec,
 		Models:        m, Platforms: p, Latencies: l,
-		StorageBytes: s.sys.Store().StorageBytes(),
+		StorageBytes:    s.sys.Store().StorageBytes(),
+		DBCommitBatches: es.CommitBatches, DBCommitRecords: es.CommitRecords,
+		DBFsyncs: es.Fsyncs, DBWALBytes: es.WALBytes, DBWALRecords: es.WALRecords,
+		DBCheckpoints: es.Checkpoints, DBSnapshotAgeSec: es.SnapshotAgeSec,
+	})
+}
+
+// handleCheckpoint is the admin endpoint forcing a storage-engine
+// checkpoint: snapshot the database, truncate the WAL. POST only; a no-op
+// (but still 200) for in-memory stores.
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("POST required"))
+		return
+	}
+	if err := s.sys.Store().Checkpoint(); err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	es := s.sys.Store().EngineStats()
+	writeJSON(w, http.StatusOK, CheckpointResponse{
+		Checkpoints: es.Checkpoints, WALBytes: es.WALBytes,
+		WALRecords: es.WALRecords, SnapshotAgeSec: es.SnapshotAgeSec,
 	})
 }
 

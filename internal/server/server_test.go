@@ -371,10 +371,70 @@ func TestStatsJSONShape(t *testing.T) {
 	for _, k := range []string{
 		"queries", "hits", "misses", "models", "latencies",
 		"coalesced", "in_flight", "device_wait_seconds",
+		"db_commit_batches", "db_commit_records", "db_fsyncs",
+		"db_wal_bytes", "db_wal_records", "db_checkpoints",
+		"db_snapshot_age_seconds",
 	} {
 		if _, ok := m[k]; !ok {
 			t.Fatalf("stats missing %q", k)
 		}
+	}
+	// In-memory store: never checkpointed.
+	if age := m["db_snapshot_age_seconds"].(float64); age != -1 {
+		t.Fatalf("in-memory snapshot age = %v, want -1", age)
+	}
+}
+
+func TestCheckpointEndpoint(t *testing.T) {
+	// Disk-backed store so the checkpoint actually rotates a WAL.
+	dir := t.TempDir()
+	store, err := db.OpenStoreWith(dir, db.Options{Sync: db.SyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { store.Close() })
+	srv := New(store, &hwsim.LocalFarm{Farm: hwsim.NewDefaultFarm(2)}, nil)
+	addr, stop, err := srv.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { stop() })
+	c := NewClient("http://" + addr)
+
+	// Grow the WAL with a measurement, then checkpoint it away.
+	g := models.BuildSqueezeNet(models.BaseSqueezeNet(1))
+	if _, err := c.Query(g, hwsim.DatasetPlatform, 0); err != nil {
+		t.Fatal(err)
+	}
+	if st := store.EngineStats(); st.WALRecords == 0 {
+		t.Fatalf("query wrote no WAL records: %+v", st)
+	}
+
+	resp, err := http.Post(c.BaseURL+"/checkpoint", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cp CheckpointResponse
+	err = json.NewDecoder(resp.Body).Decode(&cp)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("/checkpoint -> %d, %v", resp.StatusCode, err)
+	}
+	if cp.Checkpoints != 1 || cp.WALRecords != 0 || cp.WALBytes != 0 {
+		t.Fatalf("checkpoint response: %+v", cp)
+	}
+	if cp.SnapshotAgeSec < 0 {
+		t.Fatalf("snapshot age %f after checkpoint", cp.SnapshotAgeSec)
+	}
+
+	// GET is not allowed: checkpoints mutate on-disk state.
+	getResp, err := http.Get(c.BaseURL + "/checkpoint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	getResp.Body.Close()
+	if getResp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /checkpoint -> %d, want 405", getResp.StatusCode)
 	}
 }
 

@@ -105,6 +105,11 @@ func New(opts Options) (*Client, error) {
 	return c, nil
 }
 
+// Checkpoint compacts the evolving database: the engine writes a snapshot
+// file and truncates its write-ahead log, bounding reopen (replay) cost.
+// A no-op for in-memory databases.
+func (c *Client) Checkpoint() error { return c.store.Checkpoint() }
+
 // Close releases the database and any remote farm connection.
 func (c *Client) Close() error {
 	var first error

@@ -136,6 +136,50 @@ func (c *Client) TrainPredictor(opts TrainOptions) error {
 	if err != nil {
 		return err
 	}
+	return c.fitPredictor(opts, samples)
+}
+
+// TrainPredictorFromDB trains the predictor from the latency knowledge the
+// evolving database has already accumulated — the paper's retraining loop
+// — instead of measuring a fresh corpus. Each platform's records are read
+// through Store.TrainingSnapshot, a frozen consistent view, so retraining
+// can run while the serving path keeps inserting measurements. Platforms
+// with no accumulated records are an error.
+func (c *Client) TrainPredictorFromDB(opts TrainOptions) error {
+	opts = opts.withDefaults()
+	var samples []core.Sample
+	for _, plat := range opts.Platforms {
+		prec, ok, err := c.store.FindPlatformByName(plat)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("nnlqp: platform %s has no records in the database", plat)
+		}
+		ts, err := c.store.TrainingSnapshot(prec.ID)
+		if err != nil {
+			return err
+		}
+		if len(ts.Records) == 0 {
+			return fmt.Errorf("nnlqp: platform %s has no latency records in the database", plat)
+		}
+		for _, rec := range ts.Records {
+			mrec, ok := ts.Model(rec.ModelID)
+			if !ok {
+				return fmt.Errorf("nnlqp: latency record %d references missing model %d", rec.ID, rec.ModelID)
+			}
+			s, err := core.NewSample(mrec.Graph, rec.LatencyMS, plat)
+			if err != nil {
+				return err
+			}
+			samples = append(samples, s)
+		}
+	}
+	return c.fitPredictor(opts, samples)
+}
+
+// fitPredictor trains a fresh predictor on samples and installs it.
+func (c *Client) fitPredictor(opts TrainOptions, samples []core.Sample) error {
 	pred := core.New(opts.config())
 	if opts.Progress != nil {
 		progress := opts.Progress
