@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race check fmt vet bench bench-db
+.PHONY: build test race chaos check fmt vet bench bench-db
 
 build:
 	$(GO) build ./...
@@ -9,10 +9,20 @@ test:
 	$(GO) test ./...
 
 # Race-detector pass over the packages with real concurrency: the storage
-# engine, the serving path and the data-parallel training stack.
+# engine, the serving path, the data-parallel training stack and the chaos
+# harness. -count=2 -shuffle=on reruns in random order so tests leaking
+# state into package globals or goroutines fail here, not in CI roulette.
 race:
-	$(GO) test -race ./internal/db ./internal/query ./internal/hwsim ./internal/server \
-		./internal/tensor ./internal/train ./internal/gnn ./internal/core ./internal/baselines
+	$(GO) test -race -count=2 -shuffle=on \
+		./internal/db ./internal/query ./internal/hwsim ./internal/server \
+		./internal/tensor ./internal/train ./internal/gnn ./internal/core \
+		./internal/baselines ./internal/chaos
+
+# End-to-end fault-injection storms (internal/chaos) with a pinned seed:
+# every fault mode plus the mixed fleet, under the race detector. Replay a
+# different schedule with: go test -race ./internal/chaos -args -chaos.seed=N
+chaos:
+	$(GO) test -race -v -run TestChaos ./internal/chaos -args -chaos.seed=20260805
 
 fmt:
 	@out=$$(gofmt -l .); \

@@ -2,9 +2,14 @@
 // mirroring the paper's remote device management: query servers acquire
 // devices, run the measurement pipeline, and release them, all through RPC.
 //
-// Usage:
+// The farm can inject deterministic faults (crashed agents, wedged devices,
+// slow cold starts, transient RPC errors, latency jitter, mid-flight
+// connection drops) to exercise the serving path's retry/hedge/quarantine
+// machinery:
 //
 //	nnlqp-farm -addr 127.0.0.1:9090 -devices 2
+//	nnlqp-farm -fault-mode crash -fault-rate 0.2 -fault-seed 42
+//	nnlqp-farm -fault-mode mixed -fault-rate 0.3 -fault-conn-drop 0.05
 package main
 
 import (
@@ -14,6 +19,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"nnlqp/internal/hwsim"
 )
@@ -21,9 +27,32 @@ import (
 func main() {
 	addr := flag.String("addr", "127.0.0.1:9090", "listen address")
 	devices := flag.Int("devices", 2, "devices per platform")
+	faultMode := flag.String("fault-mode", "none", "fault injection: none, crash, hang, slowstart, transient, jitter, or mixed (cycle modes across devices)")
+	faultRate := flag.Float64("fault-rate", 0.1, "per-call fault probability")
+	faultSeed := flag.Uint64("fault-seed", 1, "fault plan seed (same seed + schedule = same faults)")
+	faultLimit := flag.Int("fault-limit", 0, "max fault firings per device (0 = unlimited)")
+	faultDelay := flag.Duration("fault-delay", 200*time.Millisecond, "slow-start stall / hang cap (hang: 0 = until the caller's deadline)")
+	faultRecovery := flag.Duration("fault-recovery", 2*time.Second, "how long a crashed device stays down")
+	connDrop := flag.Float64("fault-conn-drop", 0, "probability of severing an RPC connection mid-flight")
+	quarBase := flag.Duration("quarantine-base", hwsim.DefaultQuarantineBase, "initial quarantine window for misbehaving devices")
+	quarMax := flag.Duration("quarantine-max", hwsim.DefaultQuarantineMax, "quarantine window cap")
 	flag.Parse()
 
 	farm := hwsim.NewDefaultFarm(*devices)
+	farm.SetQuarantinePolicy(hwsim.HealthPolicy{Base: *quarBase, Max: *quarMax})
+
+	if *faultMode != "none" || *connDrop > 0 {
+		plan, err := buildPlan(farm, *faultMode, *faultRate, *faultLimit, *faultDelay, *faultRecovery)
+		if err != nil {
+			log.Fatal(err)
+		}
+		plan.Seed = *faultSeed
+		plan.ConnDropRate = *connDrop
+		farm.SetFaultPlan(plan)
+		fmt.Printf("fault plan: mode=%s rate=%.2f seed=%d conn-drop=%.2f\n",
+			*faultMode, *faultRate, *faultSeed, *connDrop)
+	}
+
 	srv, err := hwsim.ServeFarm(farm, *addr)
 	if err != nil {
 		log.Fatalf("serve farm: %v", err)
@@ -36,5 +65,43 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	log.Printf("shutting down (cumulative device wait %.1fs)", farm.WaitSeconds())
+	h := farm.Health()
+	log.Printf("shutting down (cumulative device wait %.1fs, %d quarantine events, %d devices benched)",
+		farm.WaitSeconds(), h.Quarantines, h.QuarantinedNow)
+}
+
+// buildPlan assembles the fault plan: one shared rule for a single mode, or
+// — for "mixed" — the fault modes cycled device by device so every mode is
+// live somewhere in the fleet.
+func buildPlan(farm *hwsim.Farm, mode string, rate float64, limit int, delay, recovery time.Duration) (*hwsim.FaultPlan, error) {
+	rule := func(m hwsim.FaultMode) *hwsim.FaultRule {
+		return &hwsim.FaultRule{
+			Mode: m, Rate: rate, Limit: limit,
+			Delay: delay, Recovery: recovery,
+		}
+	}
+	if mode != "mixed" {
+		m, err := hwsim.ParseFaultMode(mode)
+		if err != nil {
+			return nil, err
+		}
+		return &hwsim.FaultPlan{Default: rule(m)}, nil
+	}
+	cycle := []hwsim.FaultMode{
+		hwsim.FaultCrash, hwsim.FaultHang, hwsim.FaultSlowStart,
+		hwsim.FaultTransient, hwsim.FaultJitter,
+	}
+	plan := &hwsim.FaultPlan{Devices: make(map[string]*hwsim.FaultRule)}
+	i := 0
+	for _, p := range hwsim.Platforms() {
+		for j := 0; ; j++ {
+			id := fmt.Sprintf("%s#%d", p.Name, j)
+			if j >= farm.Devices(p.Name) {
+				break
+			}
+			plan.Devices[id] = rule(cycle[i%len(cycle)])
+			i++
+		}
+	}
+	return plan, nil
 }

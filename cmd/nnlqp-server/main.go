@@ -38,6 +38,13 @@ func main() {
 	syncMode := flag.String("sync", "always", "WAL durability: always (fsync per commit batch) or never (page cache only)")
 	ckptWALBytes := flag.Int64("checkpoint-wal-bytes", 0, "auto-checkpoint when the WAL exceeds this size (0 = 4 MiB default, <0 disables)")
 	ckptRecords := flag.Int64("checkpoint-records", 0, "auto-checkpoint after this many WAL records (0 = 50000 default, <0 disables)")
+	maxAttempts := flag.Int("max-attempts", 3, "measurement attempts per query incl. the first (1 disables retries)")
+	attemptTimeout := flag.Duration("attempt-timeout", 10*time.Second, "per-attempt measurement deadline (<0 disables)")
+	hedgeDelay := flag.Duration("hedge-delay", 0, "floor before hedged re-dispatch to a second device (0 = percentile-armed only)")
+	hedgePct := flag.Float64("hedge-percentile", 0.95, "attempt-latency percentile that arms the hedge (<0 disables hedging)")
+	retryBudget := flag.Float64("retry-budget", 16, "retry/hedge token bucket capacity")
+	noResilience := flag.Bool("no-resilience", false, "disable the retry/hedge layer entirely")
+	noDegrade := flag.Bool("no-degrade", false, "never answer /query from the predictor when the farm is unavailable")
 	flag.Parse()
 
 	dbOpts := db.Options{CheckpointWALBytes: *ckptWALBytes, CheckpointRecords: *ckptRecords}
@@ -66,6 +73,15 @@ func main() {
 	} else {
 		farm = &hwsim.LocalFarm{Farm: hwsim.NewDefaultFarm(*devices)}
 	}
+	if !*noResilience {
+		farm = query.NewResilientFarm(farm, query.ResilienceConfig{
+			MaxAttempts:     *maxAttempts,
+			AttemptTimeout:  *attemptTimeout,
+			HedgeDelay:      *hedgeDelay,
+			HedgePercentile: *hedgePct,
+			RetryBudget:     *retryBudget,
+		})
+	}
 
 	var pred *core.Predictor
 	if *predictorPath != "" {
@@ -82,6 +98,9 @@ func main() {
 	}
 
 	srv := server.New(store, farm, pred)
+	if *noDegrade {
+		srv.System().SetFallback(nil)
+	}
 	srv.RequestTimeout = *reqTimeout
 	srv.ShutdownGrace = *shutdownGrace
 	bound, stop, err := srv.Serve(*addr)

@@ -1,0 +1,387 @@
+package chaos
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"nnlqp/internal/db"
+	"nnlqp/internal/hwsim"
+	"nnlqp/internal/models"
+	"nnlqp/internal/query"
+	"nnlqp/internal/server"
+)
+
+// chaosSeed pins the fault-plan, workload and backoff-jitter randomness so a
+// storm's fault schedule is reproducible: `make chaos` runs with a fixed
+// seed, and a failing schedule can be replayed with
+// `go test ./internal/chaos -args -chaos.seed=N`.
+var chaosSeed = flag.Int64("chaos.seed", 20260805, "seed for fault plans, workloads and backoff jitter")
+
+// deadlineSlack is the scheduling headroom allowed on top of a request's
+// deadline before the harness calls it hung (generous for -race).
+const deadlineSlack = time.Second
+
+const (
+	platT4 = "gpu-T4-trt7.1-fp32"
+	platP4 = "gpu-P4-trt7.1-fp32"
+)
+
+// chaosResilience is the retry/hedge policy every storm runs under: short
+// attempts so wedged devices are abandoned quickly, aggressive hedging, a
+// budget deep enough that storms degrade instead of failing dry.
+func chaosResilience() query.ResilienceConfig {
+	return query.ResilienceConfig{
+		MaxAttempts:    3,
+		AttemptTimeout: 250 * time.Millisecond,
+		BackoffBase:    5 * time.Millisecond,
+		BackoffMax:     50 * time.Millisecond,
+		HedgeDelay:     50 * time.Millisecond,
+		RetryBudget:    128,
+		Seed:           *chaosSeed,
+	}
+}
+
+// chaosSystem assembles the full serving stack over farm: resilience wrapper,
+// in-memory store, oracle fallback.
+func chaosSystem(t *testing.T, inner query.Measurer) *query.System {
+	t.Helper()
+	store, err := db.OpenStore("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { store.Close() })
+	sys := query.New(store, query.NewResilientFarm(inner, chaosResilience()))
+	sys.SetFallback(Oracle{})
+	return sys
+}
+
+func chaosFarm(t *testing.T, plan *hwsim.FaultPlan) *hwsim.Farm {
+	t.Helper()
+	farm := hwsim.NewDefaultFarm(2)
+	farm.SetQuarantinePolicy(hwsim.HealthPolicy{
+		Base: 100 * time.Millisecond,
+		Max:  2 * time.Second,
+	})
+	if plan != nil {
+		plan.Seed = uint64(*chaosSeed)
+		farm.SetFaultPlan(plan)
+	}
+	return farm
+}
+
+func chaosStorm(t *testing.T, platforms ...string) Storm {
+	t.Helper()
+	graphs, err := Graphs(*chaosSeed, 6,
+		models.FamilySqueezeNet, models.FamilyMnasNet, models.FamilyResNet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Storm{
+		Requests:    48,
+		Concurrency: 8,
+		Deadline:    3 * time.Second,
+		Platforms:   platforms,
+		Graphs:      graphs,
+	}
+}
+
+// assertStormClean enforces the degradation-ladder contract: nothing failed,
+// every request was answered one way or another, nothing outlived its
+// deadline.
+func assertStormClean(t *testing.T, st Storm, out Outcome) {
+	t.Helper()
+	t.Logf("storm: %s", out)
+	for _, err := range out.Errs {
+		t.Errorf("storm error: %v", err)
+	}
+	if out.Failed != 0 {
+		t.Fatalf("%d requests failed outright; every request must be measured, cached, coalesced or degraded", out.Failed)
+	}
+	if got := out.Answered(); got != st.Requests {
+		t.Fatalf("answered %d of %d requests", got, st.Requests)
+	}
+	if out.MaxElapsed > st.Deadline+deadlineSlack {
+		t.Fatalf("slowest request took %s, deadline %s + %s slack", out.MaxElapsed, st.Deadline, deadlineSlack)
+	}
+}
+
+// TestChaosStormPerFaultMode fires one storm per fault mode against a fleet
+// where every device misbehaves with that mode.
+func TestChaosStormPerFaultMode(t *testing.T) {
+	cases := []struct {
+		name string
+		rule hwsim.FaultRule
+	}{
+		{"crash", hwsim.FaultRule{Mode: hwsim.FaultCrash, Rate: 0.4, Recovery: 200 * time.Millisecond}},
+		{"hang", hwsim.FaultRule{Mode: hwsim.FaultHang, Rate: 0.4}},
+		{"slowstart", hwsim.FaultRule{Mode: hwsim.FaultSlowStart, Rate: 0.3, Delay: 40 * time.Millisecond}},
+		{"transient", hwsim.FaultRule{Mode: hwsim.FaultTransient, Rate: 0.5}},
+		{"jitter", hwsim.FaultRule{Mode: hwsim.FaultJitter, Rate: 1, JitterFrac: 0.5}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			rule := c.rule
+			farm := chaosFarm(t, &hwsim.FaultPlan{Default: &rule})
+			sys := chaosSystem(t, &hwsim.LocalFarm{Farm: farm})
+			st := chaosStorm(t, hwsim.DatasetPlatform, platT4)
+			assertStormClean(t, st, st.Run(sys))
+		})
+	}
+}
+
+// TestChaosStormRPCConnDrops runs the storm through a real RPC farm whose
+// server severs connections mid-flight: the client must redial and the
+// resilience layer retry, with no failure surfacing to callers.
+func TestChaosStormRPCConnDrops(t *testing.T) {
+	// The drop decision is rolled once per accepted connection and the client
+	// multiplexes every call over one connection, so a fractional rate would
+	// make the storm all-or-nothing: sever the first two connections
+	// deterministically instead — the client redials through both.
+	farm := chaosFarm(t, &hwsim.FaultPlan{ConnDropRate: 1, ConnDropLimit: 2})
+	srv, err := hwsim.ServeFarm(farm, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	remote, err := hwsim.DialFarm(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+
+	sys := chaosSystem(t, remote)
+	st := chaosStorm(t, hwsim.DatasetPlatform, platT4)
+	out := st.Run(sys)
+	assertStormClean(t, st, out)
+	if stats := sys.Stats(); stats.Retries == 0 {
+		t.Fatalf("stats = %+v: severed connections must show up as retries", stats)
+	}
+}
+
+// TestChaosQuarantineRecovery drives a device into quarantine with a
+// permanent fault, clears the fault, and verifies the device rejoins the
+// fleet: queries degrade while it is benched and return to real measurements
+// after probation.
+func TestChaosQuarantineRecovery(t *testing.T) {
+	p, err := hwsim.PlatformByName(hwsim.DatasetPlatform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	farm := hwsim.NewFarm()
+	farm.AddDevice(&hwsim.Device{ID: "solo", Platform: p})
+	farm.SetQuarantinePolicy(hwsim.HealthPolicy{Base: 50 * time.Millisecond, Max: 200 * time.Millisecond})
+	farm.SetFaultPlan(&hwsim.FaultPlan{
+		Seed:    uint64(*chaosSeed),
+		Default: &hwsim.FaultRule{Mode: hwsim.FaultTransient, Rate: 1},
+	})
+	sys := chaosSystem(t, &hwsim.LocalFarm{Farm: farm})
+	graphs, err := Graphs(*chaosSeed, 1, models.FamilySqueezeNet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := graphs[0]
+
+	// Phase 1: every measurement fails; queries must degrade, and the device
+	// must land in quarantine.
+	sawDegraded := false
+	for i := 0; i < 20 && farm.Health().Quarantines == 0; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		r, err := sys.Query(ctx, g, hwsim.DatasetPlatform)
+		cancel()
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		if r.Degraded {
+			sawDegraded = true
+		}
+	}
+	if farm.Health().Quarantines == 0 {
+		t.Fatal("permanent fault never quarantined the device")
+	}
+	if !sawDegraded {
+		t.Fatal("no query degraded while the only device was failing")
+	}
+
+	// Phase 2: the fault clears; within a few probation cycles a real
+	// measurement must come back (and is then cached).
+	farm.SetFaultPlan(nil)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("device never recovered from quarantine")
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		r, err := sys.Query(ctx, g, hwsim.DatasetPlatform)
+		cancel()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.Degraded {
+			if r.Provenance != "measured" && r.Provenance != "cache" {
+				t.Fatalf("recovered answer has provenance %q", r.Provenance)
+			}
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if farm.HealthyDevices(hwsim.DatasetPlatform) != 1 {
+		t.Fatal("device must be healthy after rehabilitation")
+	}
+}
+
+// TestChaosMixedStorm is the acceptance storm: a fleet where every fault
+// mode is live somewhere (including one platform with no working devices at
+// all) must answer every request before its deadline and light up all four
+// fault-tolerance counters — retries, hedges, quarantines, degraded.
+func TestChaosMixedStorm(t *testing.T) {
+	plan := &hwsim.FaultPlan{Devices: map[string]*hwsim.FaultRule{
+		// The doomed platform: both devices fail every call, so queries burn
+		// their retries, quarantine the devices and degrade to the oracle.
+		platP4 + "#0": {Mode: hwsim.FaultTransient, Rate: 1},
+		platP4 + "#1": {Mode: hwsim.FaultTransient, Rate: 1},
+		// One wedging device to force hedges, one cold-starting one.
+		platT4 + "#0": {Mode: hwsim.FaultHang, Rate: 0.6},
+		platT4 + "#1": {Mode: hwsim.FaultSlowStart, Rate: 0.3, Delay: 40 * time.Millisecond},
+		// A crash-looping device and a noisy one.
+		hwsim.DatasetPlatform + "#0": {Mode: hwsim.FaultCrash, Rate: 0.4, Recovery: 300 * time.Millisecond},
+		hwsim.DatasetPlatform + "#1": {Mode: hwsim.FaultJitter, Rate: 1, JitterFrac: 0.5},
+	}}
+	farm := chaosFarm(t, plan)
+	sys := chaosSystem(t, &hwsim.LocalFarm{Farm: farm})
+
+	st := chaosStorm(t, hwsim.DatasetPlatform, platT4, platP4)
+	st.Requests = 90
+	st.Concurrency = 12
+	out := st.Run(sys)
+	assertStormClean(t, st, out)
+	if out.Degraded == 0 {
+		t.Fatal("the doomed platform must have produced degraded answers")
+	}
+
+	stats := sys.Stats()
+	t.Logf("stats: retries=%d hedges=%d hedge_wins=%d quarantines=%d degraded=%d",
+		stats.Retries, stats.Hedges, stats.HedgeWins, stats.Quarantines, stats.Degraded)
+	if stats.Retries == 0 {
+		t.Error("retries counter stayed zero")
+	}
+	if stats.Hedges == 0 {
+		t.Error("hedges counter stayed zero")
+	}
+	if stats.Quarantines == 0 {
+		t.Error("quarantines counter stayed zero")
+	}
+	if stats.Degraded == 0 {
+		t.Error("degraded counter stayed zero")
+	}
+}
+
+// TestChaosHTTPStorm drives the storm through the real HTTP server: degraded
+// answers must be marked in the JSON response and the /stats counters must
+// line up with what clients observed.
+func TestChaosHTTPStorm(t *testing.T) {
+	plan := &hwsim.FaultPlan{
+		Default: &hwsim.FaultRule{Mode: hwsim.FaultTransient, Rate: 0.3},
+		Devices: map[string]*hwsim.FaultRule{
+			platP4 + "#0": {Mode: hwsim.FaultTransient, Rate: 1},
+			platP4 + "#1": {Mode: hwsim.FaultTransient, Rate: 1},
+		},
+	}
+	farm := chaosFarm(t, plan)
+	store, err := db.OpenStore("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	srv := server.New(store, query.NewResilientFarm(&hwsim.LocalFarm{Farm: farm}, chaosResilience()), nil)
+	srv.System().SetFallback(Oracle{})
+	bound, stop, err := srv.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	client := server.NewClientTimeout("http://"+bound, 10*time.Second)
+
+	graphs, err := Graphs(*chaosSeed, 4, models.FamilySqueezeNet, models.FamilyMnasNet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	platforms := []string{hwsim.DatasetPlatform, platP4}
+
+	const requests = 32
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		degraded int
+		failures []error
+	)
+	sem := make(chan struct{}, 8)
+	for i := 0; i < requests; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			g := graphs[i%len(graphs)]
+			platform := platforms[(i/len(graphs))%len(platforms)]
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			resp, err := client.QueryContext(ctx, g, platform, 1)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				failures = append(failures, fmt.Errorf("request %d: %w", i, err))
+				return
+			}
+			if resp.LatencyMS <= 0 {
+				failures = append(failures, fmt.Errorf("request %d: latency %.6f", i, resp.LatencyMS))
+				return
+			}
+			switch resp.Provenance {
+			case "measured", "cache", "coalesced":
+				if resp.Degraded {
+					failures = append(failures, fmt.Errorf("request %d: degraded flag on %q answer", i, resp.Provenance))
+				}
+			case "degraded":
+				if !resp.Degraded {
+					failures = append(failures, fmt.Errorf("request %d: provenance degraded without the flag", i))
+				}
+				degraded++
+			default:
+				failures = append(failures, fmt.Errorf("request %d: unknown provenance %q", i, resp.Provenance))
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range failures {
+		t.Error(err)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+	if degraded == 0 {
+		t.Fatal("the doomed platform must degrade over HTTP too")
+	}
+
+	stats, err := client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Queries != requests {
+		t.Fatalf("/stats queries = %d, want %d", stats.Queries, requests)
+	}
+	if stats.Degraded != degraded {
+		t.Fatalf("/stats degraded = %d, clients saw %d", stats.Degraded, degraded)
+	}
+	if stats.Retries == 0 {
+		t.Fatalf("/stats retries = 0 under a transient-fault storm")
+	}
+	if stats.Quarantines == 0 {
+		t.Fatalf("/stats quarantines = 0 with a doomed platform")
+	}
+}

@@ -3,6 +3,7 @@ package hwsim
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 
@@ -29,14 +30,26 @@ type Farm struct {
 	all     map[string][]*Device
 	held    map[string]string // device ID -> holder tag
 	waitSec float64           // cumulative seconds callers spent blocked in Acquire
+
+	// Fault tolerance (health.go / fault.go).
+	health      map[string]*deviceHealth
+	policy      HealthPolicy
+	quarantines int64
+	faults      *FaultPlan
+	faultState  map[string]*faultState
+	connRNG     *rand.Rand
+	connDrops   int
 }
 
 // NewFarm creates an empty farm.
 func NewFarm() *Farm {
 	f := &Farm{
-		idle: make(map[string][]*Device),
-		all:  make(map[string][]*Device),
-		held: make(map[string]string),
+		idle:       make(map[string][]*Device),
+		all:        make(map[string][]*Device),
+		held:       make(map[string]string),
+		health:     make(map[string]*deviceHealth),
+		faultState: make(map[string]*faultState),
+		policy:     HealthPolicy{}.withDefaults(),
 	}
 	f.cond = sync.NewCond(&f.mu)
 	return f
@@ -85,28 +98,41 @@ func (f *Farm) WaitSeconds() float64 {
 	return f.waitSec
 }
 
-// TryAcquire grabs an idle device of the platform without blocking,
-// returning nil when none is idle.
+// TryAcquire grabs an idle, non-quarantined device of the platform without
+// blocking, returning nil when none is eligible.
 func (f *Farm) TryAcquire(platform, holder string) *Device {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	return f.tryAcquireLocked(platform, holder)
+	return f.tryAcquireLocked(platform, holder, time.Now())
 }
 
-func (f *Farm) tryAcquireLocked(platform, holder string) *Device {
+// tryAcquireLocked hands out the first idle device that is not inside an
+// unexpired quarantine window. A device whose window has expired is handed
+// out on probation: its next outcome decides rehabilitation vs. a doubled
+// quarantine (see reportResult).
+func (f *Farm) tryAcquireLocked(platform, holder string, now time.Time) *Device {
 	q := f.idle[platform]
-	if len(q) == 0 {
-		return nil
+	for i, d := range q {
+		h := f.health[d.ID]
+		if h != nil && h.quarantined(now) {
+			continue
+		}
+		if h != nil && !h.quarantinedUntil.IsZero() {
+			h.probation = true
+			h.quarantinedUntil = time.Time{}
+		}
+		f.idle[platform] = append(q[:i], q[i+1:]...)
+		f.held[d.ID] = holder
+		return d
 	}
-	d := q[0]
-	f.idle[platform] = q[1:]
-	f.held[d.ID] = holder
-	return d
+	return nil
 }
 
-// Acquire blocks until a device of the platform is idle or ctx is done. It
-// returns an error immediately when the farm has no such devices at all,
-// and ctx.Err() when the context is cancelled while waiting; in that case
+// Acquire blocks until a healthy device of the platform is idle or ctx is
+// done. It returns an error immediately when the farm has no such devices at
+// all, ErrAllQuarantined when every device of the platform sits inside an
+// unexpired quarantine window (waiting would not help — degrade instead),
+// and ctx.Err() when the context is cancelled while waiting; in those cases
 // no device slot is consumed.
 func (f *Farm) Acquire(ctx context.Context, platform, holder string) (*Device, error) {
 	f.mu.Lock()
@@ -114,7 +140,7 @@ func (f *Farm) Acquire(ctx context.Context, platform, holder string) (*Device, e
 	if len(f.all[platform]) == 0 {
 		return nil, fmt.Errorf("hwsim: farm has no devices for platform %q", platform)
 	}
-	if d := f.tryAcquireLocked(platform, holder); d != nil {
+	if d := f.tryAcquireLocked(platform, holder, time.Now()); d != nil {
 		return d, nil
 	}
 	// Slow path: wait on the cond until a release (or cancellation) wakes
@@ -132,8 +158,26 @@ func (f *Farm) Acquire(ctx context.Context, platform, holder string) (*Device, e
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		if d := f.tryAcquireLocked(platform, holder); d != nil {
+		now := time.Now()
+		if d := f.tryAcquireLocked(platform, holder, now); d != nil {
 			return d, nil
+		}
+		if f.allQuarantinedLocked(platform, now) {
+			return nil, fmt.Errorf("%w: platform %q has 0/%d healthy devices",
+				ErrAllQuarantined, platform, len(f.all[platform]))
+		}
+		// A quarantine window expiring is a wake-up event with no Release to
+		// broadcast it; arm a timer for the earliest expiry so an idle
+		// device coming off quarantine is handed out promptly.
+		if until, ok := f.earliestQuarantineExpiryLocked(platform, now); ok {
+			t := time.AfterFunc(time.Until(until)+time.Millisecond, func() {
+				f.mu.Lock()
+				f.cond.Broadcast()
+				f.mu.Unlock()
+			})
+			f.cond.Wait()
+			t.Stop()
+			continue
 		}
 		f.cond.Wait()
 	}

@@ -1,0 +1,336 @@
+package hwsim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math/rand"
+	"net"
+	"net/rpc"
+	"strings"
+	"time"
+
+	"nnlqp/internal/onnx"
+)
+
+// Fault injection: the paper's fleet is physical hardware where "devices may
+// be offline or busy", agents wedge mid-measurement, and the RPC link to the
+// farm drops. The simulator reproduces those failure modes deterministically
+// so the serving path's retry/hedge/quarantine machinery can be exercised
+// under -race without real flaky hardware.
+//
+// A FaultPlan is seedable: every device derives its own rand stream from
+// (plan seed, device ID), and a device's calls are serialized by the
+// acquire/release protocol, so the fault sequence seen by one device is a
+// pure function of the plan and that device's call order.
+
+// FaultMode selects what an injected fault does to a measurement call.
+type FaultMode int
+
+const (
+	// FaultNone disables injection.
+	FaultNone FaultMode = iota
+	// FaultCrash fails the call hard and keeps the device failing until
+	// Recovery elapses (an agent process that died and is restarting).
+	FaultCrash
+	// FaultHang blocks the call until the caller's context expires (or for
+	// Delay, when set) — a wedged device that never answers.
+	FaultHang
+	// FaultSlowStart stalls the call by Delay before answering (cold
+	// toolchain/model load); with Rate 0 only the device's first call
+	// stalls, otherwise each call stalls with probability Rate.
+	FaultSlowStart
+	// FaultTransient fails the call with a retryable error while leaving
+	// the device healthy (a dropped packet, a busy bus).
+	FaultTransient
+	// FaultJitter inflates the measured latency by up to JitterFrac —
+	// thermal throttling and noisy neighbours.
+	FaultJitter
+)
+
+// String implements fmt.Stringer.
+func (m FaultMode) String() string {
+	switch m {
+	case FaultNone:
+		return "none"
+	case FaultCrash:
+		return "crash"
+	case FaultHang:
+		return "hang"
+	case FaultSlowStart:
+		return "slowstart"
+	case FaultTransient:
+		return "transient"
+	case FaultJitter:
+		return "jitter"
+	}
+	return fmt.Sprintf("FaultMode(%d)", int(m))
+}
+
+// ParseFaultMode resolves a flag value ("crash", "hang", ...) to a mode.
+func ParseFaultMode(s string) (FaultMode, error) {
+	for _, m := range []FaultMode{FaultNone, FaultCrash, FaultHang, FaultSlowStart, FaultTransient, FaultJitter} {
+		if m.String() == s {
+			return m, nil
+		}
+	}
+	return FaultNone, fmt.Errorf("hwsim: unknown fault mode %q", s)
+}
+
+// FaultRule configures injection for one device (or, as FaultPlan.Default,
+// for every device without a specific rule).
+type FaultRule struct {
+	Mode FaultMode
+	// Rate is the per-call trigger probability in (0,1]. For FaultSlowStart
+	// a Rate of 0 means "first call only".
+	Rate float64
+	// Limit caps how many times the rule fires on one device (0 = unlimited).
+	Limit int
+	// Delay is the stall applied by FaultSlowStart, and an optional cap on
+	// FaultHang (0 = hang until the context is done).
+	Delay time.Duration
+	// Recovery is how long a crashed device keeps failing before it starts
+	// answering again (default 2s).
+	Recovery time.Duration
+	// JitterFrac is the maximum relative latency inflation for FaultJitter
+	// (default 0.5).
+	JitterFrac float64
+}
+
+// FaultPlan is a deterministic, seedable fault schedule for a whole farm.
+type FaultPlan struct {
+	Seed uint64
+	// Default applies to every device without an entry in Devices.
+	Default *FaultRule
+	// Devices maps device IDs to their rules (nil rule = healthy).
+	Devices map[string]*FaultRule
+	// ConnDropRate is the probability that the FarmServer severs an RPC
+	// connection mid-flight (after reading a request, before the response
+	// is delivered). ConnDropLimit caps total drops (0 = unlimited).
+	ConnDropRate  float64
+	ConnDropLimit int
+}
+
+// ruleFor resolves the rule applying to a device.
+func (p *FaultPlan) ruleFor(deviceID string) *FaultRule {
+	if p == nil {
+		return nil
+	}
+	if r, ok := p.Devices[deviceID]; ok {
+		return r
+	}
+	return p.Default
+}
+
+// faultState is the per-device injection state, guarded by Farm.mu.
+type faultState struct {
+	rng          *rand.Rand
+	calls        int
+	fired        int
+	crashedUntil time.Time
+}
+
+// deviceRNG derives a device's private stream from the plan seed.
+func deviceRNG(seed uint64, deviceID string) *rand.Rand {
+	h := fnv.New64a()
+	_, _ = io.WriteString(h, deviceID)
+	return rand.New(rand.NewSource(int64(seed ^ h.Sum64())))
+}
+
+// ErrDeviceFault is the base class of every injected (or transport-level)
+// device failure; errors wrapping it are retryable and count against the
+// failing device's health score. Its message is a stable marker so the
+// classification survives the net/rpc error-string round trip.
+var ErrDeviceFault = errors.New("hwsim: device fault")
+
+// ErrAllQuarantined is returned by Acquire when every device of the
+// requested platform is currently quarantined: waiting would not help
+// before probation, so callers should degrade to the predictor instead.
+var ErrAllQuarantined = errors.New("hwsim: all devices quarantined")
+
+// IsRetryable classifies a measurement failure: injected device faults,
+// transport breakage and per-attempt deadline expiry (a wedged device) are
+// worth retrying on another device; model/platform incompatibilities and
+// a fully quarantined platform are not.
+func IsRetryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	var unsupported *UnsupportedOpError
+	if errors.Is(err, ErrUnknownPlatform) || errors.Is(err, ErrAllQuarantined) || errors.As(err, &unsupported) {
+		return false
+	}
+	if errors.Is(err, context.Canceled) {
+		return false
+	}
+	if errors.Is(err, ErrDeviceFault) || errors.Is(err, context.DeadlineExceeded) {
+		return true
+	}
+	if errors.Is(err, rpc.ErrShutdown) || errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, net.ErrClosed) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne)
+}
+
+// SetFaultPlan installs (or, with nil, clears) the farm's fault plan. Safe
+// to call while the farm is serving; per-device fault state is reset.
+func (f *Farm) SetFaultPlan(p *FaultPlan) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.faults = p
+	f.faultState = make(map[string]*faultState)
+	f.connDrops = 0
+	if p != nil {
+		f.connRNG = rand.New(rand.NewSource(int64(p.Seed ^ 0xc0111d509)))
+	} else {
+		f.connRNG = nil
+	}
+}
+
+// faultAction is one rolled injection decision.
+type faultAction struct {
+	mode   FaultMode
+	delay  time.Duration
+	jitter float64
+}
+
+// rollFault decides, under f.mu, what happens to the next call on d.
+func (f *Farm) rollFault(d *Device) faultAction {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	rule := f.faults.ruleFor(d.ID)
+	if rule == nil || rule.Mode == FaultNone {
+		return faultAction{mode: FaultNone}
+	}
+	st := f.faultState[d.ID]
+	if st == nil {
+		st = &faultState{rng: deviceRNG(f.faults.Seed, d.ID)}
+		f.faultState[d.ID] = st
+	}
+	st.calls++
+	now := time.Now()
+	if rule.Mode == FaultCrash && now.Before(st.crashedUntil) {
+		return faultAction{mode: FaultCrash} // still down, doesn't consume Limit
+	}
+	if rule.Limit > 0 && st.fired >= rule.Limit {
+		return faultAction{mode: FaultNone}
+	}
+	trigger := st.rng.Float64() < rule.Rate
+	if rule.Mode == FaultSlowStart && rule.Rate == 0 {
+		trigger = st.calls == 1
+	}
+	if !trigger {
+		return faultAction{mode: FaultNone}
+	}
+	st.fired++
+	act := faultAction{mode: rule.Mode, delay: rule.Delay}
+	switch rule.Mode {
+	case FaultCrash:
+		rec := rule.Recovery
+		if rec <= 0 {
+			rec = 2 * time.Second
+		}
+		st.crashedUntil = now.Add(rec)
+	case FaultJitter:
+		frac := rule.JitterFrac
+		if frac <= 0 {
+			frac = 0.5
+		}
+		act.jitter = frac * st.rng.Float64()
+	}
+	return act
+}
+
+// rollConnDrop decides, under f.mu, whether the next RPC connection should
+// be severed mid-flight.
+func (f *Farm) rollConnDrop() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	p := f.faults
+	if p == nil || p.ConnDropRate <= 0 || f.connRNG == nil {
+		return false
+	}
+	if p.ConnDropLimit > 0 && f.connDrops >= p.ConnDropLimit {
+		return false
+	}
+	if f.connRNG.Float64() >= p.ConnDropRate {
+		return false
+	}
+	f.connDrops++
+	return true
+}
+
+// MeasureDevice runs the measurement pipeline on an already-acquired device,
+// applying the farm's fault plan and reporting the outcome to the device's
+// health score. It is the single choke point both the local and the RPC
+// measurement paths go through.
+func (f *Farm) MeasureDevice(ctx context.Context, d *Device, g *onnx.Graph) (*MeasureResult, error) {
+	res, err := f.measureFaulty(ctx, d, g)
+	f.reportResult(d, err)
+	return res, err
+}
+
+func (f *Farm) measureFaulty(ctx context.Context, d *Device, g *onnx.Graph) (*MeasureResult, error) {
+	act := f.rollFault(d)
+	switch act.mode {
+	case FaultCrash:
+		return nil, fmt.Errorf("%w: device %s crashed", ErrDeviceFault, d.ID)
+	case FaultTransient:
+		return nil, fmt.Errorf("%w: transient rpc error on device %s", ErrDeviceFault, d.ID)
+	case FaultHang:
+		if act.delay <= 0 {
+			<-ctx.Done()
+			return nil, ctx.Err()
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(act.delay):
+			return nil, fmt.Errorf("%w: device %s wedged for %s", ErrDeviceFault, d.ID, act.delay)
+		}
+	case FaultSlowStart:
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(act.delay):
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	res, err := MeasureOn(d, g)
+	if err == nil && act.mode == FaultJitter {
+		res.LatencyMS *= 1 + act.jitter
+	}
+	return res, err
+}
+
+// remoteErrorMarkers re-typed: net/rpc flattens server-side errors to
+// strings, so the sentinel messages double as wire markers.
+func classifyFarmError(err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, rpc.ErrShutdown) || errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, net.ErrClosed) {
+		return fmt.Errorf("%w: farm connection lost: %v", ErrDeviceFault, err)
+	}
+	var ne net.Error
+	if errors.As(err, &ne) {
+		return fmt.Errorf("%w: farm network error: %v", ErrDeviceFault, err)
+	}
+	msg := err.Error()
+	switch {
+	case strings.Contains(msg, ErrDeviceFault.Error()):
+		return fmt.Errorf("%w: %s", ErrDeviceFault, msg)
+	case strings.Contains(msg, ErrAllQuarantined.Error()):
+		return fmt.Errorf("%w: %s", ErrAllQuarantined, msg)
+	case strings.Contains(msg, ErrUnknownPlatform.Error()):
+		return fmt.Errorf("%w: %s", ErrUnknownPlatform, msg)
+	case strings.Contains(msg, context.DeadlineExceeded.Error()):
+		return fmt.Errorf("%w: %s", context.DeadlineExceeded, msg)
+	}
+	return err
+}

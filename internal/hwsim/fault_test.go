@@ -1,0 +1,301 @@
+package hwsim
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"nnlqp/internal/models"
+	"nnlqp/internal/onnx"
+)
+
+func testGraph() *onnx.Graph {
+	return models.BuildSqueezeNet(models.BaseSqueezeNet(1))
+}
+
+func singleDeviceFarm(t *testing.T) (*Farm, *Device) {
+	t.Helper()
+	p, err := PlatformByName(DatasetPlatform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := NewFarm()
+	d := &Device{ID: "dev#0", Platform: p}
+	f.AddDevice(d)
+	return f, d
+}
+
+func TestFaultTransientErrorIsRetryableAndDeviceAttributed(t *testing.T) {
+	f, _ := singleDeviceFarm(t)
+	f.SetFaultPlan(&FaultPlan{
+		Seed:    7,
+		Default: &FaultRule{Mode: FaultTransient, Rate: 1},
+	})
+	ctx := context.Background()
+	d, err := f.Acquire(ctx, DatasetPlatform, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, merr := f.MeasureDevice(ctx, d, testGraph())
+	f.Release(d)
+	if merr == nil {
+		t.Fatal("want injected transient error")
+	}
+	if !errors.Is(merr, ErrDeviceFault) {
+		t.Fatalf("err = %v, want ErrDeviceFault wrap", merr)
+	}
+	if !IsRetryable(merr) {
+		t.Fatalf("transient fault must be retryable: %v", merr)
+	}
+}
+
+func TestFaultCrashKeepsDeviceDownUntilRecovery(t *testing.T) {
+	f, d := singleDeviceFarm(t)
+	f.SetFaultPlan(&FaultPlan{
+		Seed:    1,
+		Default: &FaultRule{Mode: FaultCrash, Rate: 1, Limit: 1, Recovery: 80 * time.Millisecond},
+	})
+	ctx := context.Background()
+	if _, err := f.MeasureDevice(ctx, d, testGraph()); !errors.Is(err, ErrDeviceFault) {
+		t.Fatalf("first call: err = %v, want crash", err)
+	}
+	// Still down: Limit=1 consumed, but the recovery window keeps it failing.
+	if _, err := f.MeasureDevice(ctx, d, testGraph()); !errors.Is(err, ErrDeviceFault) {
+		t.Fatalf("second call during recovery: err = %v, want crash", err)
+	}
+	time.Sleep(100 * time.Millisecond)
+	if _, err := f.MeasureDevice(ctx, d, testGraph()); err != nil {
+		t.Fatalf("after recovery: %v", err)
+	}
+}
+
+func TestFaultHangBlocksUntilContextDeadline(t *testing.T) {
+	f, d := singleDeviceFarm(t)
+	f.SetFaultPlan(&FaultPlan{Seed: 2, Default: &FaultRule{Mode: FaultHang, Rate: 1}})
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := f.MeasureDevice(ctx, d, testGraph())
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed < 40*time.Millisecond {
+		t.Fatalf("hang returned after %s, before the deadline", elapsed)
+	}
+	if !IsRetryable(err) {
+		t.Fatal("a wedged device (attempt deadline) must be retryable")
+	}
+}
+
+func TestFaultSlowStartFirstCallOnlyByDefault(t *testing.T) {
+	f, d := singleDeviceFarm(t)
+	f.SetFaultPlan(&FaultPlan{
+		Seed:    3,
+		Default: &FaultRule{Mode: FaultSlowStart, Delay: 60 * time.Millisecond},
+	})
+	ctx := context.Background()
+	start := time.Now()
+	if _, err := f.MeasureDevice(ctx, d, testGraph()); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) < 50*time.Millisecond {
+		t.Fatal("first call must stall by Delay")
+	}
+	start = time.Now()
+	if _, err := f.MeasureDevice(ctx, d, testGraph()); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) > 50*time.Millisecond {
+		t.Fatal("second call must not stall")
+	}
+}
+
+func TestFaultJitterInflatesLatencyDeterministically(t *testing.T) {
+	ctx := context.Background()
+	baseline, err := (&LocalFarm{Farm: NewDefaultFarm(1)}).Measure(ctx, DatasetPlatform, testGraph(), "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() float64 {
+		f, d := singleDeviceFarm(t)
+		f.SetFaultPlan(&FaultPlan{
+			Seed:    9,
+			Default: &FaultRule{Mode: FaultJitter, Rate: 1, JitterFrac: 0.5},
+		})
+		m, err := f.MeasureDevice(ctx, d, testGraph())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.LatencyMS
+	}
+	a, b := run(), run()
+	if a <= baseline.LatencyMS {
+		t.Fatalf("jittered %.6f must exceed baseline %.6f", a, baseline.LatencyMS)
+	}
+	if a != b {
+		t.Fatalf("same seed must give same jitter: %.6f != %.6f", a, b)
+	}
+}
+
+func TestFaultPlanSeedChangesSchedule(t *testing.T) {
+	// With rate 0.5, two different seeds should (for this pair) disagree on
+	// at least one of the first 8 calls.
+	outcomes := func(seed uint64) []bool {
+		f, d := singleDeviceFarm(t)
+		f.SetFaultPlan(&FaultPlan{Seed: seed, Default: &FaultRule{Mode: FaultTransient, Rate: 0.5}})
+		var out []bool
+		for i := 0; i < 8; i++ {
+			_, err := f.MeasureDevice(context.Background(), d, testGraph())
+			out = append(out, err != nil)
+		}
+		return out
+	}
+	a, b, c := outcomes(1), outcomes(2), outcomes(1)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			t.Fatalf("same seed diverged at call %d", i)
+		}
+		if a[i] != b[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("seeds 1 and 2 produced identical schedules (suspicious)")
+	}
+}
+
+func TestRepeatedFaultsQuarantineDevice(t *testing.T) {
+	f, d := singleDeviceFarm(t)
+	f.SetQuarantinePolicy(HealthPolicy{Base: 50 * time.Millisecond, Max: time.Second})
+	f.SetFaultPlan(&FaultPlan{Seed: 4, Default: &FaultRule{Mode: FaultTransient, Rate: 1}})
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		d2, err := f.Acquire(ctx, DatasetPlatform, "t")
+		if err != nil {
+			if errors.Is(err, ErrAllQuarantined) {
+				break
+			}
+			t.Fatal(err)
+		}
+		_, _ = f.MeasureDevice(ctx, d2, testGraph())
+		f.Release(d2)
+	}
+	h := f.Health()
+	if h.Quarantines == 0 || h.QuarantinedNow != 1 {
+		t.Fatalf("health = %+v, want the only device quarantined", h)
+	}
+	if f.HealthyDevices(DatasetPlatform) != 0 {
+		t.Fatal("no healthy devices expected")
+	}
+	if _, err := f.Acquire(ctx, DatasetPlatform, "t"); !errors.Is(err, ErrAllQuarantined) {
+		t.Fatalf("Acquire = %v, want ErrAllQuarantined", err)
+	}
+	_ = d
+
+	// Probation: once the window expires and the fault clears, one success
+	// rehabilitates the device.
+	f.SetFaultPlan(nil)
+	time.Sleep(60 * time.Millisecond)
+	d3, err := f.Acquire(ctx, DatasetPlatform, "t")
+	if err != nil {
+		t.Fatalf("post-quarantine acquire: %v", err)
+	}
+	if _, err := f.MeasureDevice(ctx, d3, testGraph()); err != nil {
+		t.Fatal(err)
+	}
+	f.Release(d3)
+	if f.HealthyDevices(DatasetPlatform) != 1 {
+		t.Fatal("device must be rehabilitated after a successful probe")
+	}
+}
+
+func TestProbationFailureDoublesQuarantine(t *testing.T) {
+	f, _ := singleDeviceFarm(t)
+	f.SetQuarantinePolicy(HealthPolicy{Base: 30 * time.Millisecond, Max: time.Second})
+	f.SetFaultPlan(&FaultPlan{Seed: 5, Default: &FaultRule{Mode: FaultTransient, Rate: 1}})
+	ctx := context.Background()
+	fail := func() {
+		t.Helper()
+		d, err := f.Acquire(ctx, DatasetPlatform, "t")
+		if err != nil {
+			t.Fatalf("acquire: %v", err)
+		}
+		if _, err := f.MeasureDevice(ctx, d, testGraph()); err == nil {
+			t.Fatal("want injected failure")
+		}
+		f.Release(d)
+	}
+	// Drive to the first quarantine.
+	for f.Health().QuarantinedNow == 0 {
+		fail()
+	}
+	q1 := f.Health().Quarantines
+	time.Sleep(40 * time.Millisecond)
+	// Probe fails -> immediate re-quarantine with a doubled window.
+	fail()
+	h := f.Health()
+	if h.Quarantines != q1+1 || h.QuarantinedNow != 1 {
+		t.Fatalf("health after failed probe = %+v (was %d quarantines)", h, q1)
+	}
+}
+
+func TestQuarantineExpiryWakesBlockedAcquire(t *testing.T) {
+	// Two devices: one held, one quarantined with a short window. A blocked
+	// Acquire must wake when the window expires even though nothing is
+	// released.
+	p, err := PlatformByName(DatasetPlatform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := NewFarm()
+	f.AddDevice(&Device{ID: "a", Platform: p})
+	f.AddDevice(&Device{ID: "b", Platform: p})
+	held, err := f.Acquire(context.Background(), DatasetPlatform, "hog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Release(held)
+	// Quarantine the idle one.
+	var idleID string
+	if held.ID == "a" {
+		idleID = "b"
+	} else {
+		idleID = "a"
+	}
+	f.Quarantine(idleID, 50*time.Millisecond)
+
+	start := time.Now()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	d, err := f.Acquire(ctx, DatasetPlatform, "waiter")
+	if err != nil {
+		t.Fatalf("acquire after quarantine expiry: %v", err)
+	}
+	f.Release(d)
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("waiter took %s to notice the expired quarantine", elapsed)
+	}
+}
+
+func TestIsRetryableClassification(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{nil, false},
+		{errors.New("plain"), false},
+		{ErrUnknownPlatform, false},
+		{ErrAllQuarantined, false},
+		{&UnsupportedOpError{Platform: "p", Op: "HardSigmoid"}, false},
+		{context.Canceled, false},
+		{context.DeadlineExceeded, true},
+		{ErrDeviceFault, true},
+	}
+	for _, c := range cases {
+		if got := IsRetryable(c.err); got != c.want {
+			t.Errorf("IsRetryable(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}

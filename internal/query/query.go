@@ -54,6 +54,24 @@ type WaitTracker interface {
 	DeviceWaitSeconds() float64
 }
 
+// HealthTracker is optionally implemented by farms that quarantine
+// misbehaving devices; the serving layer surfaces the counters in /stats.
+type HealthTracker interface {
+	QuarantineStats() (quarantines int64, quarantinedNow int)
+}
+
+// ResilienceTracker is implemented by ResilientFarm; the serving layer
+// surfaces retry/hedge counters in /stats.
+type ResilienceTracker interface {
+	Counters() ResilienceCounters
+}
+
+// Fallback is the degradation target when the farm cannot measure before
+// the deadline: a trained latency predictor (*core.Predictor satisfies it).
+type Fallback interface {
+	Predict(g *onnx.Graph, platform string) (float64, error)
+}
+
 // System is the NNLQ service: storage plus a device farm.
 type System struct {
 	store *db.Store
@@ -61,15 +79,18 @@ type System struct {
 
 	mu       sync.Mutex
 	stats    Stats
+	fallback Fallback
 	inflight map[string]*flight // single-flight by (hash, platform, batch)
 }
 
 // flight is one in-progress farm measurement shared by coalesced callers.
 type flight struct {
-	done      chan struct{} // closed when the leader finishes
-	res       *hwsim.MeasureResult
-	err       error
-	followers int // guarded by System.mu; callers that joined this flight
+	done       chan struct{} // closed when the leader finishes
+	res        *hwsim.MeasureResult
+	degraded   bool    // the leader fell back to the predictor
+	degradedMS float64 // predictor estimate shared with followers
+	err        error
+	followers  int // guarded by System.mu; callers that joined this flight
 }
 
 // Stats counts cache behaviour since construction.
@@ -80,11 +101,25 @@ type Stats struct {
 	// Coalesced counts queries that shared another in-flight measurement
 	// instead of starting their own (Queries = Hits + Misses + Coalesced).
 	Coalesced int
+	// Degraded counts answers served from the fallback predictor because
+	// the farm could not measure before the deadline (a subset of
+	// Misses/Coalesced, not an extra bucket).
+	Degraded int
 	// InFlight is the number of queries currently being served.
 	InFlight int
 	// DeviceWaitSec is the cumulative time queries spent blocked waiting
 	// for a device (0 unless the farm implements WaitTracker).
 	DeviceWaitSec float64
+	// Retries/Hedges/HedgeWins mirror the resilience wrapper's counters
+	// (zero unless the farm is a ResilientFarm).
+	Retries   int64
+	Hedges    int64
+	HedgeWins int64
+	// Quarantines is the farm's cumulative quarantine events;
+	// QuarantinedNow the devices currently benched (zero unless the farm
+	// implements HealthTracker).
+	Quarantines    int64
+	QuarantinedNow int
 }
 
 // HitRatio returns hits/queries (0 when no queries yet).
@@ -103,6 +138,22 @@ func New(store *db.Store, farm Measurer) *System {
 // Store exposes the underlying store (the predictor trainers read it).
 func (s *System) Store() *db.Store { return s.store }
 
+// SetFallback installs (or, with nil, clears) the predictor used for
+// graceful degradation when a platform has no healthy devices before the
+// deadline. Degraded answers are marked "degraded" and never stored in the
+// database.
+func (s *System) SetFallback(f Fallback) {
+	s.mu.Lock()
+	s.fallback = f
+	s.mu.Unlock()
+}
+
+func (s *System) getFallback() Fallback {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fallback
+}
+
 // Result is one latency query answer.
 type Result struct {
 	LatencyMS float64
@@ -111,6 +162,13 @@ type Result struct {
 	// Coalesced reports that this query shared a concurrent identical
 	// query's measurement instead of running its own pipeline.
 	Coalesced bool
+	// Degraded reports that the farm could not measure before the deadline
+	// and LatencyMS is the fallback predictor's estimate instead of a
+	// measurement. Degraded answers are never stored in the database.
+	Degraded bool
+	// Provenance labels where the answer came from: "cache", "measured",
+	// "coalesced" or "degraded".
+	Provenance string
 	// ModelID / PlatformID are the database keys of the touched records.
 	ModelID    uint64
 	PlatformID uint64
@@ -130,6 +188,10 @@ func hashCostSec(g *onnx.Graph) float64 {
 
 // dbCostSec prices the remote database round trip.
 const dbCostSec = 0.9
+
+// degradedCostSec prices a fallback prediction (a forward pass on the
+// serving host — no compile/upload/measure pipeline).
+const degradedCostSec = 0.05
 
 // Query returns the true latency of g on the named platform, serving from
 // the cache when possible and measuring (then caching) otherwise. The
@@ -166,6 +228,7 @@ func (s *System) Query(ctx context.Context, g *onnx.Graph, platform string) (*Re
 			return nil, err
 		} else if ok {
 			res.Hit = true
+			res.Provenance = "cache"
 			res.LatencyMS = lrec.LatencyMS
 			s.count(func(st *Stats) { st.Hits++ })
 			return res, nil
@@ -186,17 +249,34 @@ func (s *System) Query(ctx context.Context, g *onnx.Graph, platform string) (*Re
 	s.mu.Unlock()
 
 	m, merr := s.farm.Measure(ctx, platform, g, "nnlq")
-	if merr == nil {
+	degraded := false
+	var degradedMS float64
+	if merr != nil && s.shouldDegrade(merr) {
+		if v, perr := s.getFallback().Predict(g, platform); perr == nil {
+			degraded, degradedMS, merr = true, v, nil
+		}
+	}
+	switch {
+	case merr == nil && !degraded:
 		res.SimSeconds += m.PipelineSec
 		res.LatencyMS = m.LatencyMS
+		res.Provenance = "measured"
 		if err := s.storeMeasurement(g, prec.ID, batch, m, res); err != nil {
 			merr = err
 		}
+	case degraded:
+		// The fleet could not answer before the deadline: serve the trained
+		// predictor's estimate, explicitly marked, and keep it out of the
+		// database so the cache never stores a guess as ground truth.
+		res.SimSeconds += degradedCostSec
+		res.LatencyMS = degradedMS
+		res.Degraded = true
+		res.Provenance = "degraded"
 	}
 	// Publish to followers and retire the flight. The flight is removed
 	// before done is closed and after the DB insert, so late arrivals
 	// either join the flight or hit the database — never re-measure.
-	fl.res, fl.err = m, merr
+	fl.res, fl.degraded, fl.degradedMS, fl.err = m, degraded, degradedMS, merr
 	s.mu.Lock()
 	delete(s.inflight, fkey)
 	s.mu.Unlock()
@@ -206,11 +286,35 @@ func (s *System) Query(ctx context.Context, g *onnx.Graph, platform string) (*Re
 		s.count(func(st *Stats) { st.Misses++ })
 		return nil, fmt.Errorf("query: measurement on %s failed: %w", platform, merr)
 	}
-	s.count(func(st *Stats) { st.Misses++ })
+	s.count(func(st *Stats) {
+		st.Misses++
+		if degraded {
+			st.Degraded++
+		}
+	})
 	return res, nil
 }
 
-// awaitFlight blocks a coalesced caller on the leader's measurement.
+// shouldDegrade decides whether a measurement failure is worth answering
+// from the fallback predictor: the fleet being the problem (device faults,
+// exhausted retries, a fully quarantined platform, an expired deadline)
+// qualifies; the request being the problem (unsupported op, unknown
+// platform, invalid model) or the caller having walked away does not.
+func (s *System) shouldDegrade(err error) bool {
+	if s.getFallback() == nil {
+		return false
+	}
+	if errors.Is(err, context.Canceled) {
+		return false
+	}
+	return hwsim.IsRetryable(err) ||
+		errors.Is(err, hwsim.ErrAllQuarantined) ||
+		errors.Is(err, context.DeadlineExceeded)
+}
+
+// awaitFlight blocks a coalesced caller on the leader's measurement. All
+// waiters observe exactly the leader's outcome — including a degraded
+// fallback answer.
 func (s *System) awaitFlight(ctx context.Context, fl *flight, res *Result, platform string) (*Result, error) {
 	select {
 	case <-ctx.Done():
@@ -220,8 +324,19 @@ func (s *System) awaitFlight(ctx context.Context, fl *flight, res *Result, platf
 	if fl.err != nil {
 		return nil, fmt.Errorf("query: coalesced measurement on %s failed: %w", platform, fl.err)
 	}
-	res.LatencyMS = fl.res.LatencyMS
 	res.Coalesced = true
+	if fl.degraded {
+		res.LatencyMS = fl.degradedMS
+		res.Degraded = true
+		res.Provenance = "degraded"
+		s.count(func(st *Stats) {
+			st.Coalesced++
+			st.Degraded++
+		})
+		return res, nil
+	}
+	res.LatencyMS = fl.res.LatencyMS
+	res.Provenance = "coalesced"
 	s.count(func(st *Stats) { st.Coalesced++ })
 	return res, nil
 }
@@ -375,13 +490,21 @@ func (s *System) count(bump func(*Stats)) {
 }
 
 // Stats returns a snapshot of the cache counters, folding in the farm's
-// device-wait time when the farm tracks it.
+// device-wait time, quarantine counters and retry/hedge counters when the
+// farm tracks them.
 func (s *System) Stats() Stats {
 	s.mu.Lock()
 	st := s.stats
 	s.mu.Unlock()
 	if wt, ok := s.farm.(WaitTracker); ok {
 		st.DeviceWaitSec = wt.DeviceWaitSeconds()
+	}
+	if ht, ok := s.farm.(HealthTracker); ok {
+		st.Quarantines, st.QuarantinedNow = ht.QuarantineStats()
+	}
+	if rt, ok := s.farm.(ResilienceTracker); ok {
+		c := rt.Counters()
+		st.Retries, st.Hedges, st.HedgeWins = c.Retries, c.Hedges, c.HedgeWins
 	}
 	return st
 }

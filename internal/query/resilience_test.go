@@ -1,0 +1,232 @@
+package query
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"nnlqp/internal/hwsim"
+	"nnlqp/internal/onnx"
+)
+
+// scriptFarm drives ResilientFarm tests: each call is handed its 1-based
+// sequence number and the holder tag, so scripts can fail the first N calls
+// or treat hedges specially.
+type scriptFarm struct {
+	mu    sync.Mutex
+	calls int
+	fn    func(call int, ctx context.Context, holder string) (*hwsim.MeasureResult, error)
+}
+
+func (s *scriptFarm) Measure(ctx context.Context, platform string, g *onnx.Graph, holder string) (*hwsim.MeasureResult, error) {
+	s.mu.Lock()
+	s.calls++
+	n := s.calls
+	s.mu.Unlock()
+	return s.fn(n, ctx, holder)
+}
+
+func (s *scriptFarm) Calls() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.calls
+}
+
+var okResult = &hwsim.MeasureResult{LatencyMS: 2.5, Runs: 50, PipelineSec: 10}
+
+func retryableErr(msg string) error {
+	return fmt.Errorf("%w: %s", hwsim.ErrDeviceFault, msg)
+}
+
+func fastCfg() ResilienceConfig {
+	return ResilienceConfig{
+		MaxAttempts: 3,
+		BackoffBase: time.Millisecond,
+		BackoffMax:  2 * time.Millisecond,
+	}
+}
+
+func TestResilientFarmRetriesUntilSuccess(t *testing.T) {
+	farm := &scriptFarm{fn: func(call int, _ context.Context, _ string) (*hwsim.MeasureResult, error) {
+		if call < 3 {
+			return nil, retryableErr("flaky")
+		}
+		return okResult, nil
+	}}
+	rf := NewResilientFarm(farm, fastCfg())
+	res, err := rf.Measure(context.Background(), "p", nil, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LatencyMS != okResult.LatencyMS {
+		t.Fatalf("res = %+v", res)
+	}
+	c := rf.Counters()
+	if c.Attempts != 3 || c.Retries != 2 || c.Hedges != 0 {
+		t.Fatalf("counters = %+v, want 3 attempts / 2 retries", c)
+	}
+}
+
+func TestResilientFarmNonRetryablePassesThrough(t *testing.T) {
+	want := &hwsim.UnsupportedOpError{Platform: "p", Op: "HardSigmoid"}
+	farm := &scriptFarm{fn: func(int, context.Context, string) (*hwsim.MeasureResult, error) {
+		return nil, want
+	}}
+	rf := NewResilientFarm(farm, fastCfg())
+	_, err := rf.Measure(context.Background(), "p", nil, "t")
+	var got *hwsim.UnsupportedOpError
+	if !errors.As(err, &got) {
+		t.Fatalf("err = %v, want UnsupportedOpError", err)
+	}
+	if farm.Calls() != 1 {
+		t.Fatalf("calls = %d, want 1 (no retries for a non-retryable error)", farm.Calls())
+	}
+	if c := rf.Counters(); c.Retries != 0 {
+		t.Fatalf("counters = %+v", c)
+	}
+}
+
+func TestResilientFarmGivesUpAfterMaxAttempts(t *testing.T) {
+	farm := &scriptFarm{fn: func(int, context.Context, string) (*hwsim.MeasureResult, error) {
+		return nil, retryableErr("always down")
+	}}
+	rf := NewResilientFarm(farm, fastCfg())
+	_, err := rf.Measure(context.Background(), "p", nil, "t")
+	if err == nil || !strings.Contains(err.Error(), "gave up after 3 attempts") {
+		t.Fatalf("err = %v", err)
+	}
+	if !errors.Is(err, hwsim.ErrDeviceFault) {
+		t.Fatalf("the last attempt's cause must be wrapped: %v", err)
+	}
+	if farm.Calls() != 3 {
+		t.Fatalf("calls = %d, want 3", farm.Calls())
+	}
+}
+
+func TestResilientFarmRetryBudgetFailsFast(t *testing.T) {
+	farm := &scriptFarm{fn: func(int, context.Context, string) (*hwsim.MeasureResult, error) {
+		return nil, retryableErr("always down")
+	}}
+	cfg := fastCfg()
+	cfg.RetryBudget = 1
+	rf := NewResilientFarm(farm, cfg)
+	_, err := rf.Measure(context.Background(), "p", nil, "t")
+	if err == nil || !strings.Contains(err.Error(), "retry budget exhausted") {
+		t.Fatalf("err = %v, want budget exhaustion", err)
+	}
+	c := rf.Counters()
+	if c.BudgetExhausted != 1 || c.Retries != 1 {
+		t.Fatalf("counters = %+v, want 1 retry then exhaustion", c)
+	}
+	// The bucket stays empty: the next call cannot retry at all.
+	calls := farm.Calls()
+	if _, err := rf.Measure(context.Background(), "p", nil, "t"); err == nil {
+		t.Fatal("want error")
+	}
+	if got := farm.Calls() - calls; got != 1 {
+		t.Fatalf("second call dispatched %d attempts, want 1 (empty bucket)", got)
+	}
+}
+
+func TestResilientFarmHedgeWins(t *testing.T) {
+	// The primary wedges until its context dies; the hedge answers fast.
+	farm := &scriptFarm{fn: func(_ int, ctx context.Context, holder string) (*hwsim.MeasureResult, error) {
+		if strings.HasSuffix(holder, "+hedge") {
+			return okResult, nil
+		}
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}}
+	rf := NewResilientFarm(farm, ResilienceConfig{
+		MaxAttempts:    1,
+		AttemptTimeout: 5 * time.Second,
+		HedgeDelay:     20 * time.Millisecond,
+	})
+	start := time.Now()
+	res, err := rf.Measure(context.Background(), "p", nil, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LatencyMS != okResult.LatencyMS {
+		t.Fatalf("res = %+v", res)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("hedged call took %s", elapsed)
+	}
+	c := rf.Counters()
+	if c.Hedges != 1 || c.HedgeWins != 1 {
+		t.Fatalf("counters = %+v, want 1 hedge and 1 hedge win", c)
+	}
+}
+
+func TestResilientFarmAttemptTimeoutRetriesWhileParentAlive(t *testing.T) {
+	farm := &scriptFarm{fn: func(call int, ctx context.Context, _ string) (*hwsim.MeasureResult, error) {
+		if call == 1 {
+			<-ctx.Done() // wedged: only the per-attempt deadline frees us
+			return nil, ctx.Err()
+		}
+		return okResult, nil
+	}}
+	cfg := fastCfg()
+	cfg.AttemptTimeout = 30 * time.Millisecond
+	rf := NewResilientFarm(farm, cfg)
+	res, err := rf.Measure(context.Background(), "p", nil, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res == nil || farm.Calls() != 2 {
+		t.Fatalf("res=%+v calls=%d, want a retry after the attempt deadline", res, farm.Calls())
+	}
+	if c := rf.Counters(); c.Retries != 1 {
+		t.Fatalf("counters = %+v", c)
+	}
+}
+
+func TestResilientFarmParentCancelWinsOverRetry(t *testing.T) {
+	farm := &scriptFarm{fn: func(_ int, ctx context.Context, _ string) (*hwsim.MeasureResult, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}}
+	cfg := fastCfg()
+	cfg.AttemptTimeout = 5 * time.Second
+	rf := NewResilientFarm(farm, cfg)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := rf.Measure(ctx, "p", nil, "t")
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("cancelled call returned after %s", elapsed)
+	}
+	if farm.Calls() != 1 {
+		t.Fatalf("calls = %d: cancellation must not trigger retries", farm.Calls())
+	}
+}
+
+func TestResilientFarmHedgeDelayTracksPercentile(t *testing.T) {
+	farm := &scriptFarm{fn: func(int, context.Context, string) (*hwsim.MeasureResult, error) {
+		time.Sleep(2 * time.Millisecond)
+		return okResult, nil
+	}}
+	rf := NewResilientFarm(farm, fastCfg())
+	if d := rf.hedgeDelay(); d != 0 {
+		t.Fatalf("hedgeDelay before samples = %s, want 0 (hedging off)", d)
+	}
+	for i := 0; i < 8; i++ {
+		if _, err := rf.Measure(context.Background(), "p", nil, "t"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d := rf.hedgeDelay(); d < time.Millisecond {
+		t.Fatalf("hedgeDelay after 8 samples = %s, want >= the observed p95", d)
+	}
+}

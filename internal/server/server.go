@@ -54,21 +54,38 @@ type Server struct {
 }
 
 // New builds a server over a store, a device farm, and an optional trained
-// predictor (nil disables /predict until SetPredictor).
+// predictor (nil disables /predict until SetPredictor). The predictor
+// doubles as the query path's degradation fallback: when the farm cannot
+// measure before the deadline, /query answers with the prediction, marked
+// "degraded".
 func New(store *db.Store, farm query.Measurer, pred *core.Predictor) *Server {
-	return &Server{
+	s := &Server{
 		sys:            query.New(store, farm),
 		pred:           pred,
 		RequestTimeout: DefaultRequestTimeout,
 		ShutdownGrace:  DefaultShutdownGrace,
 	}
+	if pred != nil {
+		s.sys.SetFallback(pred)
+	}
+	return s
 }
 
-// SetPredictor installs (or replaces) the predictor served by /predict.
+// System exposes the underlying query system (to tune resilience, install a
+// custom fallback, or read stats directly).
+func (s *Server) System() *query.System { return s.sys }
+
+// SetPredictor installs (or replaces) the predictor served by /predict and
+// used as the query path's degradation fallback.
 func (s *Server) SetPredictor(p *core.Predictor) {
 	s.mu.Lock()
 	s.pred = p
 	s.mu.Unlock()
+	if p != nil {
+		s.sys.SetFallback(p)
+	} else {
+		s.sys.SetFallback(nil)
+	}
 }
 
 // Request is the JSON body of /query and /predict.
@@ -83,9 +100,14 @@ type Request struct {
 
 // QueryResponse is the JSON body returned by /query.
 type QueryResponse struct {
-	LatencyMS       float64 `json:"latency_ms"`
-	CacheHit        bool    `json:"cache_hit"`
-	Coalesced       bool    `json:"coalesced,omitempty"`
+	LatencyMS float64 `json:"latency_ms"`
+	CacheHit  bool    `json:"cache_hit"`
+	Coalesced bool    `json:"coalesced,omitempty"`
+	// Degraded marks a fallback prediction served because the farm could
+	// not measure before the deadline; Provenance is one of "cache",
+	// "measured", "coalesced", "degraded".
+	Degraded        bool    `json:"degraded,omitempty"`
+	Provenance      string  `json:"provenance"`
 	PipelineSeconds float64 `json:"pipeline_seconds"`
 }
 
@@ -103,10 +125,19 @@ type StatsResponse struct {
 	InFlight      int     `json:"in_flight"`
 	HitRatio      float64 `json:"hit_ratio"`
 	DeviceWaitSec float64 `json:"device_wait_seconds"`
-	Models        int     `json:"models"`
-	Platforms     int     `json:"platforms"`
-	Latencies     int     `json:"latencies"`
-	StorageBytes  int64   `json:"storage_bytes"`
+	// Fault-tolerance counters: measurement retries, speculative hedges
+	// (and how many hedges won), device quarantine events, devices
+	// currently benched, and answers served degraded from the predictor.
+	Retries        int64 `json:"retries"`
+	Hedges         int64 `json:"hedges"`
+	HedgeWins      int64 `json:"hedge_wins"`
+	Quarantines    int64 `json:"quarantines"`
+	QuarantinedNow int   `json:"quarantined_now"`
+	Degraded       int   `json:"degraded"`
+	Models         int   `json:"models"`
+	Platforms      int   `json:"platforms"`
+	Latencies      int   `json:"latencies"`
+	StorageBytes   int64 `json:"storage_bytes"`
 	// Storage-engine counters (zero for in-memory stores).
 	DBCommitBatches  int64   `json:"db_commit_batches"`
 	DBCommitRecords  int64   `json:"db_commit_records"`
@@ -178,7 +209,7 @@ func statusForError(err error) int {
 		return http.StatusBadRequest
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
-	case errors.Is(err, context.Canceled):
+	case errors.Is(err, context.Canceled), errors.Is(err, hwsim.ErrAllQuarantined):
 		return http.StatusServiceUnavailable
 	default:
 		return http.StatusInternalServerError
@@ -251,6 +282,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, QueryResponse{
 		LatencyMS: res.LatencyMS, CacheHit: res.Hit, Coalesced: res.Coalesced,
+		Degraded: res.Degraded, Provenance: res.Provenance,
 		PipelineSeconds: res.SimSeconds,
 	})
 }
@@ -298,7 +330,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Queries: st.Queries, Hits: st.Hits, Misses: st.Misses,
 		Coalesced: st.Coalesced, InFlight: st.InFlight, HitRatio: st.HitRatio(),
 		DeviceWaitSec: st.DeviceWaitSec,
-		Models:        m, Platforms: p, Latencies: l,
+		Retries:       st.Retries, Hedges: st.Hedges, HedgeWins: st.HedgeWins,
+		Quarantines: st.Quarantines, QuarantinedNow: st.QuarantinedNow,
+		Degraded: st.Degraded,
+		Models:   m, Platforms: p, Latencies: l,
 		StorageBytes:    s.sys.Store().StorageBytes(),
 		DBCommitBatches: es.CommitBatches, DBCommitRecords: es.CommitRecords,
 		DBFsyncs: es.Fsyncs, DBWALBytes: es.WALBytes, DBWALRecords: es.WALRecords,
