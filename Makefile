@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race chaos check fmt vet bench bench-db
+.PHONY: build test race chaos check fmt vet bench bench-db bench-query
 
 build:
 	$(GO) build ./...
@@ -16,7 +16,8 @@ race:
 	$(GO) test -race -count=2 -shuffle=on \
 		./internal/db ./internal/query ./internal/hwsim ./internal/server \
 		./internal/tensor ./internal/train ./internal/gnn ./internal/core \
-		./internal/baselines ./internal/chaos
+		./internal/baselines ./internal/chaos \
+		./internal/feats ./internal/onnx ./internal/graphhash
 
 # End-to-end fault-injection storms (internal/chaos) with a pinned seed:
 # every fault mode plus the mixed fleet, under the race detector. Replay a
@@ -43,3 +44,10 @@ bench:
 bench-db:
 	$(GO) test ./internal/db -run '^$$' \
 		-bench 'InsertThroughput|QueryHotPath|SnapshotScanWhileWriting' -benchtime 1s
+
+# Serving-path baselines (BENCH_query.json): L1 vs database hit latency, the
+# allocation-free prediction hot path, and the blocked matmul kernel.
+bench-query:
+	$(GO) test ./internal/query -run '^$$' -bench 'BenchmarkQueryHit' -benchmem -benchtime 1s
+	$(GO) test ./internal/core -run '^$$' -bench 'BenchmarkPredictSteadyState|BenchmarkPredictMemoGet' -benchmem -benchtime 1s
+	$(GO) test ./internal/tensor -run '^$$' -bench 'BenchmarkMatmul' -benchmem -benchtime 1s

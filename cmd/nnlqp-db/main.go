@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
 	"strconv"
 
 	"nnlqp/internal/db"
@@ -41,7 +42,11 @@ func main() {
 
 	switch flag.Arg(0) {
 	case "stats":
+		// This store is the durable L2 tier; the serving process fronts it
+		// with an in-memory L1 (see nnlqp-server -cache-entries and the
+		// l1_* fields of /stats).
 		m, p, l := store.Counts()
+		fmt.Printf("tier:      l2 (durable store; serving L1 lives in nnlqp-server)\n")
 		fmt.Printf("models:    %d\nplatforms: %d\nlatencies: %d\nstorage:   %.1f KiB\n",
 			m, p, l, float64(store.StorageBytes())/1024)
 		es := store.EngineStats()
@@ -52,6 +57,9 @@ func main() {
 		} else {
 			fmt.Println("snapshot:  none (never checkpointed)")
 		}
+		// Per-platform latency-row counts: the working-set shape an operator
+		// needs when sizing the L1 tier.
+		printPlatformBreakdown(store)
 	case "checkpoint":
 		if err := store.Checkpoint(); err != nil {
 			log.Fatal(err)
@@ -106,6 +114,42 @@ func main() {
 		fmt.Printf("wrote %s (%d bytes, %d ops)\n", *out, len(data), rec.Graph.NumNodes())
 	default:
 		log.Fatalf("unknown subcommand %q", flag.Arg(0))
+	}
+}
+
+// printPlatformBreakdown lists latency-row counts per platform, the L1
+// sizing signal: the cache only ever holds (model, platform, batch) rows, so
+// the per-platform row counts bound the useful capacity.
+func printPlatformBreakdown(store *db.Store) {
+	names := make(map[uint64]string)
+	pt, err := store.DB().Table(db.TablePlatform)
+	if err != nil {
+		return
+	}
+	pt.Scan(func(row db.Row) bool {
+		names[row[0].(uint64)] = row[1].(string)
+		return true
+	})
+	if len(names) == 0 {
+		return
+	}
+	counts := make(map[uint64]int)
+	lt, err := store.DB().Table(db.TableLatency)
+	if err != nil {
+		return
+	}
+	lt.Scan(func(row db.Row) bool {
+		counts[row[2].(uint64)]++
+		return true
+	})
+	ids := make([]uint64, 0, len(names))
+	for id := range names {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	fmt.Println("latency rows per platform:")
+	for _, id := range ids {
+		fmt.Printf("  %-28s %d\n", names[id], counts[id])
 	}
 }
 

@@ -97,8 +97,11 @@ func main() {
 		log.Fatal(err)
 	}
 	src := "measured on device farm"
-	if res.CacheHit {
-		src = "database cache hit"
+	switch res.Tier {
+	case "l1":
+		src = "in-memory cache hit (l1)"
+	case "l2":
+		src = "database cache hit (l2)"
 	}
 	fmt.Printf("true latency on %s: %.3f ms (%s; pipeline cost %.1fs)\n",
 		*platform, res.LatencyMS, src, res.PipelineSeconds)

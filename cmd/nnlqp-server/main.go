@@ -15,6 +15,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -45,6 +47,9 @@ func main() {
 	retryBudget := flag.Float64("retry-budget", 16, "retry/hedge token bucket capacity")
 	noResilience := flag.Bool("no-resilience", false, "disable the retry/hedge layer entirely")
 	noDegrade := flag.Bool("no-degrade", false, "never answer /query from the predictor when the farm is unavailable")
+	cacheEntries := flag.Int("cache-entries", 0, "L1 serving-cache capacity in records (0 = default, <0 minimal)")
+	cacheNegTTL := flag.Duration("cache-negative-ttl", 0, "lifetime of negative (known-absent) L1 entries (0 = default)")
+	pprofAddr := flag.String("pprof-addr", "", "listen address for net/http/pprof (empty = disabled); keep it loopback-only")
 	flag.Parse()
 
 	dbOpts := db.Options{CheckpointWALBytes: *ckptWALBytes, CheckpointRecords: *ckptRecords}
@@ -101,8 +106,32 @@ func main() {
 	if *noDegrade {
 		srv.System().SetFallback(nil)
 	}
+	if *cacheEntries != 0 || *cacheNegTTL != 0 {
+		entries := *cacheEntries
+		if entries < 0 {
+			entries = 1
+		}
+		srv.System().ConfigureCache(entries, *cacheNegTTL)
+	}
 	srv.RequestTimeout = *reqTimeout
 	srv.ShutdownGrace = *shutdownGrace
+
+	if *pprofAddr != "" {
+		// pprof gets its own mux and listener so the profiling surface is
+		// never exposed on the serving address.
+		pm := http.NewServeMux()
+		pm.HandleFunc("/debug/pprof/", pprof.Index)
+		pm.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pm.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pm.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("pprof listening on http://%s/debug/pprof/", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, pm); err != nil {
+				log.Printf("pprof listener: %v", err)
+			}
+		}()
+	}
 	bound, stop, err := srv.Serve(*addr)
 	if err != nil {
 		log.Fatalf("listen: %v", err)

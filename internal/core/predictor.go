@@ -12,6 +12,8 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"nnlqp/internal/feats"
 	"nnlqp/internal/gnn"
@@ -123,6 +125,12 @@ type targetStats struct {
 	Std  float64
 }
 
+// generations hands out process-unique predictor generations. Global (not
+// per-predictor) so that two different predictor instances can never share a
+// generation: a memo keyed by generation stays correct across hot predictor
+// swaps, not just across fine-tunes of one instance.
+var generations atomic.Uint64
+
 // Predictor is the NNLP model.
 type Predictor struct {
 	cfg   Config
@@ -133,9 +141,34 @@ type Predictor struct {
 	rng   *rand.Rand
 	opt   *tensor.Adam
 
+	// gen is the predictor's generation: a process-unique value bumped
+	// whenever the weights change (Fit/FineTune entry and exit, Load).
+	// Downstream memos key cached predictions by it, so a reload or
+	// fine-tune invalidates them implicitly instead of by manual flush.
+	gen atomic.Uint64
+
+	// infPool recycles per-goroutine inference state (scratch arena +
+	// feature clone buffer) so steady-state Predict allocates nothing.
+	infPool sync.Pool
+
 	// epochHook observes per-epoch training metrics. Not serialized.
 	epochHook func(train.EpochMetrics)
 }
+
+// predictState is one goroutine's pooled inference workspace.
+type predictState struct {
+	sc *tensor.Scratch
+	gf *feats.GraphFeatures
+}
+
+// Generation returns the predictor's current generation. Values are unique
+// across all predictor instances in the process and strictly increase on
+// every weight change, so (graphhash, platform, generation) is a sound memo
+// key for cached predictions.
+func (p *Predictor) Generation() uint64 { return p.gen.Load() }
+
+// bumpGeneration moves the predictor to a fresh process-unique generation.
+func (p *Predictor) bumpGeneration() { p.gen.Store(generations.Add(1)) }
 
 // SetEpochHook registers a callback invoked after every training epoch
 // (progress logging, convergence tracking). Pass nil to clear it. The hook is
@@ -150,6 +183,10 @@ func New(cfg Config) *Predictor {
 		tgt:   make(map[string]targetStats),
 		rng:   rand.New(rand.NewSource(cfg.Seed)),
 		opt:   tensor.NewAdam(cfg.LR),
+	}
+	p.bumpGeneration()
+	p.infPool.New = func() any {
+		return &predictState{sc: tensor.NewScratch(), gf: &feats.GraphFeatures{}}
 	}
 	if cfg.UseGNN && cfg.UseNodeFeats {
 		if cfg.NoFinalNorm {
@@ -344,6 +381,11 @@ func (p *Predictor) Fit(samples []Sample) error {
 	for i, s := range samples {
 		gfs[i] = s.GF
 	}
+	// Bump on entry (weights are about to change under concurrent readers)
+	// and again on exit (readers that memoized mid-training must not match
+	// the final weights either).
+	p.bumpGeneration()
+	defer p.bumpGeneration()
 	p.norm = feats.FitNormalizer(gfs)
 	p.fitTargets(samples)
 	for _, s := range samples {
@@ -361,6 +403,8 @@ func (p *Predictor) FineTune(samples []Sample, epochs int) error {
 	if p.norm == nil {
 		return fmt.Errorf("core: FineTune requires a fitted predictor")
 	}
+	p.bumpGeneration()
+	defer p.bumpGeneration()
 	p.fitTargets(samples)
 	for _, s := range samples {
 		p.head(s.Platform)
@@ -542,7 +586,52 @@ func (p *Predictor) backwardEmbed(c *embedCaches, dIn *tensor.Matrix, gb *tensor
 	}
 }
 
+// embedInfer computes the head input for one (already normalized) sample on
+// the inference-only path: no backward caches, no goroutine fan-out, no
+// intermediate parts slice — every matrix comes from sc, so with a warm
+// Scratch the call is allocation-free. The head input is bit-identical to
+// embed's (same kernels, same operation order).
+func (p *Predictor) embedInfer(gf *feats.GraphFeatures, sc *tensor.Scratch) *tensor.Matrix {
+	var pooled *tensor.Matrix
+	switch {
+	case !p.cfg.UseNodeFeats:
+		// static only
+	case p.cfg.UseGNN:
+		h := p.enc.ForwardInfer(gf.X, gf.Adj, sc)
+		pooled = gnn.SumPoolScratch(h, sc)
+		if p.cfg.MeanPool && h.Rows > 0 {
+			pooled.Scale(1 / float64(h.Rows))
+		}
+	default:
+		pooled = gnn.SumPoolScratch(gf.X, sc)
+		if p.cfg.MeanPool && gf.X.Rows > 0 {
+			pooled.Scale(1 / float64(gf.X.Rows))
+		}
+	}
+	dim := 0
+	if pooled != nil {
+		dim = pooled.Cols
+	}
+	withStatic := p.cfg.UseStatic || dim == 0
+	if withStatic {
+		dim += len(gf.Static)
+	}
+	headIn := sc.Get(1, dim)
+	row := headIn.Row(0)
+	if pooled != nil {
+		copy(row, pooled.Row(0))
+		row = row[pooled.Cols:]
+	}
+	if withStatic {
+		copy(row, gf.Static)
+	}
+	return headIn
+}
+
 // PredictSample predicts latency (ms) for a prepared sample's features.
+// Steady state is allocation-free: the feature clone, normalization and every
+// forward intermediate run on a pooled per-goroutine workspace, and the
+// forward pass itself builds no backward caches. gf is only read.
 func (p *Predictor) PredictSample(gf *feats.GraphFeatures, platform string) (float64, error) {
 	if p.norm == nil {
 		return 0, fmt.Errorf("core: predictor not fitted")
@@ -551,16 +640,22 @@ func (p *Predictor) PredictSample(gf *feats.GraphFeatures, platform string) (flo
 	if !ok {
 		return 0, fmt.Errorf("core: no head for platform %q", platform)
 	}
-	c := gf.Clone()
-	p.norm.Apply(c)
-	ec := p.embed(c, nil)
-	pred, _ := h.Forward(ec.headIn, false, nil)
-	return p.decodeTarget(pred.At(0, 0), platform), nil
+	st := p.infPool.Get().(*predictState)
+	st.gf.CopyFrom(gf)
+	p.norm.Apply(st.gf)
+	headIn := p.embedInfer(st.gf, st.sc)
+	pred := h.ForwardInfer(headIn, st.sc)
+	out := p.decodeTarget(pred.At(0, 0), platform)
+	st.sc.Reset()
+	p.infPool.Put(st)
+	return out, nil
 }
 
-// Predict extracts features and predicts latency (ms) for a graph.
+// Predict extracts features (memoized on the graph) and predicts latency
+// (ms). Repeat predictions for the same *onnx.Graph skip extraction
+// entirely; see feats.ExtractCached for the mutation caveat.
 func (p *Predictor) Predict(g *onnx.Graph, platform string) (float64, error) {
-	gf, err := feats.Extract(g, p.cfg.elemSize())
+	gf, err := feats.ExtractCached(g, p.cfg.elemSize())
 	if err != nil {
 		return 0, err
 	}
@@ -569,7 +664,10 @@ func (p *Predictor) Predict(g *onnx.Graph, platform string) (float64, error) {
 
 // PredictAllSample predicts latency on every platform head from one shared
 // embedding computation — the single-model multi-head inference mode whose
-// cost advantage §8.5 reports (one backbone forward serves all heads).
+// cost advantage §8.5 reports (one backbone forward serves all heads). This
+// is the batched/parallel counterpart of PredictSample: the backbone forward
+// uses the goroutine-parallel matmul kernels and the per-platform heads fan
+// out across Config.Workers, trading allocations for wall-clock latency.
 func (p *Predictor) PredictAllSample(gf *feats.GraphFeatures) (map[string]float64, error) {
 	if p.norm == nil {
 		return nil, fmt.Errorf("core: predictor not fitted")
@@ -590,9 +688,10 @@ func (p *Predictor) PredictAllSample(gf *feats.GraphFeatures) (map[string]float6
 	return out, nil
 }
 
-// PredictAll extracts features once and predicts latency on every platform.
+// PredictAll extracts features once (memoized on the graph) and predicts
+// latency on every platform.
 func (p *Predictor) PredictAll(g *onnx.Graph) (map[string]float64, error) {
-	gf, err := feats.Extract(g, p.cfg.elemSize())
+	gf, err := feats.ExtractCached(g, p.cfg.elemSize())
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,59 @@
+package gnn
+
+import (
+	"math/rand"
+	"testing"
+
+	"nnlqp/internal/tensor"
+)
+
+// TestForwardInferBitIdenticalToTraining pins the inference-only forwards
+// (no backward caches, serial matmuls) to the training-path eval forwards,
+// bitwise: the serving memo caches ForwardInfer outputs, so any numeric
+// drift between the two would make memoized and fresh predictions disagree.
+func TestForwardInferBitIdenticalToTraining(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const nodes, in, hidden = 9, 7, 12
+
+	x := tensor.NewMatrix(nodes, in)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	adj := [][]int{{1, 2}, {0}, {3, 4}, {2}, {5}, {4, 6}, {5}, {8}, {7}}
+
+	enc := NewEncoder(in, hidden, 3, rng)
+	head := NewHead("h", hidden, 16, 0.3, rng) // nonzero dropout: must be a no-op in eval/infer
+
+	sc := tensor.NewScratch()
+	hTrain, _ := enc.ForwardScratch(x, adj, nil)
+	hInfer := enc.ForwardInfer(x, adj, sc)
+	if hTrain.Rows != hInfer.Rows || hTrain.Cols != hInfer.Cols {
+		t.Fatalf("encoder shapes differ: %dx%d vs %dx%d", hTrain.Rows, hTrain.Cols, hInfer.Rows, hInfer.Cols)
+	}
+	for i := range hTrain.Data {
+		if hTrain.Data[i] != hInfer.Data[i] {
+			t.Fatalf("encoder outputs differ at %d: %v vs %v", i, hTrain.Data[i], hInfer.Data[i])
+		}
+	}
+
+	pooledTrain := SumPool(hTrain)
+	yTrain, _ := head.ForwardScratch(pooledTrain, false, nil, nil)
+	pooledInfer := SumPoolScratch(hInfer, sc)
+	yInfer := head.ForwardInfer(pooledInfer, sc)
+	for i := range yTrain.Data {
+		if yTrain.Data[i] != yInfer.Data[i] {
+			t.Fatalf("head outputs differ at %d: %v vs %v", i, yTrain.Data[i], yInfer.Data[i])
+		}
+	}
+
+	// A second pass on the reset scratch must reproduce the same bits (the
+	// pool hands back the same buffers; stale contents must not leak in).
+	sc.Reset()
+	hInfer2 := enc.ForwardInfer(x, adj, sc)
+	yInfer2 := head.ForwardInfer(SumPoolScratch(hInfer2, sc), sc)
+	for i := range yInfer.Data {
+		if yInfer2.Data[i] != yTrain.Data[i] {
+			t.Fatalf("second infer pass differs at %d", i)
+		}
+	}
+}

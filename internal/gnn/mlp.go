@@ -42,6 +42,17 @@ func (l *Linear) ForwardScratch(x *tensor.Matrix, sc *tensor.Scratch) (*tensor.M
 	return y, &linearCache{x: x}
 }
 
+// ForwardInfer computes X·W + b with no backward cache and no goroutine
+// fan-out; allocation-free once sc is warm. Bit-identical to ForwardScratch.
+func (l *Linear) ForwardInfer(x *tensor.Matrix, sc *tensor.Scratch) *tensor.Matrix {
+	y := tensor.MatMulIntoSerial(sc.Get(x.Rows, l.W.Value.Cols), x, l.W.Value)
+	b := l.B.Value.Row(0)
+	for i := 0; i < y.Rows; i++ {
+		tensor.Axpy(1, b, y.Row(i))
+	}
+	return y
+}
+
 // Backward accumulates dW, dB into Param.Grad and returns dX.
 func (l *Linear) Backward(c *linearCache, dY *tensor.Matrix) *tensor.Matrix {
 	return l.BackwardSink(c, dY, nil, nil)
@@ -121,6 +132,19 @@ func (h *Head) ForwardScratch(x *tensor.Matrix, training bool, rng *rand.Rand, s
 	return y, c
 }
 
+// ForwardInfer is the eval-mode forward without the backward cache: dropout
+// is the identity, ReLUs clamp in place without recording masks, and all
+// matrix work stays on the calling goroutine drawing from sc —
+// allocation-free once sc is warm. Bit-identical to
+// ForwardScratch(x, false, nil, sc).
+func (h *Head) ForwardInfer(x *tensor.Matrix, sc *tensor.Scratch) *tensor.Matrix {
+	y := h.FC1.ForwardInfer(x, sc)
+	reluClampInPlace(y)
+	y = h.FC2.ForwardInfer(y, sc)
+	reluClampInPlace(y)
+	return h.FC3.ForwardInfer(y, sc)
+}
+
 // Backward accumulates gradients into Param.Grad and returns dX.
 func (h *Head) Backward(c *headCache, dY *tensor.Matrix) *tensor.Matrix {
 	return h.BackwardSink(c, dY, nil, nil)
@@ -152,6 +176,15 @@ func reluInPlace(m *tensor.Matrix) []bool {
 		}
 	}
 	return mask
+}
+
+// reluClampInPlace applies ReLU without recording a mask (inference only).
+func reluClampInPlace(m *tensor.Matrix) {
+	for i, v := range m.Data {
+		if v < 0 {
+			m.Data[i] = 0
+		}
+	}
 }
 
 func applyMask(m *tensor.Matrix, mask []bool) {

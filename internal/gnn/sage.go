@@ -129,6 +129,35 @@ func (l *SAGEConv) ForwardScratch(x *tensor.Matrix, adj [][]int, sc *tensor.Scra
 	return h, c
 }
 
+// ForwardInfer is the inference-only forward: no backward cache is built,
+// matmuls stay on the calling goroutine, and every intermediate comes from
+// sc — with a warmed Scratch the call is allocation-free. Outputs are
+// bit-identical to ForwardScratch (same kernels, same operation order).
+func (l *SAGEConv) ForwardInfer(x *tensor.Matrix, adj [][]int, sc *tensor.Scratch) *tensor.Matrix {
+	mx := meanAggregate(x, adj, sc)
+	h := tensor.MatMulIntoSerial(sc.Get(x.Rows, l.Out), x, l.W1.Value)
+	tensor.MatMulAddIntoSerial(h, mx, l.W2.Value)
+	if l.NoNorm {
+		return h
+	}
+	for i := 0; i < h.Rows; i++ {
+		r := h.Row(i)
+		var s float64
+		for _, v := range r {
+			s += v * v
+		}
+		n := math.Sqrt(s)
+		if n < normEps {
+			continue
+		}
+		inv := 1 / n
+		for j := range r {
+			r[j] *= inv
+		}
+	}
+	return h
+}
+
 // Backward accumulates parameter gradients from dH (gradient w.r.t. the
 // layer output) into Param.Grad and returns dX (gradient w.r.t. the layer
 // input).
@@ -238,6 +267,17 @@ func (e *Encoder) ForwardScratch(x *tensor.Matrix, adj [][]int, sc *tensor.Scrat
 		c.caches = append(c.caches, lc)
 	}
 	return h, c
+}
+
+// ForwardInfer runs the full backbone in inference mode: no caches, no
+// goroutine fan-out, all intermediates from sc (allocation-free once sc is
+// warm). Bit-identical to ForwardScratch.
+func (e *Encoder) ForwardInfer(x *tensor.Matrix, adj [][]int, sc *tensor.Scratch) *tensor.Matrix {
+	h := x
+	for _, l := range e.Layers {
+		h = l.ForwardInfer(h, adj, sc)
+	}
+	return h
 }
 
 // Backward propagates dH through all layers, accumulating gradients into

@@ -109,10 +109,21 @@ func Hash(g *onnx.Graph) (Key, map[string]Key, error) {
 	return fhash(parts...), nodeHash, nil
 }
 
-// GraphKey computes just the whole-graph key.
+// GraphKey computes just the whole-graph key. The key is memoized on the
+// graph itself: the first call pays the reverse-topological traversal, every
+// later call on the same *onnx.Graph is a single atomic load. Code that
+// mutates a graph after hashing must call (*onnx.Graph).InvalidateMemo, or
+// the stale key will keep being served.
 func GraphKey(g *onnx.Graph) (Key, error) {
+	if h, ok := g.HashMemo(); ok {
+		return Key(h), nil
+	}
 	k, _, err := Hash(g)
-	return k, err
+	if err != nil {
+		return 0, err
+	}
+	g.SetHashMemo(uint64(k))
+	return k, nil
 }
 
 // MustGraphKey is GraphKey for graphs whose validity is a code invariant.

@@ -1,0 +1,65 @@
+package graphhash
+
+import (
+	"testing"
+
+	"nnlqp/internal/onnx"
+)
+
+// TestGraphKeyMemoized pins the memo contract: the first GraphKey call
+// stores the hash on the graph, later calls serve it without recomputation,
+// and InvalidateMemo forces a recompute that observes mutations.
+func TestGraphKeyMemoized(t *testing.T) {
+	g := chain("memo", 16, 32)
+	if _, ok := g.HashMemo(); ok {
+		t.Fatal("fresh graph must not carry a hash memo")
+	}
+	k1 := MustGraphKey(g)
+	if h, ok := g.HashMemo(); !ok || Key(h) != k1 {
+		t.Fatalf("memo after GraphKey = (%x, %v), want (%x, true)", h, ok, uint64(k1))
+	}
+	if k2 := MustGraphKey(g); k2 != k1 {
+		t.Fatalf("memoized key %s != first key %s", k2, k1)
+	}
+
+	// A mutation without InvalidateMemo keeps serving the stale key — that is
+	// the documented contract, and why every mutating site must invalidate.
+	g.Nodes[0].Attrs["kernel_shape"] = onnx.IntsAttr(5, 5)
+	g.Nodes[0].Attrs["pads"] = onnx.IntsAttr(2, 2, 2, 2)
+	if k := MustGraphKey(g); k != k1 {
+		t.Fatalf("stale memo not served: %s != %s", k, k1)
+	}
+	g.InvalidateMemo()
+	k3 := MustGraphKey(g)
+	if k3 == k1 {
+		t.Fatal("post-invalidation key must reflect the mutation")
+	}
+	// And the recomputed key is memoized again.
+	if h, ok := g.HashMemo(); !ok || Key(h) != k3 {
+		t.Fatalf("memo after recompute = (%x, %v), want (%x, true)", h, ok, uint64(k3))
+	}
+}
+
+// TestGraphKeyMemoDroppedByClone ensures clones recompute rather than
+// inheriting the parent's memo (a clone is usually cloned to be mutated).
+func TestGraphKeyMemoDroppedByClone(t *testing.T) {
+	g := chain("parent", 16)
+	k := MustGraphKey(g)
+	c := g.Clone()
+	if _, ok := c.HashMemo(); ok {
+		t.Fatal("clone must not inherit the hash memo")
+	}
+	if ck := MustGraphKey(c); ck != k {
+		t.Fatalf("structurally identical clone hashed differently: %s vs %s", ck, k)
+	}
+}
+
+func BenchmarkGraphKeyMemoized(b *testing.B) {
+	g := chain("bench", 16, 32, 64)
+	MustGraphKey(g)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MustGraphKey(g)
+	}
+}

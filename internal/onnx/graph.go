@@ -3,6 +3,7 @@ package onnx
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // OpType identifies an operator. The vocabulary below covers every operator
@@ -131,6 +132,50 @@ type Graph struct {
 	Inputs  []ValueInfo
 	Nodes   []*Node
 	Outputs []string
+
+	// memoHash/memoFeat cache expensive derived values (the structural graph
+	// hash, extracted predictor features) on the graph itself so hot serving
+	// paths compute them once per graph instance instead of once per call.
+	// The memo is never serialized, is dropped by Clone, and must be cleared
+	// with InvalidateMemo by any code that mutates a graph after sharing it.
+	memoHash atomic.Pointer[uint64]
+	memoFeat atomic.Pointer[any]
+	// memoValid records that Validate succeeded on this instance, so serving
+	// paths re-validating the same shared graph skip the structural walk.
+	memoValid atomic.Bool
+}
+
+// HashMemo returns the cached structural graph hash, if one has been set
+// since the last InvalidateMemo.
+func (g *Graph) HashMemo() (uint64, bool) {
+	if p := g.memoHash.Load(); p != nil {
+		return *p, true
+	}
+	return 0, false
+}
+
+// SetHashMemo caches the structural graph hash on the graph.
+func (g *Graph) SetHashMemo(h uint64) { g.memoHash.Store(&h) }
+
+// FeatMemo returns the cached feature payload (owned by internal/feats;
+// opaque here), or nil.
+func (g *Graph) FeatMemo() any {
+	if p := g.memoFeat.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// SetFeatMemo caches an opaque feature payload on the graph.
+func (g *Graph) SetFeatMemo(v any) { g.memoFeat.Store(&v) }
+
+// InvalidateMemo drops all cached derived state. Call it after mutating a
+// graph (topology, attributes or input shapes) that may already have been
+// hashed or feature-extracted.
+func (g *Graph) InvalidateMemo() {
+	g.memoHash.Store(nil)
+	g.memoFeat.Store(nil)
+	g.memoValid.Store(false)
 }
 
 // Clone deep-copies the graph.
@@ -297,6 +342,9 @@ func (g *Graph) ReverseTopoSort() ([]*Node, error) {
 // inputs, known operators, at least one declared input and output, and
 // acyclicity.
 func (g *Graph) Validate() error {
+	if g.memoValid.Load() {
+		return nil
+	}
 	if len(g.Inputs) == 0 {
 		return fmt.Errorf("onnx: graph %q has no inputs", g.Name)
 	}
@@ -351,6 +399,7 @@ func (g *Graph) Validate() error {
 	if _, err := g.TopoSort(); err != nil {
 		return err
 	}
+	g.memoValid.Store(true)
 	return nil
 }
 

@@ -34,6 +34,7 @@ func TestValidateAcceptsWellFormedGraph(t *testing.T) {
 func TestValidateRejectsDuplicateNames(t *testing.T) {
 	g := smallResidual(t)
 	g.Nodes = append(g.Nodes, &Node{Name: g.Nodes[0].Name, Op: OpRelu, Inputs: []string{"input"}})
+	g.InvalidateMemo() // mutators must drop the memoized validity
 	if err := g.Validate(); err == nil || !strings.Contains(err.Error(), "duplicate") {
 		t.Fatalf("want duplicate-name error, got %v", err)
 	}
@@ -42,6 +43,7 @@ func TestValidateRejectsDuplicateNames(t *testing.T) {
 func TestValidateRejectsUndefinedInput(t *testing.T) {
 	g := smallResidual(t)
 	g.Nodes[2].Inputs[0] = "ghost"
+	g.InvalidateMemo()
 	if err := g.Validate(); err == nil || !strings.Contains(err.Error(), "undefined") {
 		t.Fatalf("want undefined-tensor error, got %v", err)
 	}
@@ -50,6 +52,7 @@ func TestValidateRejectsUndefinedInput(t *testing.T) {
 func TestValidateRejectsUnknownOp(t *testing.T) {
 	g := smallResidual(t)
 	g.Nodes[0].Op = "Teleport"
+	g.InvalidateMemo()
 	if err := g.Validate(); err == nil || !strings.Contains(err.Error(), "unknown op") {
 		t.Fatalf("want unknown-op error, got %v", err)
 	}

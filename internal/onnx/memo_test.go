@@ -1,0 +1,96 @@
+package onnx
+
+import "testing"
+
+func memoTestGraph() *Graph {
+	b := NewBuilder("memo", "Test", Shape{1, 3, 8, 8})
+	return b.MustFinish(b.Relu(b.Conv(b.Input(), 8, 3, 1, 1, 1)))
+}
+
+func TestGraphMemoLifecycle(t *testing.T) {
+	g := memoTestGraph()
+	if _, ok := g.HashMemo(); ok {
+		t.Fatal("fresh graph must have no hash memo")
+	}
+	if g.FeatMemo() != nil {
+		t.Fatal("fresh graph must have no feature memo")
+	}
+
+	g.SetHashMemo(0xabcd)
+	g.SetFeatMemo("payload")
+	if h, ok := g.HashMemo(); !ok || h != 0xabcd {
+		t.Fatalf("HashMemo = (%x, %v)", h, ok)
+	}
+	if v := g.FeatMemo(); v != "payload" {
+		t.Fatalf("FeatMemo = %v", v)
+	}
+
+	// Clone never inherits memos: clones exist to be mutated.
+	c := g.Clone()
+	if _, ok := c.HashMemo(); ok {
+		t.Fatal("clone inherited the hash memo")
+	}
+	if c.FeatMemo() != nil {
+		t.Fatal("clone inherited the feature memo")
+	}
+
+	g.InvalidateMemo()
+	if _, ok := g.HashMemo(); ok {
+		t.Fatal("InvalidateMemo left the hash memo")
+	}
+	if g.FeatMemo() != nil {
+		t.Fatal("InvalidateMemo left the feature memo")
+	}
+}
+
+// TestValidateMemoized pins the validation fast path: a successful Validate
+// is remembered on the instance, and InvalidateMemo forces the structural
+// walk to run again (so post-mutation corruption is caught).
+func TestValidateMemoized(t *testing.T) {
+	g := memoTestGraph()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the graph. The memoized fast path deliberately skips the walk…
+	saved := g.Outputs
+	g.Outputs = nil
+	if err := g.Validate(); err != nil {
+		t.Fatalf("memoized Validate must not re-walk: %v", err)
+	}
+	// …until the mutator invalidates, as every mutating site must.
+	g.InvalidateMemo()
+	if err := g.Validate(); err == nil {
+		t.Fatal("post-invalidation Validate must see the corruption")
+	}
+	g.Outputs = saved
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A failed Validate must not set the memo.
+	bad := memoTestGraph()
+	bad.Outputs = nil
+	bad.InvalidateMemo() // Finish already validated (and memoized) the graph
+	if err := bad.Validate(); err == nil {
+		t.Fatal("want validation failure")
+	}
+	bad.Outputs = []string{"missing"}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("failure must not have memoized validity")
+	}
+}
+
+func TestValidateMemoAllocFree(t *testing.T) {
+	g := memoTestGraph()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(50, func() {
+		if err := g.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > 0 {
+		t.Fatalf("memoized Validate allocates %.1f objects/op, want 0", avg)
+	}
+}

@@ -68,9 +68,14 @@ func TestQueryDegradesToFallback(t *testing.T) {
 			if st.Misses != 1 || st.Degraded != 1 {
 				t.Fatalf("stats = %+v, want 1 miss / 1 degraded", st)
 			}
-			// A guess must never enter the database as ground truth.
+			// A guess must never enter the database as ground truth...
 			if _, _, lc := s.Store().Counts(); lc != 0 {
 				t.Fatalf("latency records = %d, want 0 after a degraded answer", lc)
+			}
+			// ...nor the L1 tier: only durable measurements are written
+			// through, so a degraded answer leaves no positive entry.
+			if cs := s.Cache().Stats(); cs.Size-cs.Negatives != 0 {
+				t.Fatalf("L1 positive entries = %d, want 0 after a degraded answer", cs.Size-cs.Negatives)
 			}
 			// The flight retired cleanly: the next query re-attempts (and
 			// degrades again) instead of serving a stale cache entry.
@@ -197,5 +202,8 @@ func TestQueryCoalescedWaitersShareDegradedResult(t *testing.T) {
 	}
 	if _, _, lc := s.Store().Counts(); lc != 0 {
 		t.Fatalf("latency records = %d, want 0", lc)
+	}
+	if cs := s.Cache().Stats(); cs.Size-cs.Negatives != 0 {
+		t.Fatalf("L1 positive entries = %d, want 0 after a degraded storm", cs.Size-cs.Negatives)
 	}
 }

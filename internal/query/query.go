@@ -27,6 +27,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"nnlqp/internal/db"
 	"nnlqp/internal/graphhash"
@@ -72,10 +73,12 @@ type Fallback interface {
 	Predict(g *onnx.Graph, platform string) (float64, error)
 }
 
-// System is the NNLQ service: storage plus a device farm.
+// System is the NNLQ service: storage plus a device farm, fronted by an
+// in-process L1 cache (see cache.go); the durable store is the L2 tier.
 type System struct {
 	store *db.Store
 	farm  Measurer
+	cache *Cache
 
 	mu       sync.Mutex
 	stats    Stats
@@ -120,6 +123,15 @@ type Stats struct {
 	// implements HealthTracker).
 	Quarantines    int64
 	QuarantinedNow int
+	// L1Hits counts queries served from the in-process L1 tier — a subset
+	// of Hits (the remainder were L2/database hits).
+	L1Hits int
+	// L1NegHits / L1Evictions / L1Size / L1Negatives mirror the L1 cache's
+	// own counters (folded in by Stats()).
+	L1NegHits   uint64
+	L1Evictions uint64
+	L1Size      int
+	L1Negatives int
 }
 
 // HitRatio returns hits/queries (0 when no queries yet).
@@ -130,10 +142,35 @@ func (s Stats) HitRatio() float64 {
 	return float64(s.Hits) / float64(s.Queries)
 }
 
-// New builds a query system over a store and a farm.
+// New builds a query system over a store and a farm, with a default-sized
+// L1 cache (resize with ConfigureCache before serving).
 func New(store *db.Store, farm Measurer) *System {
-	return &System{store: store, farm: farm, inflight: make(map[string]*flight)}
+	return &System{store: store, farm: farm, cache: NewCache(0, 0), inflight: make(map[string]*flight)}
 }
+
+// ConfigureCache replaces the L1 with one of the given capacity and negative
+// TTL (zero values select the defaults). Call before serving traffic: the
+// swap is not synchronized against in-flight queries.
+func (s *System) ConfigureCache(entries int, negTTL time.Duration) {
+	s.cache = NewCache(entries, negTTL)
+}
+
+// Cache exposes the L1 tier (tests and the chaos harness inspect it).
+func (s *System) Cache() *Cache { return s.cache }
+
+// InvalidateCached drops the L1 entry for g on the named platform at g's
+// batch size, reporting whether one existed. This is the distrust hook: the
+// durable store is untouched, so the next query re-reads L2.
+func (s *System) InvalidateCached(g *onnx.Graph, platform string) (bool, error) {
+	key, err := graphhash.GraphKey(g)
+	if err != nil {
+		return false, err
+	}
+	return s.cache.Invalidate(CacheKey{Hash: key, Platform: platform, Batch: g.BatchSize()}), nil
+}
+
+// FlushCache empties the L1 tier entirely (the nuclear invalidation hook).
+func (s *System) FlushCache() { s.cache.Flush() }
 
 // Store exposes the underlying store (the predictor trainers read it).
 func (s *System) Store() *db.Store { return s.store }
@@ -169,6 +206,9 @@ type Result struct {
 	// Provenance labels where the answer came from: "cache", "measured",
 	// "coalesced" or "degraded".
 	Provenance string
+	// Tier names the cache tier that answered a hit: "l1" (in-process) or
+	// "l2" (durable database). Empty for non-hit answers.
+	Tier string
 	// ModelID / PlatformID are the database keys of the touched records.
 	ModelID    uint64
 	PlatformID uint64
@@ -188,6 +228,10 @@ func hashCostSec(g *onnx.Graph) float64 {
 
 // dbCostSec prices the remote database round trip.
 const dbCostSec = 0.9
+
+// l1CostSec prices an in-process L1 cache lookup (a sharded map probe on the
+// serving host — no network, no storage engine).
+const l1CostSec = 0.0005
 
 // degradedCostSec prices a fallback prediction (a forward pass on the
 // serving host — no compile/upload/measure pipeline).
@@ -211,7 +255,27 @@ func (s *System) Query(ctx context.Context, g *onnx.Graph, platform string) (*Re
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{SimSeconds: hashCostSec(g) + dbCostSec}
+	batch := g.BatchSize()
+	ck := CacheKey{Hash: key, Platform: platform, Batch: batch}
+
+	// L1 tier: a hit answers from process memory, skipping the database
+	// round trip entirely (no platform upsert, no model/latency lookups).
+	// Only durable measurements are ever written through, so an L1 answer
+	// is always backed by a database row.
+	v, l1hit, negSkip := s.cache.Get(ck)
+	if l1hit {
+		s.count(func(st *Stats) {
+			st.Hits++
+			st.L1Hits++
+		})
+		return &Result{
+			LatencyMS: v.LatencyMS, Hit: true, Provenance: "cache", Tier: "l1",
+			ModelID: v.ModelID, PlatformID: v.PlatformID,
+			SimSeconds: hashCostSec(g) + l1CostSec,
+		}, nil
+	}
+
+	res := &Result{SimSeconds: hashCostSec(g) + l1CostSec}
 
 	prec, err := s.store.InsertPlatform(p.Name, p.Hardware, p.Software, p.DType)
 	if err != nil {
@@ -219,20 +283,31 @@ func (s *System) Query(ctx context.Context, g *onnx.Graph, platform string) (*Re
 	}
 	res.PlatformID = prec.ID
 
-	batch := g.BatchSize()
-	if mrec, ok, err := s.store.FindModelByHash(key); err != nil {
-		return nil, err
-	} else if ok {
-		res.ModelID = mrec.ID
-		if lrec, ok, err := s.store.FindLatency(mrec.ID, prec.ID, batch); err != nil {
+	// L2 tier: the durable store. An un-expired negative L1 entry means the
+	// database was recently confirmed empty for this key, so a miss storm
+	// proceeds straight to the farm without re-probing L2.
+	if !negSkip {
+		res.SimSeconds += dbCostSec
+		if mrec, ok, err := s.store.FindModelByHash(key); err != nil {
 			return nil, err
 		} else if ok {
-			res.Hit = true
-			res.Provenance = "cache"
-			res.LatencyMS = lrec.LatencyMS
-			s.count(func(st *Stats) { st.Hits++ })
-			return res, nil
+			res.ModelID = mrec.ID
+			if lrec, ok, err := s.store.FindLatency(mrec.ID, prec.ID, batch); err != nil {
+				return nil, err
+			} else if ok {
+				res.Hit = true
+				res.Provenance = "cache"
+				res.Tier = "l2"
+				res.LatencyMS = lrec.LatencyMS
+				// Promote so repeats are served from memory.
+				s.cache.Put(ck, CacheValue{LatencyMS: lrec.LatencyMS, ModelID: mrec.ID, PlatformID: prec.ID})
+				s.count(func(st *Stats) { st.Hits++ })
+				return res, nil
+			}
 		}
+		// Confirmed absent: remember that so concurrent/retry traffic for
+		// this key skips L2 until the TTL lapses or a measurement lands.
+		s.cache.PutNegative(ck)
 	}
 
 	// Cache miss. Join an identical in-flight measurement if one exists;
@@ -261,7 +336,7 @@ func (s *System) Query(ctx context.Context, g *onnx.Graph, platform string) (*Re
 		res.SimSeconds += m.PipelineSec
 		res.LatencyMS = m.LatencyMS
 		res.Provenance = "measured"
-		if err := s.storeMeasurement(g, prec.ID, batch, m, res); err != nil {
+		if err := s.storeMeasurement(g, prec.ID, batch, m, res, ck); err != nil {
 			merr = err
 		}
 	case degraded:
@@ -345,8 +420,11 @@ func (s *System) awaitFlight(ctx context.Context, fl *flight, res *Result, platf
 // measurement through the store's batched commit path (concurrent misses
 // landing together share one WAL flush/fsync). A concurrent writer that
 // won the unique-key race is reconciled by adopting the stored record, so
-// this caller and all future hits report one latency.
-func (s *System) storeMeasurement(g *onnx.Graph, platformID uint64, batch int, m *hwsim.MeasureResult, res *Result) error {
+// this caller and all future hits report one latency. Once the row is
+// durable it is written through to the L1 tier — this is the only path that
+// ever creates a positive L1 entry, which is what keeps degraded
+// (predictor-estimated) answers out of the cache by construction.
+func (s *System) storeMeasurement(g *onnx.Graph, platformID uint64, batch int, m *hwsim.MeasureResult, res *Result, ck CacheKey) error {
 	modelID, latency, err := s.store.RecordMeasurement(g, platformID, db.LatencyRecord{
 		BatchSize:    batch,
 		LatencyMS:    m.LatencyMS,
@@ -358,6 +436,7 @@ func (s *System) storeMeasurement(g *onnx.Graph, platformID uint64, batch int, m
 	}
 	res.ModelID = modelID
 	res.LatencyMS = latency
+	s.cache.Put(ck, CacheValue{LatencyMS: latency, ModelID: modelID, PlatformID: platformID})
 	return nil
 }
 
@@ -439,7 +518,9 @@ func (s *System) defaultWorkers(platform string) int {
 }
 
 // Warm inserts a measured latency record directly (used to pre-populate the
-// cache for hit-ratio experiments and to bulk-build datasets).
+// cache for hit-ratio experiments and to bulk-build datasets). It writes the
+// durable L2 tier only: experiments that warm-then-query deliberately
+// exercise database-hit behaviour, so pre-seeding L1 here would skew them.
 func (s *System) Warm(g *onnx.Graph, platform string) error {
 	p, err := hwsim.PlatformByName(platform)
 	if err != nil {
@@ -506,5 +587,10 @@ func (s *System) Stats() Stats {
 		c := rt.Counters()
 		st.Retries, st.Hedges, st.HedgeWins = c.Retries, c.Hedges, c.HedgeWins
 	}
+	cs := s.cache.Stats()
+	st.L1NegHits = cs.NegHits
+	st.L1Evictions = cs.Evictions
+	st.L1Size = cs.Size
+	st.L1Negatives = cs.Negatives
 	return st
 }

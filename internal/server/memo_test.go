@@ -1,0 +1,140 @@
+package server
+
+import (
+	"context"
+	"testing"
+
+	"nnlqp/internal/core"
+	"nnlqp/internal/hwsim"
+	"nnlqp/internal/models"
+)
+
+// trainTinyPredictor fits a minimal predictor on a handful of SqueezeNet
+// samples — enough for the serving-path tests that only care about identity,
+// not accuracy.
+func trainTinyPredictor(t *testing.T) *core.Predictor {
+	t.Helper()
+	p, err := hwsim.PlatformByName(hwsim.DatasetPlatform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Hidden, cfg.Depth, cfg.HeadHidden, cfg.Epochs = 16, 2, 16, 3
+	pred := core.New(cfg)
+	var train []core.Sample
+	for i := 0; i < 10; i++ {
+		g := models.BuildSqueezeNet(models.BaseSqueezeNet(1))
+		g.Name = string(rune('a' + i))
+		ms, err := p.TrueLatencyMS(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := core.NewSample(g, ms, p.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		train = append(train, s)
+	}
+	if err := pred.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	return pred
+}
+
+func TestPredictMemoizedAndGenerationInvalidation(t *testing.T) {
+	pred := trainTinyPredictor(t)
+	c, srv := startServer(t, pred)
+	g := models.BuildSqueezeNet(models.BaseSqueezeNet(1))
+
+	req, err := encodeRequest(g, hwsim.DatasetPlatform, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r1, r2, r3, r4 PredictResponse
+	if err := c.post(context.Background(), "/predict", req, &r1); err != nil {
+		t.Fatal(err)
+	}
+	if r1.Memoized {
+		t.Fatal("first prediction cannot be memoized")
+	}
+	if err := c.post(context.Background(), "/predict", req, &r2); err != nil {
+		t.Fatal(err)
+	}
+	if !r2.Memoized || r2.LatencyMS != r1.LatencyMS {
+		t.Fatalf("repeat = %+v, want memoized copy of %+v", r2, r1)
+	}
+
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MemoHits != 1 || st.MemoSize != 1 {
+		t.Fatalf("stats = memo_hits %d / memo_size %d, want 1 / 1", st.MemoHits, st.MemoSize)
+	}
+	if st.PredictorGeneration != pred.Generation() {
+		t.Fatalf("predictor_generation = %d, want %d", st.PredictorGeneration, pred.Generation())
+	}
+
+	// Fine-tuning bumps the generation: the memo entry becomes unreachable
+	// with no explicit flush, and the next prediction is computed fresh
+	// against the new weights.
+	genBefore := pred.Generation()
+	samples := []core.Sample{}
+	p, _ := hwsim.PlatformByName(hwsim.DatasetPlatform)
+	for i := 0; i < 4; i++ {
+		gg := models.BuildSqueezeNet(models.BaseSqueezeNet(1))
+		gg.Name = string(rune('p' + i))
+		ms, _ := p.TrueLatencyMS(gg)
+		s, _ := core.NewSample(gg, ms, p.Name)
+		samples = append(samples, s)
+	}
+	if err := pred.FineTune(samples, 1); err != nil {
+		t.Fatal(err)
+	}
+	if pred.Generation() == genBefore {
+		t.Fatal("FineTune must bump the generation")
+	}
+	if err := c.post(context.Background(), "/predict", req, &r3); err != nil {
+		t.Fatal(err)
+	}
+	if r3.Memoized {
+		t.Fatal("post-fine-tune prediction must not serve the stale memo entry")
+	}
+
+	// Swapping in a different predictor (a new generation by construction)
+	// likewise orphans all existing entries.
+	srv.SetPredictor(trainTinyPredictor(t))
+	if err := c.post(context.Background(), "/predict", req, &r4); err != nil {
+		t.Fatal(err)
+	}
+	if r4.Memoized {
+		t.Fatal("prediction after a predictor swap must not be memoized")
+	}
+}
+
+func TestStatsSurfacesCacheTiers(t *testing.T) {
+	c, _ := startServer(t, nil)
+	g := models.BuildSqueezeNet(models.BaseSqueezeNet(1))
+
+	if _, err := c.Query(g, hwsim.DatasetPlatform, 0); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := c.Query(g, hwsim.DatasetPlatform, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.CacheHit || r2.Tier != "l1" {
+		t.Fatalf("repeat query = %+v, want an l1 hit (write-through on measure)", r2)
+	}
+
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.L1Hits != 1 || st.L1Size != 1 {
+		t.Fatalf("stats = l1_hits %d / l1_size %d, want 1 / 1", st.L1Hits, st.L1Size)
+	}
+	if st.Hits != 1 {
+		t.Fatalf("hits = %d, want 1 (the l1 hit is a hit)", st.Hits)
+	}
+}

@@ -28,6 +28,7 @@ import (
 
 	"nnlqp/internal/core"
 	"nnlqp/internal/db"
+	"nnlqp/internal/graphhash"
 	"nnlqp/internal/hwsim"
 	"nnlqp/internal/onnx"
 	"nnlqp/internal/query"
@@ -42,6 +43,7 @@ const (
 // Server is the HTTP service state.
 type Server struct {
 	sys  *query.System
+	memo *core.PredictMemo
 	mu   sync.RWMutex
 	pred *core.Predictor
 
@@ -61,6 +63,7 @@ type Server struct {
 func New(store *db.Store, farm query.Measurer, pred *core.Predictor) *Server {
 	s := &Server{
 		sys:            query.New(store, farm),
+		memo:           core.NewPredictMemo(0),
 		pred:           pred,
 		RequestTimeout: DefaultRequestTimeout,
 		ShutdownGrace:  DefaultShutdownGrace,
@@ -106,14 +109,20 @@ type QueryResponse struct {
 	// Degraded marks a fallback prediction served because the farm could
 	// not measure before the deadline; Provenance is one of "cache",
 	// "measured", "coalesced", "degraded".
-	Degraded        bool    `json:"degraded,omitempty"`
-	Provenance      string  `json:"provenance"`
+	Degraded   bool   `json:"degraded,omitempty"`
+	Provenance string `json:"provenance"`
+	// Tier names the cache tier that served a hit: "l1" (in-process) or
+	// "l2" (durable database). Empty for measured/coalesced/degraded.
+	Tier            string  `json:"tier,omitempty"`
 	PipelineSeconds float64 `json:"pipeline_seconds"`
 }
 
 // PredictResponse is the JSON body returned by /predict.
 type PredictResponse struct {
 	LatencyMS float64 `json:"latency_ms"`
+	// Memoized marks an answer served from the prediction memo (same graph,
+	// platform and predictor generation as an earlier request).
+	Memoized bool `json:"memoized,omitempty"`
 }
 
 // StatsResponse is the JSON body returned by /stats.
@@ -134,10 +143,21 @@ type StatsResponse struct {
 	Quarantines    int64 `json:"quarantines"`
 	QuarantinedNow int   `json:"quarantined_now"`
 	Degraded       int   `json:"degraded"`
-	Models         int   `json:"models"`
-	Platforms      int   `json:"platforms"`
-	Latencies      int   `json:"latencies"`
-	StorageBytes   int64 `json:"storage_bytes"`
+	// L1 serving-cache tier counters (the database is the L2 tier) and the
+	// prediction-memo counters; predictor_generation is the live
+	// predictor's generation (0 when none is loaded).
+	L1Hits              int    `json:"l1_hits"`
+	L1NegHits           uint64 `json:"l1_negative_hits"`
+	L1Evictions         uint64 `json:"l1_evictions"`
+	L1Size              int    `json:"l1_size"`
+	L1Negatives         int    `json:"l1_negatives"`
+	MemoHits            uint64 `json:"memo_hits"`
+	MemoSize            int    `json:"memo_size"`
+	PredictorGeneration uint64 `json:"predictor_generation"`
+	Models              int    `json:"models"`
+	Platforms           int    `json:"platforms"`
+	Latencies           int    `json:"latencies"`
+	StorageBytes        int64  `json:"storage_bytes"`
 	// Storage-engine counters (zero for in-memory stores).
 	DBCommitBatches  int64   `json:"db_commit_batches"`
 	DBCommitRecords  int64   `json:"db_commit_records"`
@@ -282,7 +302,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, QueryResponse{
 		LatencyMS: res.LatencyMS, CacheHit: res.Hit, Coalesced: res.Coalesced,
-		Degraded: res.Degraded, Provenance: res.Provenance,
+		Degraded: res.Degraded, Provenance: res.Provenance, Tier: res.Tier,
 		PipelineSeconds: res.SimSeconds,
 	})
 }
@@ -299,6 +319,21 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusServiceUnavailable, errors.New("no trained predictor loaded"))
 		return
 	}
+	// The memo key is (graph hash, platform, predictor generation). The
+	// hash folds in the input shapes, so a batch_size override is already a
+	// different key; the generation must be read before predicting so a
+	// fine-tune racing this request lands the result under the old (and
+	// therefore unreachable) generation rather than masquerading as fresh.
+	key, err := graphhash.GraphKey(g)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	gen := pred.Generation()
+	if v, ok := s.memo.Get(uint64(key), req.Platform, gen); ok {
+		writeJSON(w, http.StatusOK, PredictResponse{LatencyMS: v, Memoized: true})
+		return
+	}
 	v, err := pred.Predict(g, req.Platform)
 	if err != nil {
 		// Predictor errors are request-shaped (unknown platform head, graph
@@ -307,6 +342,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
+	s.memo.Put(uint64(key), req.Platform, gen, v)
 	writeJSON(w, http.StatusOK, PredictResponse{LatencyMS: v})
 }
 
@@ -326,6 +362,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.sys.Stats()
 	m, p, l := s.sys.Store().Counts()
 	es := s.sys.Store().EngineStats()
+	ms := s.memo.Stats()
+	var gen uint64
+	s.mu.RLock()
+	if s.pred != nil {
+		gen = s.pred.Generation()
+	}
+	s.mu.RUnlock()
 	writeJSON(w, http.StatusOK, StatsResponse{
 		Queries: st.Queries, Hits: st.Hits, Misses: st.Misses,
 		Coalesced: st.Coalesced, InFlight: st.InFlight, HitRatio: st.HitRatio(),
@@ -333,7 +376,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Retries:       st.Retries, Hedges: st.Hedges, HedgeWins: st.HedgeWins,
 		Quarantines: st.Quarantines, QuarantinedNow: st.QuarantinedNow,
 		Degraded: st.Degraded,
-		Models:   m, Platforms: p, Latencies: l,
+		L1Hits:   st.L1Hits, L1NegHits: st.L1NegHits, L1Evictions: st.L1Evictions,
+		L1Size: st.L1Size, L1Negatives: st.L1Negatives,
+		MemoHits: ms.Hits, MemoSize: ms.Size, PredictorGeneration: gen,
+		Models: m, Platforms: p, Latencies: l,
 		StorageBytes:    s.sys.Store().StorageBytes(),
 		DBCommitBatches: es.CommitBatches, DBCommitRecords: es.CommitRecords,
 		DBFsyncs: es.Fsyncs, DBWALBytes: es.WALBytes, DBWALRecords: es.WALRecords,

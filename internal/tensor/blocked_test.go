@@ -1,0 +1,150 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// naiveMatMulRef is the reference kernel the blocked implementation must
+// match bit-for-bit: for every output element, a[i,k]*b[k,j] terms are
+// accumulated in strictly ascending k with the same zero-skip rule. Blocking
+// only reorders which (element, k) pairs are adjacent in time, never the
+// per-element accumulation order, so equality here is exact, not approximate.
+func naiveMatMulRef(a, b *Matrix) *Matrix {
+	out := NewMatrix(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := out.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+func randMatrix(rng *rand.Rand, rows, cols int, sparsity float64) *Matrix {
+	m := NewMatrix(rows, cols)
+	for i := range m.Data {
+		if rng.Float64() < sparsity {
+			continue // exercise the av == 0 skip path
+		}
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+// TestBlockedMatMulBitIdentical drives the blocked kernel across shapes on
+// both sides of the KC=128 / JC=512 tile boundaries, with dense, sparse and
+// one-hot-ish inputs, and requires exact bitwise equality with the naive
+// ascending-k reference.
+func TestBlockedMatMulBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	cases := []struct {
+		rows, inner, cols int
+		sparsity          float64
+	}{
+		{1, 1, 1, 0},
+		{3, 7, 5, 0},
+		{8, 127, 64, 0.5},
+		{8, 128, 512, 0},      // exactly one tile
+		{5, 129, 513, 0.3},    // straddles both tile boundaries
+		{2, 300, 600, 0.5},    // multiple tiles in both k and j
+		{16, 257, 1030, 0.95}, // one-hot-ish rows (adjacency-matrix shape)
+		{64, 40, 24, 0.9},     // GNN layer-ish shape
+	}
+	for _, c := range cases {
+		a := randMatrix(rng, c.rows, c.inner, c.sparsity)
+		b := randMatrix(rng, c.inner, c.cols, 0)
+		want := naiveMatMulRef(a, b)
+
+		got := NewMatrix(c.rows, c.cols)
+		matMulRange(a, b, got, 0, c.rows)
+		for i := range got.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("shape (%d,%d,%d) sparsity %.2f: blocked[%d] = %v, naive = %v (must be bit-identical)",
+					c.rows, c.inner, c.cols, c.sparsity, i, got.Data[i], want.Data[i])
+			}
+		}
+
+		// The serial entry point and the row-parallel one must agree bitwise
+		// too: row splitting never changes a single element's k order.
+		serial := NewMatrix(c.rows, c.cols)
+		MatMulIntoSerial(serial, a, b)
+		par := NewMatrix(c.rows, c.cols)
+		MatMulInto(par, a, b)
+		for i := range serial.Data {
+			if serial.Data[i] != want.Data[i] || par.Data[i] != want.Data[i] {
+				t.Fatalf("shape (%d,%d,%d): serial/parallel diverge from reference at %d",
+					c.rows, c.inner, c.cols, i)
+			}
+		}
+	}
+}
+
+// TestBlockedMatMulAddAccumulates pins that the Add variants accumulate on
+// top of existing output instead of overwriting, again bit-identically.
+func TestBlockedMatMulAddAccumulates(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := randMatrix(rng, 6, 150, 0.4)
+	b := randMatrix(rng, 150, 520, 0)
+	base := randMatrix(rng, 6, 520, 0)
+
+	// The reference accumulates term-by-term onto base, matching the kernel's
+	// read-modify-write order exactly.
+	want := base.Clone()
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := want.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+
+	got := base.Clone()
+	MatMulAddIntoSerial(got, a, b)
+	for i := range got.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("MatMulAddIntoSerial[%d] = %v, want %v", i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+// BenchmarkMatmulBlocked measures the blocked serial kernel on a
+// predictor-sized multiply (node-feature matrix × weight).
+func BenchmarkMatmulBlocked(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := randMatrix(rng, 64, 256, 0.3)
+	w := randMatrix(rng, 256, 256, 0)
+	out := NewMatrix(64, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulIntoSerial(out, x, w)
+	}
+}
+
+// BenchmarkMatmulParallel is the same multiply through the worker-splitting
+// entry point used by training.
+func BenchmarkMatmulParallel(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := randMatrix(rng, 64, 256, 0.3)
+	w := randMatrix(rng, 256, 256, 0)
+	out := NewMatrix(64, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulInto(out, x, w)
+	}
+}

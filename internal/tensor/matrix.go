@@ -108,6 +108,26 @@ func MatMulAddInto(out, a, b *Matrix) *Matrix {
 	return matMulAdd(out, a, b)
 }
 
+// MatMulIntoSerial is MatMulInto pinned to the calling goroutine: the
+// blocked kernel runs in place with no fan-out, so the call is
+// allocation-free. It is the kernel of the serving-path inference forward
+// (per-request work there is small and already parallel across requests).
+// Results are bit-identical to MatMulInto for the same operands.
+func MatMulIntoSerial(out, a, b *Matrix) *Matrix {
+	checkMatMulInto(out, a, b)
+	out.Zero()
+	matMulRange(a, b, out, 0, a.Rows)
+	return out
+}
+
+// MatMulAddIntoSerial is MatMulAddInto pinned to the calling goroutine (see
+// MatMulIntoSerial).
+func MatMulAddIntoSerial(out, a, b *Matrix) *Matrix {
+	checkMatMulInto(out, a, b)
+	matMulRange(a, b, out, 0, a.Rows)
+	return out
+}
+
 func checkMatMulInto(out, a, b *Matrix) {
 	if a.Cols != b.Rows || out.Rows != a.Rows || out.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: matmul-into shape mismatch %dx%d · %dx%d -> %dx%d",
@@ -148,17 +168,53 @@ func matMulAdd(out, a, b *Matrix) *Matrix {
 	return out
 }
 
-// matMulRange computes rows [lo,hi) of out = a·b using an ikj loop order
-// that streams b rows through cache.
+// Blocked-matmul tile sizes (float64 elements). A kc×jc panel of b is
+// 128×512×8 B = 512 KiB, sized to stay L2-resident while every row of the
+// current range streams against it; the jc-wide slice of an out row (4 KiB)
+// stays in L1 across the kc accumulations.
+const (
+	matmulKC = 128
+	matmulJC = 512
+)
+
+// matMulRange accumulates rows [lo,hi) of out += a·b with a blocked/tiled
+// kernel. b is processed in kc×jc panels so the same panel is reused by
+// every row of the range before moving on (the naive ikj order re-streams
+// all of b once per row, which thrashes for b larger than L2).
+//
+// Bit-identity invariant: for every output element out[i][j] the k index
+// advances strictly ascending — k panels are visited in order and the inner
+// loops never reorder k — so the floating-point accumulation order, and
+// therefore the result, is exactly that of the naive ikj kernel. The
+// property test in matrix_test.go pins this.
 func matMulRange(a, b, out *Matrix, lo, hi int) {
+	n, m := a.Cols, b.Cols
+	if n <= matmulKC && m <= matmulJC {
+		// Single tile: the plain ikj kernel without blocking overhead.
+		matMulTile(a, b, out, lo, hi, 0, n, 0, m)
+		return
+	}
+	for k0 := 0; k0 < n; k0 += matmulKC {
+		k1 := min(k0+matmulKC, n)
+		for j0 := 0; j0 < m; j0 += matmulJC {
+			matMulTile(a, b, out, lo, hi, k0, k1, j0, min(j0+matmulJC, m))
+		}
+	}
+}
+
+// matMulTile accumulates out[lo:hi, j0:j1] += a[lo:hi, k0:k1]·b[k0:k1, j0:j1].
+// Zero a-elements are skipped (one-hot feature rows are mostly zero); adding
+// av*bv == +0 is a no-op on every finite accumulator, and the naive reference
+// kernel skips identically, so the skip preserves bit-identity.
+func matMulTile(a, b, out *Matrix, lo, hi, k0, k1, j0, j1 int) {
 	for i := lo; i < hi; i++ {
-		ar := a.Row(i)
-		or := out.Row(i)
-		for k, av := range ar {
+		ar := a.Row(i)[k0:k1]
+		or := out.Row(i)[j0:j1]
+		for kk, av := range ar {
 			if av == 0 {
 				continue
 			}
-			br := b.Row(k)
+			br := b.Row(k0 + kk)[j0:j1]
 			for j, bv := range br {
 				or[j] += av * bv
 			}

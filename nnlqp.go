@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"os"
 	"sync"
+	"time"
 
 	"nnlqp/internal/core"
 	"nnlqp/internal/db"
@@ -46,6 +47,11 @@ type Options struct {
 	FarmAddr string
 	// PredictorPath, when set, loads a trained predictor at startup.
 	PredictorPath string
+	// CacheEntries sizes the in-process L1 serving cache in records (0 =
+	// default); CacheNegativeTTL bounds how long a known-absent key skips
+	// the database probe (0 = default).
+	CacheEntries     int
+	CacheNegativeTTL time.Duration
 }
 
 // Params mirror the paper's query interface: a model, a batch size, and a
@@ -96,6 +102,9 @@ func New(opts Options) (*Client, error) {
 		farm = &hwsim.LocalFarm{Farm: hwsim.NewDefaultFarm(per)}
 	}
 	c.sys = query.New(store, farm)
+	if opts.CacheEntries != 0 || opts.CacheNegativeTTL != 0 {
+		c.sys.ConfigureCache(opts.CacheEntries, opts.CacheNegativeTTL)
+	}
 	if opts.PredictorPath != "" {
 		if err := c.LoadPredictor(opts.PredictorPath); err != nil {
 			c.Close()
@@ -171,6 +180,9 @@ type QueryResult struct {
 	// Coalesced reports that a concurrent identical query's measurement was
 	// shared instead of running a second pipeline.
 	Coalesced bool
+	// Tier names the cache tier that served a hit: "l1" (in-process memory)
+	// or "l2" (the durable database). Empty when the farm measured.
+	Tier string
 	// PipelineSeconds is the virtual wall-clock cost this query would have
 	// had on physical infrastructure (compile + upload + runs on a miss).
 	PipelineSeconds float64
@@ -193,7 +205,7 @@ func (c *Client) QueryDetailedContext(ctx context.Context, params Params) (*Quer
 	}
 	return &QueryResult{
 		LatencyMS: res.LatencyMS, CacheHit: res.Hit, Coalesced: res.Coalesced,
-		PipelineSeconds: res.SimSeconds,
+		Tier: res.Tier, PipelineSeconds: res.SimSeconds,
 	}, nil
 }
 
@@ -240,15 +252,22 @@ func (c *Client) PredictorPlatforms() []string {
 
 // Stats reports cache behaviour and database cardinalities.
 type Stats struct {
-	Queries      int
-	CacheHits    int
-	CacheMisses  int
-	Coalesced    int
-	HitRatio     float64
-	Models       int
-	PlatformRows int
-	Latencies    int
-	StorageBytes int64
+	Queries     int
+	CacheHits   int
+	CacheMisses int
+	Coalesced   int
+	HitRatio    float64
+	// L1Hits counts hits answered from the in-process L1 tier (a subset of
+	// CacheHits); L1Size/L1Evictions/L1NegativeHits describe the tier
+	// itself. The remaining CacheHits came from the durable L2 database.
+	L1Hits         int
+	L1Size         int
+	L1Evictions    uint64
+	L1NegativeHits uint64
+	Models         int
+	PlatformRows   int
+	Latencies      int
+	StorageBytes   int64
 }
 
 // Stats returns a snapshot of system statistics.
@@ -258,7 +277,10 @@ func (c *Client) Stats() Stats {
 	return Stats{
 		Queries: qs.Queries, CacheHits: qs.Hits, CacheMisses: qs.Misses,
 		Coalesced: qs.Coalesced,
-		HitRatio:  qs.HitRatio(), Models: m, PlatformRows: p, Latencies: l,
+		HitRatio:  qs.HitRatio(),
+		L1Hits:    qs.L1Hits, L1Size: qs.L1Size,
+		L1Evictions: qs.L1Evictions, L1NegativeHits: qs.L1NegHits,
+		Models: m, PlatformRows: p, Latencies: l,
 		StorageBytes: c.store.StorageBytes(),
 	}
 }
