@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race chaos check fmt vet bench bench-db bench-query
+.PHONY: build test race chaos check fmt vet bench bench-db bench-query bench-predict
 
 build:
 	$(GO) build ./...
@@ -51,3 +51,9 @@ bench-query:
 	$(GO) test ./internal/query -run '^$$' -bench 'BenchmarkQueryHit' -benchmem -benchtime 1s
 	$(GO) test ./internal/core -run '^$$' -bench 'BenchmarkPredictSteadyState|BenchmarkPredictMemoGet' -benchmem -benchtime 1s
 	$(GO) test ./internal/tensor -run '^$$' -bench 'BenchmarkMatmul' -benchmem -benchtime 1s
+
+# Micro-batched prediction throughput (BENCH_predict.json): the packed batch
+# path at increasing widths, reporting graphs/s and allocs/op. The width-1
+# run is the batching-overhead floor against BenchmarkPredictSteadyState.
+bench-predict:
+	$(GO) test ./internal/core -run '^$$' -bench 'BenchmarkPredictBatch' -benchmem -benchtime 1s

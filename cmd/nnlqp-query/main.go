@@ -32,6 +32,7 @@ func main() {
 	predictorPath := flag.String("predictor", "", "trained predictor file (for -predict)")
 	listPlatforms := flag.Bool("platforms", false, "list platforms and exit")
 	profile := flag.Bool("profile", false, "print a per-kernel latency breakdown")
+	showStats := flag.Bool("stats", false, "print system statistics after the operation")
 	flag.Parse()
 
 	if *listPlatforms {
@@ -67,6 +68,16 @@ func main() {
 		log.Fatal(err)
 	}
 	defer client.Close()
+	if *showStats {
+		defer func() {
+			st := client.Stats()
+			fmt.Printf("stats: %d queries = %d hits + %d misses + %d coalesced + %d failures (hit ratio %.2f)\n",
+				st.Queries, st.CacheHits, st.CacheMisses, st.Coalesced, st.Failures, st.HitRatio)
+			if st.StoreFailures > 0 {
+				fmt.Printf("  store failures: %d (answers served but not persisted)\n", st.StoreFailures)
+			}
+		}()
+	}
 
 	st, err := model.Stats()
 	if err != nil {

@@ -47,6 +47,8 @@ func main() {
 	retryBudget := flag.Float64("retry-budget", 16, "retry/hedge token bucket capacity")
 	noResilience := flag.Bool("no-resilience", false, "disable the retry/hedge layer entirely")
 	noDegrade := flag.Bool("no-degrade", false, "never answer /query from the predictor when the farm is unavailable")
+	predictBatchWindow := flag.Duration("predict-batch-window", 0, "gather window for /predict micro-batching (0 = off); concurrent requests within the window share one forward pass")
+	predictBatchMax := flag.Int("predict-batch-max", 16, "max requests per gathered /predict batch (flushes the window early)")
 	cacheEntries := flag.Int("cache-entries", 0, "L1 serving-cache capacity in records (0 = default, <0 minimal)")
 	cacheNegTTL := flag.Duration("cache-negative-ttl", 0, "lifetime of negative (known-absent) L1 entries (0 = default)")
 	pprofAddr := flag.String("pprof-addr", "", "listen address for net/http/pprof (empty = disabled); keep it loopback-only")
@@ -115,6 +117,10 @@ func main() {
 	}
 	srv.RequestTimeout = *reqTimeout
 	srv.ShutdownGrace = *shutdownGrace
+	if *predictBatchWindow > 0 {
+		srv.ConfigurePredictBatching(*predictBatchWindow, *predictBatchMax)
+		log.Printf("predict micro-batching: window %s, max width %d", *predictBatchWindow, *predictBatchMax)
+	}
 
 	if *pprofAddr != "" {
 		// pprof gets its own mux and listener so the profiling surface is

@@ -151,6 +151,11 @@ type Predictor struct {
 	// feature clone buffer) so steady-state Predict allocates nothing.
 	infPool sync.Pool
 
+	// batchPool recycles per-goroutine batched-inference workspaces
+	// (packing buffers + scratch) so steady-state PredictBatch allocates
+	// nothing; see batch.go.
+	batchPool sync.Pool
+
 	// epochHook observes per-epoch training metrics. Not serialized.
 	epochHook func(train.EpochMetrics)
 }

@@ -282,14 +282,27 @@ func FitNormalizer(gfs []*GraphFeatures) *Normalizer {
 
 // Apply standardizes gf in place.
 func (nz *Normalizer) Apply(gf *GraphFeatures) {
-	for i := 0; i < gf.X.Rows; i++ {
-		row := gf.X.Row(i)[NumOps:]
+	nz.ApplyX(gf.X)
+	nz.ApplyStatic(gf.Static)
+}
+
+// ApplyX standardizes the numeric columns of a node-feature matrix in
+// place. Rows are independent, so applying it to a packed batch (several
+// graphs' rows concatenated) is bit-identical to applying it per graph —
+// the batched prediction path relies on that.
+func (nz *Normalizer) ApplyX(x *tensor.Matrix) {
+	for i := 0; i < x.Rows; i++ {
+		row := x.Row(i)[NumOps:]
 		for j := range row {
 			row[j] = (row[j] - nz.Mean[j]) / nz.Std[j]
 		}
 	}
-	for j := range gf.Static {
-		gf.Static[j] = (gf.Static[j] - nz.StaticMean[j]) / nz.StaticStd[j]
+}
+
+// ApplyStatic standardizes one graph's static feature vector in place.
+func (nz *Normalizer) ApplyStatic(static []float64) {
+	for j := range static {
+		static[j] = (static[j] - nz.StaticMean[j]) / nz.StaticStd[j]
 	}
 }
 

@@ -1,0 +1,95 @@
+package gnn
+
+import (
+	"math/rand"
+	"testing"
+
+	"nnlqp/internal/tensor"
+)
+
+// randGraph builds a random node-feature matrix and a connected-ish random
+// adjacency for n nodes.
+func randGraph(rng *rand.Rand, n, in int) (*tensor.Matrix, [][]int) {
+	x := tensor.NewMatrix(n, in)
+	for i := range x.Data {
+		x.Data[i] = rng.NormFloat64()
+	}
+	adj := make([][]int, n)
+	for i := 1; i < n; i++ {
+		j := rng.Intn(i)
+		adj[i] = append(adj[i], j)
+		adj[j] = append(adj[j], i)
+	}
+	return x, adj
+}
+
+// TestPackedBatchBitIdenticalToPerGraph pins the batched serving forward:
+// B graphs packed into one block-diagonal (Σ nodes)×in matrix, one
+// Encoder.ForwardInfer, segment pooling, and one batched Head.ForwardInfer
+// must reproduce every per-graph result bitwise. This is the gnn-layer half
+// of the PredictBatch ≡ N×Predict property.
+func TestPackedBatchBitIdenticalToPerGraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const in, hidden = 6, 10
+	enc := NewEncoderNoFinalNorm(in, hidden, 3, rng)
+	head := NewHead("h", hidden, 12, 0.2, rng) // dropout must stay a no-op
+
+	sizes := []int{5, 1, 9, 3}
+	xs := make([]*tensor.Matrix, len(sizes))
+	adjs := make([][][]int, len(sizes))
+	total := 0
+	for i, n := range sizes {
+		xs[i], adjs[i] = randGraph(rng, n, in)
+		total += n
+	}
+
+	// Per-graph reference, each on a fresh scratch.
+	want := make([]float64, len(sizes))
+	for i := range sizes {
+		sc := tensor.NewScratch()
+		h := enc.ForwardInfer(xs[i], adjs[i], sc)
+		y := head.ForwardInfer(SumPoolScratch(h, sc), sc)
+		want[i] = y.At(0, 0)
+	}
+
+	// Packed batch: block-diagonal adjacency over concatenated rows.
+	packedX := tensor.NewMatrix(total, in)
+	packedAdj := make([][]int, total)
+	segs := make([]int, 0, len(sizes)+1)
+	segs = append(segs, 0)
+	off := 0
+	for i := range sizes {
+		for r := 0; r < xs[i].Rows; r++ {
+			copy(packedX.Row(off+r), xs[i].Row(r))
+			for _, nb := range adjs[i][r] {
+				packedAdj[off+r] = append(packedAdj[off+r], nb+off)
+			}
+		}
+		off += xs[i].Rows
+		segs = append(segs, off)
+	}
+
+	sc := tensor.NewScratch()
+	h := enc.ForwardInfer(packedX, packedAdj, sc)
+	pooled := SumPoolSegmentsScratch(h, segs, sc)
+	y := head.ForwardInfer(pooled, sc)
+	if y.Rows != len(sizes) || y.Cols != 1 {
+		t.Fatalf("batched head output %dx%d, want %dx1", y.Rows, y.Cols, len(sizes))
+	}
+	for i, w := range want {
+		if got := y.At(i, 0); got != w {
+			t.Fatalf("graph %d: batched %v != solo %v", i, got, w)
+		}
+	}
+
+	// A second pass over the reset scratch must reproduce the same bits even
+	// though the capacity pool re-slices its buffers.
+	sc.Reset()
+	h2 := enc.ForwardInfer(packedX, packedAdj, sc)
+	y2 := head.ForwardInfer(SumPoolSegmentsScratch(h2, segs, sc), sc)
+	for i, w := range want {
+		if got := y2.At(i, 0); got != w {
+			t.Fatalf("graph %d: second batched pass %v != solo %v", i, got, w)
+		}
+	}
+}

@@ -42,10 +42,13 @@ func (l *Linear) ForwardScratch(x *tensor.Matrix, sc *tensor.Scratch) (*tensor.M
 	return y, &linearCache{x: x}
 }
 
-// ForwardInfer computes X·W + b with no backward cache and no goroutine
-// fan-out; allocation-free once sc is warm. Bit-identical to ForwardScratch.
+// ForwardInfer computes X·W + b with no backward cache, through the pooled
+// row-parallel matmul (serial for small inputs); allocation-free once sc is
+// warm (the output draws from the capacity pool, so batched row counts reuse
+// one buffer). Bit-identical to ForwardScratch row by row, for any number of
+// rows.
 func (l *Linear) ForwardInfer(x *tensor.Matrix, sc *tensor.Scratch) *tensor.Matrix {
-	y := tensor.MatMulIntoSerial(sc.Get(x.Rows, l.W.Value.Cols), x, l.W.Value)
+	y := tensor.MatMulIntoPooled(sc.GetAtLeast(x.Rows, l.W.Value.Cols), x, l.W.Value)
 	b := l.B.Value.Row(0)
 	for i := 0; i < y.Rows; i++ {
 		tensor.Axpy(1, b, y.Row(i))
@@ -136,7 +139,10 @@ func (h *Head) ForwardScratch(x *tensor.Matrix, training bool, rng *rand.Rand, s
 // is the identity, ReLUs clamp in place without recording masks, and all
 // matrix work stays on the calling goroutine drawing from sc —
 // allocation-free once sc is warm. Bit-identical to
-// ForwardScratch(x, false, nil, sc).
+// ForwardScratch(x, false, nil, sc). A B×in input evaluates the head on B
+// embeddings in one pass (the batched serving path); every FC layer and
+// ReLU is row-independent, so row g matches the 1×in forward of that
+// embedding bitwise.
 func (h *Head) ForwardInfer(x *tensor.Matrix, sc *tensor.Scratch) *tensor.Matrix {
 	y := h.FC1.ForwardInfer(x, sc)
 	reluClampInPlace(y)

@@ -66,7 +66,11 @@ type sageCache struct {
 // meanAggregate computes M[i] = mean over neighbours of X rows (zero when a
 // node has no neighbours), into a scratch-owned matrix.
 func meanAggregate(x *tensor.Matrix, adj [][]int, sc *tensor.Scratch) *tensor.Matrix {
-	m := sc.Get(x.Rows, x.Cols)
+	return meanAggregateInto(sc.Get(x.Rows, x.Cols), x, adj)
+}
+
+// meanAggregateInto is meanAggregate into a caller-supplied zeroed matrix.
+func meanAggregateInto(m *tensor.Matrix, x *tensor.Matrix, adj [][]int) *tensor.Matrix {
 	for i, nb := range adj {
 		if len(nb) == 0 {
 			continue
@@ -130,13 +134,24 @@ func (l *SAGEConv) ForwardScratch(x *tensor.Matrix, adj [][]int, sc *tensor.Scra
 }
 
 // ForwardInfer is the inference-only forward: no backward cache is built,
-// matmuls stay on the calling goroutine, and every intermediate comes from
-// sc — with a warmed Scratch the call is allocation-free. Outputs are
-// bit-identical to ForwardScratch (same kernels, same operation order).
+// every intermediate comes from sc, and the matmuls run through the pooled
+// row-parallel kernel (serial below the fan-out threshold, persistent
+// workers above it) — with a warmed Scratch the call is allocation-free
+// either way. Outputs are bit-identical to ForwardScratch (same blocked
+// kernel, same per-element accumulation order regardless of worker count).
+//
+// It is also the batched forward: a micro-batch of B graphs packed into one
+// (Σ nodes)×In matrix with a block-diagonal adjacency (each graph's
+// neighbour indices offset by its node-range start) goes through in a single
+// call, and every row comes out bit-identical to the per-graph forward —
+// rows of a matmul, the mean aggregation and the L2 normalization are all
+// row-independent. Intermediates draw from the capacity pool (GetAtLeast),
+// so varying batch compositions stay allocation-free once the arena has
+// seen the widest one.
 func (l *SAGEConv) ForwardInfer(x *tensor.Matrix, adj [][]int, sc *tensor.Scratch) *tensor.Matrix {
-	mx := meanAggregate(x, adj, sc)
-	h := tensor.MatMulIntoSerial(sc.Get(x.Rows, l.Out), x, l.W1.Value)
-	tensor.MatMulAddIntoSerial(h, mx, l.W2.Value)
+	mx := meanAggregateInto(sc.GetAtLeast(x.Rows, x.Cols), x, adj)
+	h := tensor.MatMulIntoPooled(sc.GetAtLeast(x.Rows, l.Out), x, l.W1.Value)
+	tensor.MatMulAddIntoPooled(h, mx, l.W2.Value)
 	if l.NoNorm {
 		return h
 	}
@@ -271,7 +286,10 @@ func (e *Encoder) ForwardScratch(x *tensor.Matrix, adj [][]int, sc *tensor.Scrat
 
 // ForwardInfer runs the full backbone in inference mode: no caches, no
 // goroutine fan-out, all intermediates from sc (allocation-free once sc is
-// warm). Bit-identical to ForwardScratch.
+// warm). Bit-identical to ForwardScratch. Packed micro-batches (see
+// SAGEConv.ForwardInfer) pass through unchanged: the backbone never mixes
+// rows except along adjacency edges, so a block-diagonal batch keeps every
+// graph's rows bit-identical to its solo forward.
 func (e *Encoder) ForwardInfer(x *tensor.Matrix, adj [][]int, sc *tensor.Scratch) *tensor.Matrix {
 	h := x
 	for _, l := range e.Layers {
@@ -307,6 +325,24 @@ func SumPoolScratch(h *tensor.Matrix, sc *tensor.Scratch) *tensor.Matrix {
 	dst := out.Row(0)
 	for i := 0; i < h.Rows; i++ {
 		tensor.Axpy(1, h.Row(i), dst)
+	}
+	return out
+}
+
+// SumPoolSegmentsScratch reduces a packed batch of node embeddings to one
+// graph vector per segment: segs holds B+1 ascending row offsets and output
+// row g sums h rows [segs[g], segs[g+1]). Each row's accumulation visits
+// node rows in ascending order, exactly like SumPool over that graph alone,
+// so the pooled vectors are bit-identical to B independent SumPool calls.
+// The output draws from the capacity pool so varying batch widths reuse one
+// buffer.
+func SumPoolSegmentsScratch(h *tensor.Matrix, segs []int, sc *tensor.Scratch) *tensor.Matrix {
+	out := sc.GetAtLeast(len(segs)-1, h.Cols)
+	for g := 0; g < len(segs)-1; g++ {
+		dst := out.Row(g)
+		for i := segs[g]; i < segs[g+1]; i++ {
+			tensor.Axpy(1, h.Row(i), dst)
+		}
 	}
 	return out
 }

@@ -84,6 +84,11 @@ type System struct {
 	stats    Stats
 	fallback Fallback
 	inflight map[string]*flight // single-flight by (hash, platform, batch)
+
+	// storeFault is a package-local test seam: when set, it runs before the
+	// durable write in storeMeasurement and a non-nil return is treated as a
+	// storage failure. Set before serving traffic (not synchronized).
+	storeFault func() error
 }
 
 // flight is one in-progress farm measurement shared by coalesced callers.
@@ -94,6 +99,15 @@ type flight struct {
 	degradedMS float64 // predictor estimate shared with followers
 	err        error
 	followers  int // guarded by System.mu; callers that joined this flight
+	// latencyMS is the leader's answer after storage reconciliation (a
+	// concurrent writer that won the unique-key race may have adopted a
+	// different stored value); followers report it so every coalesced caller
+	// agrees with future hits. modelID/platformID are the database keys the
+	// leader's store created; storeFailed mirrors Result.StoreFailed.
+	latencyMS   float64
+	modelID     uint64
+	platformID  uint64
+	storeFailed bool
 }
 
 // Stats counts cache behaviour since construction.
@@ -102,8 +116,19 @@ type Stats struct {
 	Hits    int
 	Misses  int
 	// Coalesced counts queries that shared another in-flight measurement
-	// instead of starting their own (Queries = Hits + Misses + Coalesced).
+	// instead of starting their own. Every query lands in exactly one bucket:
+	// Queries = Hits + Misses + Coalesced + Failures.
 	Coalesced int
+	// Failures counts queries that returned an error — invalid models,
+	// storage-probe errors, failed measurements, and coalesced callers whose
+	// leader failed or whose context was cancelled while waiting. Counting
+	// them keeps the bucket invariant exact on every exit path.
+	Failures int
+	// StoreFailures counts measurements that succeeded but whose durable
+	// write failed. These queries still answer (Provenance "measured",
+	// Result.StoreFailed set) and are counted in Misses; this counter is the
+	// separate storage-health signal.
+	StoreFailures int
 	// Degraded counts answers served from the fallback predictor because
 	// the farm could not measure before the deadline (a subset of
 	// Misses/Coalesced, not an extra bucket).
@@ -203,6 +228,10 @@ type Result struct {
 	// and LatencyMS is the fallback predictor's estimate instead of a
 	// measurement. Degraded answers are never stored in the database.
 	Degraded bool
+	// StoreFailed reports that the measurement succeeded but could not be
+	// made durable: LatencyMS is a real measured value, but no database row
+	// (and no L1 entry) backs it, so a repeat query will re-measure.
+	StoreFailed bool
 	// Provenance labels where the answer came from: "cache", "measured",
 	// "coalesced" or "degraded".
 	Provenance string
@@ -245,14 +274,17 @@ func (s *System) Query(ctx context.Context, g *onnx.Graph, platform string) (*Re
 	s.begin()
 	defer s.end()
 	if err := g.Validate(); err != nil {
+		s.countFailure()
 		return nil, fmt.Errorf("query: invalid model: %w", err)
 	}
 	p, err := hwsim.PlatformByName(platform)
 	if err != nil {
+		s.countFailure()
 		return nil, err
 	}
 	key, err := graphhash.GraphKey(g)
 	if err != nil {
+		s.countFailure()
 		return nil, err
 	}
 	batch := g.BatchSize()
@@ -277,22 +309,30 @@ func (s *System) Query(ctx context.Context, g *onnx.Graph, platform string) (*Re
 
 	res := &Result{SimSeconds: hashCostSec(g) + l1CostSec}
 
-	prec, err := s.store.InsertPlatform(p.Name, p.Hardware, p.Software, p.DType)
-	if err != nil {
-		return nil, err
-	}
-	res.PlatformID = prec.ID
-
 	// L2 tier: the durable store. An un-expired negative L1 entry means the
 	// database was recently confirmed empty for this key, so a miss storm
-	// proceeds straight to the farm without re-probing L2.
+	// proceeds straight to the farm without touching the database at all —
+	// including the platform upsert that prefixes a durable probe: the whole
+	// point of the negative entry is that no round trip is paid (or priced).
+	// A flight leader that goes on to store its measurement performs the
+	// deferred upsert at storage time (see storeMeasurement).
+	var platformID uint64
 	if !negSkip {
 		res.SimSeconds += dbCostSec
+		prec, err := s.store.InsertPlatform(p.Name, p.Hardware, p.Software, p.DType)
+		if err != nil {
+			s.countFailure()
+			return nil, err
+		}
+		platformID = prec.ID
+		res.PlatformID = platformID
 		if mrec, ok, err := s.store.FindModelByHash(key); err != nil {
+			s.countFailure()
 			return nil, err
 		} else if ok {
 			res.ModelID = mrec.ID
-			if lrec, ok, err := s.store.FindLatency(mrec.ID, prec.ID, batch); err != nil {
+			if lrec, ok, err := s.store.FindLatency(mrec.ID, platformID, batch); err != nil {
+				s.countFailure()
 				return nil, err
 			} else if ok {
 				res.Hit = true
@@ -300,7 +340,7 @@ func (s *System) Query(ctx context.Context, g *onnx.Graph, platform string) (*Re
 				res.Tier = "l2"
 				res.LatencyMS = lrec.LatencyMS
 				// Promote so repeats are served from memory.
-				s.cache.Put(ck, CacheValue{LatencyMS: lrec.LatencyMS, ModelID: mrec.ID, PlatformID: prec.ID})
+				s.cache.Put(ck, CacheValue{LatencyMS: lrec.LatencyMS, ModelID: mrec.ID, PlatformID: platformID})
 				s.count(func(st *Stats) { st.Hits++ })
 				return res, nil
 			}
@@ -326,6 +366,7 @@ func (s *System) Query(ctx context.Context, g *onnx.Graph, platform string) (*Re
 	m, merr := s.farm.Measure(ctx, platform, g, "nnlq")
 	degraded := false
 	var degradedMS float64
+	var storeErr error
 	if merr != nil && s.shouldDegrade(merr) {
 		if v, perr := s.getFallback().Predict(g, platform); perr == nil {
 			degraded, degradedMS, merr = true, v, nil
@@ -336,8 +377,14 @@ func (s *System) Query(ctx context.Context, g *onnx.Graph, platform string) (*Re
 		res.SimSeconds += m.PipelineSec
 		res.LatencyMS = m.LatencyMS
 		res.Provenance = "measured"
-		if err := s.storeMeasurement(g, prec.ID, batch, m, res, ck); err != nil {
-			merr = err
+		if err := s.storeMeasurement(g, p, platformID, batch, m, res, ck); err != nil {
+			// The measurement itself succeeded; only durability failed. Serve
+			// the measured value — explicitly marked, never written through
+			// to L1, so no cache entry outlives the missing row — instead of
+			// failing this caller and every coalesced follower over a
+			// storage hiccup. The failure is reported via StoreFailures.
+			storeErr = err
+			res.StoreFailed = true
 		}
 	case degraded:
 		// The fleet could not answer before the deadline: serve the trained
@@ -352,19 +399,23 @@ func (s *System) Query(ctx context.Context, g *onnx.Graph, platform string) (*Re
 	// before done is closed and after the DB insert, so late arrivals
 	// either join the flight or hit the database — never re-measure.
 	fl.res, fl.degraded, fl.degradedMS, fl.err = m, degraded, degradedMS, merr
+	fl.latencyMS, fl.modelID, fl.platformID, fl.storeFailed = res.LatencyMS, res.ModelID, res.PlatformID, res.StoreFailed
 	s.mu.Lock()
 	delete(s.inflight, fkey)
 	s.mu.Unlock()
 	close(fl.done)
 
 	if merr != nil {
-		s.count(func(st *Stats) { st.Misses++ })
+		s.countFailure()
 		return nil, fmt.Errorf("query: measurement on %s failed: %w", platform, merr)
 	}
 	s.count(func(st *Stats) {
 		st.Misses++
 		if degraded {
 			st.Degraded++
+		}
+		if storeErr != nil {
+			st.StoreFailures++
 		}
 	})
 	return res, nil
@@ -389,14 +440,18 @@ func (s *System) shouldDegrade(err error) bool {
 
 // awaitFlight blocks a coalesced caller on the leader's measurement. All
 // waiters observe exactly the leader's outcome — including a degraded
-// fallback answer.
+// fallback answer or a measured-but-not-durable one. Every exit path counts
+// the query exactly once, so the Stats bucket invariant holds even when the
+// waiter's context is cancelled or the leader fails.
 func (s *System) awaitFlight(ctx context.Context, fl *flight, res *Result, platform string) (*Result, error) {
 	select {
 	case <-ctx.Done():
+		s.countFailure()
 		return nil, ctx.Err()
 	case <-fl.done:
 	}
 	if fl.err != nil {
+		s.countFailure()
 		return nil, fmt.Errorf("query: coalesced measurement on %s failed: %w", platform, fl.err)
 	}
 	res.Coalesced = true
@@ -410,8 +465,15 @@ func (s *System) awaitFlight(ctx context.Context, fl *flight, res *Result, platf
 		})
 		return res, nil
 	}
-	res.LatencyMS = fl.res.LatencyMS
+	res.LatencyMS = fl.latencyMS
 	res.Provenance = "coalesced"
+	res.StoreFailed = fl.storeFailed
+	if res.ModelID == 0 {
+		res.ModelID = fl.modelID
+	}
+	if res.PlatformID == 0 {
+		res.PlatformID = fl.platformID
+	}
 	s.count(func(st *Stats) { st.Coalesced++ })
 	return res, nil
 }
@@ -424,7 +486,24 @@ func (s *System) awaitFlight(ctx context.Context, fl *flight, res *Result, platf
 // durable it is written through to the L1 tier — this is the only path that
 // ever creates a positive L1 entry, which is what keeps degraded
 // (predictor-estimated) answers out of the cache by construction.
-func (s *System) storeMeasurement(g *onnx.Graph, platformID uint64, batch int, m *hwsim.MeasureResult, res *Result, ck CacheKey) error {
+func (s *System) storeMeasurement(g *onnx.Graph, p *hwsim.Platform, platformID uint64, batch int, m *hwsim.MeasureResult, res *Result, ck CacheKey) error {
+	// A negative-cache skip deferred the platform upsert past the L2 probe;
+	// the durable write needs the platform row, so perform — and price — that
+	// round trip now.
+	if platformID == 0 {
+		res.SimSeconds += dbCostSec
+		prec, err := s.store.InsertPlatform(p.Name, p.Hardware, p.Software, p.DType)
+		if err != nil {
+			return err
+		}
+		platformID = prec.ID
+		res.PlatformID = platformID
+	}
+	if s.storeFault != nil {
+		if err := s.storeFault(); err != nil {
+			return err
+		}
+	}
 	modelID, latency, err := s.store.RecordMeasurement(g, platformID, db.LatencyRecord{
 		BatchSize:    batch,
 		LatencyMS:    m.LatencyMS,
@@ -562,12 +641,19 @@ func (s *System) end() {
 }
 
 // count applies one outcome to the counters (queries total plus the
-// outcome-specific bucket).
+// outcome-specific bucket). Every Query exit path goes through it exactly
+// once — that is what keeps Queries = Hits + Misses + Coalesced + Failures
+// an identity rather than an approximation.
 func (s *System) count(bump func(*Stats)) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.stats.Queries++
 	bump(&s.stats)
+}
+
+// countFailure buckets an error-returning query.
+func (s *System) countFailure() {
+	s.count(func(st *Stats) { st.Failures++ })
 }
 
 // Stats returns a snapshot of the cache counters, folding in the farm's

@@ -42,10 +42,11 @@ const (
 
 // Server is the HTTP service state.
 type Server struct {
-	sys  *query.System
-	memo *core.PredictMemo
-	mu   sync.RWMutex
-	pred *core.Predictor
+	sys   *query.System
+	memo  *core.PredictMemo
+	mu    sync.RWMutex
+	pred  *core.Predictor
+	batch *batcher // nil = /predict answers each request individually
 
 	// RequestTimeout bounds each /query and /predict request (device wait
 	// included); 0 disables the per-request deadline.
@@ -91,6 +92,21 @@ func (s *Server) SetPredictor(p *core.Predictor) {
 	}
 }
 
+// ConfigurePredictBatching turns on (or off) the /predict gather window:
+// concurrent requests for one platform are held for up to window, then
+// answered from a single packed forward pass; a window flushes early once it
+// gathers maxWidth requests. window <= 0 disables batching. Requests that
+// hit the prediction memo never wait for a window.
+func (s *Server) ConfigurePredictBatching(window time.Duration, maxWidth int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if window <= 0 {
+		s.batch = nil
+		return
+	}
+	s.batch = newBatcher(window, maxWidth, s.memo)
+}
+
 // Request is the JSON body of /query and /predict.
 type Request struct {
 	// Model is the base64-encoded binary model (onnx.EncodeBinary).
@@ -113,7 +129,11 @@ type QueryResponse struct {
 	Provenance string `json:"provenance"`
 	// Tier names the cache tier that served a hit: "l1" (in-process) or
 	// "l2" (durable database). Empty for measured/coalesced/degraded.
-	Tier            string  `json:"tier,omitempty"`
+	Tier string `json:"tier,omitempty"`
+	// StoreFailed marks a measured answer whose durable write failed: the
+	// value is real (and served) but was not persisted or cached, so a
+	// repeat query re-measures.
+	StoreFailed     bool    `json:"store_failed,omitempty"`
 	PipelineSeconds float64 `json:"pipeline_seconds"`
 }
 
@@ -123,14 +143,24 @@ type PredictResponse struct {
 	// Memoized marks an answer served from the prediction memo (same graph,
 	// platform and predictor generation as an earlier request).
 	Memoized bool `json:"memoized,omitempty"`
+	// Batched marks an answer computed by a gathered multi-request forward
+	// pass (see ConfigurePredictBatching). The value is bit-identical to the
+	// single-request answer; the flag only records how it was produced.
+	Batched bool `json:"batched,omitempty"`
 }
 
 // StatsResponse is the JSON body returned by /stats.
 type StatsResponse struct {
-	Queries       int     `json:"queries"`
-	Hits          int     `json:"hits"`
-	Misses        int     `json:"misses"`
-	Coalesced     int     `json:"coalesced"`
+	Queries   int `json:"queries"`
+	Hits      int `json:"hits"`
+	Misses    int `json:"misses"`
+	Coalesced int `json:"coalesced"`
+	// Failures counts queries that returned an error to their caller;
+	// Queries = Hits + Misses + Coalesced + Failures. StoreFailures counts
+	// measured answers whose durable write failed (served anyway, reported
+	// here) — a storage-health signal, not a query-outcome bucket.
+	Failures      int     `json:"failures"`
+	StoreFailures int     `json:"store_failures"`
 	InFlight      int     `json:"in_flight"`
 	HitRatio      float64 `json:"hit_ratio"`
 	DeviceWaitSec float64 `json:"device_wait_seconds"`
@@ -154,10 +184,16 @@ type StatsResponse struct {
 	MemoHits            uint64 `json:"memo_hits"`
 	MemoSize            int    `json:"memo_size"`
 	PredictorGeneration uint64 `json:"predictor_generation"`
-	Models              int    `json:"models"`
-	Platforms           int    `json:"platforms"`
-	Latencies           int    `json:"latencies"`
-	StorageBytes        int64  `json:"storage_bytes"`
+	// Gather-window counters for /predict batching: packed forward passes
+	// run, requests answered through one, and the widest batch flushed.
+	// All zero when batching is off.
+	PredictBatches         int64 `json:"predict_batches"`
+	PredictBatchedRequests int64 `json:"predict_batched_requests"`
+	PredictBatchWidthMax   int64 `json:"predict_batch_width_max"`
+	Models                 int   `json:"models"`
+	Platforms              int   `json:"platforms"`
+	Latencies              int   `json:"latencies"`
+	StorageBytes           int64 `json:"storage_bytes"`
 	// Storage-engine counters (zero for in-memory stores).
 	DBCommitBatches  int64   `json:"db_commit_batches"`
 	DBCommitRecords  int64   `json:"db_commit_records"`
@@ -303,6 +339,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, QueryResponse{
 		LatencyMS: res.LatencyMS, CacheHit: res.Hit, Coalesced: res.Coalesced,
 		Degraded: res.Degraded, Provenance: res.Provenance, Tier: res.Tier,
+		StoreFailed:     res.StoreFailed,
 		PipelineSeconds: res.SimSeconds,
 	})
 }
@@ -313,7 +350,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.mu.RLock()
-	pred := s.pred
+	pred, bt := s.pred, s.batch
 	s.mu.RUnlock()
 	if pred == nil {
 		writeErr(w, http.StatusServiceUnavailable, errors.New("no trained predictor loaded"))
@@ -332,6 +369,29 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	gen := pred.Generation()
 	if v, ok := s.memo.Get(uint64(key), req.Platform, gen); ok {
 		writeJSON(w, http.StatusOK, PredictResponse{LatencyMS: v, Memoized: true})
+		return
+	}
+	if bt != nil {
+		// Extraction failures are request-shaped, so they 400 here — before
+		// the request joins a window — and can never fail a whole batch.
+		gf, err := pred.Extract(g)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		j := bt.enqueue(pred, gen, req.Platform, uint64(key), gf)
+		select {
+		case out := <-j.done:
+			if out.err != nil {
+				writeErr(w, http.StatusBadRequest, out.err)
+				return
+			}
+			writeJSON(w, http.StatusOK, PredictResponse{LatencyMS: out.v, Batched: true})
+		case <-r.Context().Done():
+			// The flush delivers into the job's buffered channel regardless;
+			// this caller just stops waiting for it.
+			writeErr(w, statusForError(r.Context().Err()), r.Context().Err())
+		}
 		return
 	}
 	v, err := pred.Predict(g, req.Platform)
@@ -368,10 +428,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if s.pred != nil {
 		gen = s.pred.Generation()
 	}
+	bs := s.batch.stats()
 	s.mu.RUnlock()
 	writeJSON(w, http.StatusOK, StatsResponse{
 		Queries: st.Queries, Hits: st.Hits, Misses: st.Misses,
-		Coalesced: st.Coalesced, InFlight: st.InFlight, HitRatio: st.HitRatio(),
+		Coalesced: st.Coalesced, Failures: st.Failures,
+		StoreFailures: st.StoreFailures,
+		InFlight:      st.InFlight, HitRatio: st.HitRatio(),
 		DeviceWaitSec: st.DeviceWaitSec,
 		Retries:       st.Retries, Hedges: st.Hedges, HedgeWins: st.HedgeWins,
 		Quarantines: st.Quarantines, QuarantinedNow: st.QuarantinedNow,
@@ -379,7 +442,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		L1Hits:   st.L1Hits, L1NegHits: st.L1NegHits, L1Evictions: st.L1Evictions,
 		L1Size: st.L1Size, L1Negatives: st.L1Negatives,
 		MemoHits: ms.Hits, MemoSize: ms.Size, PredictorGeneration: gen,
-		Models: m, Platforms: p, Latencies: l,
+		PredictBatches:         bs.Batches,
+		PredictBatchedRequests: bs.Requests,
+		PredictBatchWidthMax:   bs.WidthMax,
+		Models:                 m, Platforms: p, Latencies: l,
 		StorageBytes:    s.sys.Store().StorageBytes(),
 		DBCommitBatches: es.CommitBatches, DBCommitRecords: es.CommitRecords,
 		DBFsyncs: es.Fsyncs, DBWALBytes: es.WALBytes, DBWALRecords: es.WALRecords,

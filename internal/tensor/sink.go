@@ -130,6 +130,9 @@ func (s *GradSink) Reduce() {
 // no-op, so code paths that do not care about reuse can pass nil.
 type Scratch struct {
 	pools map[[2]int]*shapePool
+	// caps pools matrices by column count only, reusing (and growing) the
+	// backing array across varying row counts — see GetAtLeast.
+	caps map[int]*shapePool
 }
 
 type shapePool struct {
@@ -139,7 +142,7 @@ type shapePool struct {
 
 // NewScratch allocates an empty arena.
 func NewScratch() *Scratch {
-	return &Scratch{pools: make(map[[2]int]*shapePool)}
+	return &Scratch{pools: make(map[[2]int]*shapePool), caps: make(map[int]*shapePool)}
 }
 
 // Get returns a zeroed rows×cols matrix owned by the caller until Reset.
@@ -165,6 +168,40 @@ func (s *Scratch) Get(rows, cols int) *Matrix {
 	return m
 }
 
+// GetAtLeast returns a zeroed rows×cols matrix like Get, but pools by
+// column count only: a buffer is reused for any row count it has capacity
+// for, and grown in place when it does not. Batched inference packs a
+// varying number of graphs into one (Σ nodes)×dims matrix per forward pass;
+// exact-shape pooling would allocate a fresh buffer for every distinct batch
+// composition, while capacity pooling is allocation-free once the arena has
+// seen the largest batch.
+func (s *Scratch) GetAtLeast(rows, cols int) *Matrix {
+	if s == nil {
+		return NewMatrix(rows, cols)
+	}
+	p := s.caps[cols]
+	if p == nil {
+		p = &shapePool{}
+		s.caps[cols] = p
+	}
+	if p.next < len(p.bufs) {
+		m := p.bufs[p.next]
+		p.next++
+		need := rows * cols
+		if cap(m.Data) < need {
+			m.Data = make([]float64, need)
+		}
+		m.Data = m.Data[:need]
+		m.Rows, m.Cols = rows, cols
+		m.Zero()
+		return m
+	}
+	m := NewMatrix(rows, cols)
+	p.bufs = append(p.bufs, m)
+	p.next++
+	return m
+}
+
 // Reset reclaims every matrix handed out since the previous Reset. Matrices
 // obtained before Reset must not be used afterwards.
 func (s *Scratch) Reset() {
@@ -172,6 +209,9 @@ func (s *Scratch) Reset() {
 		return
 	}
 	for _, p := range s.pools {
+		p.next = 0
+	}
+	for _, p := range s.caps {
 		p.next = 0
 	}
 }

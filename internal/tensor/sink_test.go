@@ -6,6 +6,61 @@ import (
 	"testing"
 )
 
+// TestScratchGetAtLeast covers the capacity pool: distinct row counts with a
+// shared column width reuse (and grow) one buffer per outstanding handout,
+// the result is always zeroed at the requested shape, and steady state over
+// previously seen shapes allocates nothing.
+func TestScratchGetAtLeast(t *testing.T) {
+	sc := NewScratch()
+	a := sc.GetAtLeast(4, 3)
+	if a.Rows != 4 || a.Cols != 3 || len(a.Data) != 12 {
+		t.Fatalf("shape %dx%d len %d, want 4x3 len 12", a.Rows, a.Cols, len(a.Data))
+	}
+	for i := range a.Data {
+		a.Data[i] = 7
+	}
+	sc.Reset()
+
+	// Smaller request after Reset: same buffer, re-sliced and zeroed.
+	b := sc.GetAtLeast(2, 3)
+	if b.Rows != 2 || len(b.Data) != 6 {
+		t.Fatalf("shape %dx%d len %d, want 2x3 len 6", b.Rows, b.Cols, len(b.Data))
+	}
+	for i, v := range b.Data {
+		if v != 0 {
+			t.Fatalf("stale value %v at %d after reuse", v, i)
+		}
+	}
+	// Second handout in the same cycle must not alias the first.
+	c := sc.GetAtLeast(3, 3)
+	b.Data[0] = 1
+	if c.Data[0] != 0 {
+		t.Fatal("distinct handouts alias one buffer")
+	}
+	sc.Reset()
+
+	// Growth: a larger row count re-slices (growing once), then repeats of
+	// any smaller-or-equal shape are allocation-free.
+	if m := sc.GetAtLeast(16, 3); m.Rows != 16 {
+		t.Fatalf("rows %d, want 16", m.Rows)
+	}
+	sc.Reset()
+	avg := testing.AllocsPerRun(50, func() {
+		sc.GetAtLeast(10, 3)
+		sc.GetAtLeast(16, 3)
+		sc.Reset()
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state GetAtLeast allocates %.1f/op, want 0", avg)
+	}
+
+	// nil receiver falls back to plain allocation.
+	var nilSc *Scratch
+	if m := nilSc.GetAtLeast(2, 2); m.Rows != 2 || m.Cols != 2 {
+		t.Fatal("nil scratch GetAtLeast broken")
+	}
+}
+
 func TestGradBufNilFallsBackToParamGrad(t *testing.T) {
 	p := NewParam("p", 2, 2)
 	var b *GradBuf

@@ -256,7 +256,15 @@ type Stats struct {
 	CacheHits   int
 	CacheMisses int
 	Coalesced   int
-	HitRatio    float64
+	// Failures counts queries that returned an error to the caller; every
+	// query lands in exactly one bucket, so
+	// Queries = CacheHits + CacheMisses + Coalesced + Failures.
+	Failures int
+	// StoreFailures counts measured answers whose durable write failed (the
+	// answer was still served, uncached) — storage health, not an outcome
+	// bucket.
+	StoreFailures int
+	HitRatio      float64
 	// L1Hits counts hits answered from the in-process L1 tier (a subset of
 	// CacheHits); L1Size/L1Evictions/L1NegativeHits describe the tier
 	// itself. The remaining CacheHits came from the durable L2 database.
@@ -276,9 +284,10 @@ func (c *Client) Stats() Stats {
 	m, p, l := c.store.Counts()
 	return Stats{
 		Queries: qs.Queries, CacheHits: qs.Hits, CacheMisses: qs.Misses,
-		Coalesced: qs.Coalesced,
-		HitRatio:  qs.HitRatio(),
-		L1Hits:    qs.L1Hits, L1Size: qs.L1Size,
+		Coalesced: qs.Coalesced, Failures: qs.Failures,
+		StoreFailures: qs.StoreFailures,
+		HitRatio:      qs.HitRatio(),
+		L1Hits:        qs.L1Hits, L1Size: qs.L1Size,
 		L1Evictions: qs.L1Evictions, L1NegativeHits: qs.L1NegHits,
 		Models: m, PlatformRows: p, Latencies: l,
 		StorageBytes: c.store.StorageBytes(),
