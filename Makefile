@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race chaos check fmt vet bench bench-db bench-query bench-predict
+.PHONY: build test race chaos check fmt vet bench bench-db bench-query bench-predict bench-retrain
 
 build:
 	$(GO) build ./...
@@ -16,7 +16,7 @@ race:
 	$(GO) test -race -count=2 -shuffle=on \
 		./internal/db ./internal/query ./internal/hwsim ./internal/server \
 		./internal/tensor ./internal/train ./internal/gnn ./internal/core \
-		./internal/baselines ./internal/chaos \
+		./internal/baselines ./internal/chaos ./internal/serve \
 		./internal/feats ./internal/onnx ./internal/graphhash
 
 # End-to-end fault-injection storms (internal/chaos) with a pinned seed:
@@ -57,3 +57,11 @@ bench-query:
 # run is the batching-overhead floor against BenchmarkPredictSteadyState.
 bench-predict:
 	$(GO) test ./internal/core -run '^$$' -bench 'BenchmarkPredictBatch' -benchmem -benchtime 1s
+
+# Online-retraining baselines (BENCH_retrain.json): engine hot-swap latency,
+# the hot-path snapshot read, one full retrain cycle (snapshot → train →
+# validate → swap) and the scheduler's uncertainty scoring.
+bench-retrain:
+	$(GO) test ./internal/serve -run '^$$' \
+		-bench 'BenchmarkEngineSwap|BenchmarkEngineSnapshot|BenchmarkRetrainCycle|BenchmarkSchedulerScore' \
+		-benchmem -benchtime 1s

@@ -76,6 +76,9 @@ func main() {
 			if st.StoreFailures > 0 {
 				fmt.Printf("  store failures: %d (answers served but not persisted)\n", st.StoreFailures)
 			}
+			if st.PredictorGeneration != 0 {
+				fmt.Printf("  predictor generation: %d\n", st.PredictorGeneration)
+			}
 		}()
 	}
 

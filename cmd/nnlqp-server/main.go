@@ -26,6 +26,7 @@ import (
 	"nnlqp/internal/db"
 	"nnlqp/internal/hwsim"
 	"nnlqp/internal/query"
+	"nnlqp/internal/serve"
 	"nnlqp/internal/server"
 )
 
@@ -51,6 +52,17 @@ func main() {
 	predictBatchMax := flag.Int("predict-batch-max", 16, "max requests per gathered /predict batch (flushes the window early)")
 	cacheEntries := flag.Int("cache-entries", 0, "L1 serving-cache capacity in records (0 = default, <0 minimal)")
 	cacheNegTTL := flag.Duration("cache-negative-ttl", 0, "lifetime of negative (known-absent) L1 entries (0 = default)")
+	retrain := flag.Bool("retrain", false, "retrain the predictor in the background as the database evolves, hot-swapping on holdout improvement")
+	retrainInterval := flag.Duration("retrain-interval", 0, "how often the retrainer checks its triggers (0 = default 30s)")
+	retrainMinNew := flag.Int("retrain-min-new", 0, "new measurements on a platform that trigger a retrain (0 = default 50)")
+	retrainMinSamples := flag.Int("retrain-min-samples", 0, "minimum database records before the first (bootstrap) train (0 = default 24)")
+	retrainEpochs := flag.Int("retrain-epochs", 0, "training epochs per retrain run (0 = default 10)")
+	retrainHoldout := flag.Float64("retrain-holdout", 0, "fraction of the snapshot held out for swap validation (0 = default 0.2)")
+	retrainDriftFactor := flag.Float64("retrain-drift-factor", 0, "rolling MAPE above holdout MAPE × this factor triggers a drift retrain (0 = default 1.5)")
+	activeMeasure := flag.Bool("active-measure", false, "spend idle farm capacity measuring graphs where the predictor is most uncertain")
+	activeInterval := flag.Duration("active-measure-interval", 0, "scheduler tick interval (0 = default 15s)")
+	activePerTick := flag.Int("active-measure-per-tick", 0, "measurements scheduled per tick (0 = default 2)")
+	activeCandidates := flag.Int("active-measure-candidates", 0, "candidate graphs scored per scheduled measurement (0 = default 8)")
 	pprofAddr := flag.String("pprof-addr", "", "listen address for net/http/pprof (empty = disabled); keep it loopback-only")
 	flag.Parse()
 
@@ -70,6 +82,7 @@ func main() {
 	defer store.Close()
 
 	var farm query.Measurer
+	var idle serve.IdleReporter // in-process farm only; remote farms expose no idle signal
 	if *farmAddr != "" {
 		rf, err := hwsim.DialFarm(*farmAddr)
 		if err != nil {
@@ -78,7 +91,9 @@ func main() {
 		defer rf.Close()
 		farm = rf
 	} else {
-		farm = &hwsim.LocalFarm{Farm: hwsim.NewDefaultFarm(*devices)}
+		lf := &hwsim.LocalFarm{Farm: hwsim.NewDefaultFarm(*devices)}
+		farm = lf
+		idle = lf
 	}
 	if !*noResilience {
 		farm = query.NewResilientFarm(farm, query.ResilienceConfig{
@@ -120,6 +135,27 @@ func main() {
 	if *predictBatchWindow > 0 {
 		srv.ConfigurePredictBatching(*predictBatchWindow, *predictBatchMax)
 		log.Printf("predict micro-batching: window %s, max width %d", *predictBatchWindow, *predictBatchMax)
+	}
+	if *retrain {
+		cfg := serve.RetrainConfig{
+			Interval:        *retrainInterval,
+			MinNewRecords:   *retrainMinNew,
+			MinSamples:      *retrainMinSamples,
+			Epochs:          *retrainEpochs,
+			HoldoutFrac:     *retrainHoldout,
+			DriftMAPEFactor: *retrainDriftFactor,
+		}
+		srv.EnableRetraining(cfg)
+		log.Printf("online retraining enabled (interval %s)", cfg.WithDefaults().Interval)
+	}
+	if *activeMeasure {
+		cfg := serve.ActiveConfig{
+			Interval:   *activeInterval,
+			PerTick:    *activePerTick,
+			Candidates: *activeCandidates,
+		}
+		srv.EnableActiveMeasurement(cfg, idle)
+		log.Printf("active measurement enabled (interval %s)", cfg.WithDefaults().Interval)
 	}
 
 	if *pprofAddr != "" {

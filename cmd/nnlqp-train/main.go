@@ -66,8 +66,18 @@ func main() {
 			log.Fatal("-from-db requires -db")
 		}
 		fmt.Println("training from the evolving database (frozen snapshot)...")
-		if err := client.TrainPredictorFromDB(opts); err != nil {
+		rep, err := client.TrainPredictorFromDBReport(opts)
+		if err != nil {
 			log.Fatal(err)
+		}
+		// The holdout is the same deterministic split the server's online
+		// retrainer validates against, so these figures are comparable with
+		// /engine's holdout metrics for the same snapshot.
+		if rep.Holdout > 0 {
+			fmt.Printf("holdout (%d of %d records): MAPE %.2f%%  Acc(10%%) %.2f%%\n",
+				rep.Holdout, rep.Samples, rep.HoldoutMAPE, rep.HoldoutAcc10)
+		} else {
+			fmt.Printf("trained on all %d records (too few for a holdout split)\n", rep.Samples)
 		}
 	} else {
 		fmt.Printf("measuring %d models per platform and training...\n", *perPlatform)

@@ -18,6 +18,7 @@ import (
 	"sync"
 	"time"
 
+	"nnlqp/internal/core"
 	"nnlqp/internal/hwsim"
 	"nnlqp/internal/models"
 	"nnlqp/internal/onnx"
@@ -36,6 +37,44 @@ func (Oracle) Predict(g *onnx.Graph, platform string) (float64, error) {
 		return 0, err
 	}
 	return p.TrueLatencyMS(g)
+}
+
+// TinyPredictor trains a small real predictor covering the given platforms
+// (default: the dataset platform). Different seeds give distinguishable
+// weights, so storms that hot-swap a pool of them can check each answer
+// against the generation it claims. Cheap: a dozen SqueezeNet variants per
+// platform, five epochs.
+func TinyPredictor(seed int64, platforms ...string) (*core.Predictor, error) {
+	if len(platforms) == 0 {
+		platforms = []string{hwsim.DatasetPlatform}
+	}
+	cfg := core.DefaultConfig()
+	cfg.Hidden, cfg.Depth, cfg.HeadHidden, cfg.Epochs = 16, 2, 16, 5
+	cfg.Seed = seed
+	var samples []core.Sample
+	for _, name := range platforms {
+		p, err := hwsim.PlatformByName(name)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < 12; i++ {
+			g := models.BuildSqueezeNet(models.BaseSqueezeNet(i + 1))
+			ms, err := p.TrueLatencyMS(g)
+			if err != nil {
+				return nil, err
+			}
+			s, err := core.NewSample(g, ms, name)
+			if err != nil {
+				return nil, err
+			}
+			samples = append(samples, s)
+		}
+	}
+	pred := core.New(cfg)
+	if err := pred.Fit(samples); err != nil {
+		return nil, err
+	}
+	return pred, nil
 }
 
 // Graphs builds n deterministic model variants drawn round-robin from the

@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"nnlqp/internal/core"
 	"nnlqp/internal/db"
 	"nnlqp/internal/hwsim"
 	"nnlqp/internal/models"
@@ -383,5 +384,162 @@ func TestChaosHTTPStorm(t *testing.T) {
 	}
 	if stats.Quarantines == 0 {
 		t.Fatalf("/stats quarantines = 0 with a doomed platform")
+	}
+}
+
+// TestChaosRetrainUnderStorm is the retrain-under-storm scenario: a pool of
+// predictors hot-swaps continuously while the dataset platform's devices are
+// all faulting (so /query degrades through the engine) and a batched /predict
+// storm runs against the same server. Every answer — degraded query or
+// batched prediction, memoized or fresh — must carry a (generation, value)
+// pair belonging to exactly one pool member: a mismatch means a torn
+// predictor was served. The storm finishing before its deadlines also proves
+// the swaps never deadlock the batcher.
+func TestChaosRetrainUnderStorm(t *testing.T) {
+	pool := make([]*core.Predictor, 3)
+	for i := range pool {
+		p, err := TinyPredictor(*chaosSeed + int64(i)*111)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool[i] = p
+	}
+	graphs, err := Graphs(*chaosSeed, 3, models.FamilySqueezeNet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ground truth: what each generation's weights predict for each graph.
+	want := map[uint64]map[string]float64{}
+	for _, p := range pool {
+		byGraph := map[string]float64{}
+		for _, g := range graphs {
+			v, err := p.Predict(g, hwsim.DatasetPlatform)
+			if err != nil {
+				t.Fatal(err)
+			}
+			byGraph[g.Name] = v
+		}
+		want[p.Generation()] = byGraph
+	}
+
+	// Every dataset-platform device fails every call: queries must burn
+	// their retries and degrade to the engine's live predictor.
+	plan := &hwsim.FaultPlan{Devices: map[string]*hwsim.FaultRule{
+		hwsim.DatasetPlatform + "#0": {Mode: hwsim.FaultTransient, Rate: 1},
+		hwsim.DatasetPlatform + "#1": {Mode: hwsim.FaultTransient, Rate: 1},
+	}}
+	farm := chaosFarm(t, plan)
+	store, err := db.OpenStore("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	srv := server.New(store, query.NewResilientFarm(&hwsim.LocalFarm{Farm: farm}, chaosResilience()), pool[0])
+	srv.ConfigurePredictBatching(5*time.Millisecond, 8)
+	bound, stop, err := srv.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	client := server.NewClientTimeout("http://"+bound, 10*time.Second)
+
+	// The "retrainer": swap through the pool for the storm's duration.
+	stopSwap := make(chan struct{})
+	var swapWG sync.WaitGroup
+	swapWG.Add(1)
+	go func() {
+		defer swapWG.Done()
+		for i := 1; ; i++ {
+			select {
+			case <-stopSwap:
+				return
+			default:
+			}
+			srv.SetPredictor(pool[i%len(pool)])
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	const requests = 60
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		failures []error
+		degraded int
+	)
+	sem := make(chan struct{}, 8)
+	for i := 0; i < requests; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			g := graphs[i%len(graphs)]
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			if i%2 == 0 {
+				resp, err := client.PredictDetailed(ctx, g, hwsim.DatasetPlatform, 0)
+				mu.Lock()
+				defer mu.Unlock()
+				if err != nil {
+					failures = append(failures, fmt.Errorf("predict %d: %w", i, err))
+					return
+				}
+				exp, ok := want[resp.Generation]
+				if !ok {
+					failures = append(failures, fmt.Errorf("predict %d: generation %d belongs to no pool predictor", i, resp.Generation))
+					return
+				}
+				if resp.LatencyMS != exp[g.Name] {
+					failures = append(failures, fmt.Errorf("predict %d: gen %d answered %v, want %v — torn predictor",
+						i, resp.Generation, resp.LatencyMS, exp[g.Name]))
+				}
+			} else {
+				resp, err := client.QueryContext(ctx, g, hwsim.DatasetPlatform, 0)
+				mu.Lock()
+				defer mu.Unlock()
+				if err != nil {
+					failures = append(failures, fmt.Errorf("query %d: %w", i, err))
+					return
+				}
+				if !resp.Degraded {
+					failures = append(failures, fmt.Errorf("query %d: expected a degraded answer on the doomed platform, got provenance %q", i, resp.Provenance))
+					return
+				}
+				degraded++
+				exp, ok := want[resp.Generation]
+				if !ok {
+					failures = append(failures, fmt.Errorf("query %d: generation %d belongs to no pool predictor", i, resp.Generation))
+					return
+				}
+				if resp.LatencyMS != exp[g.Name] {
+					failures = append(failures, fmt.Errorf("query %d: gen %d answered %v, want %v — torn fallback",
+						i, resp.Generation, resp.LatencyMS, exp[g.Name]))
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(stopSwap)
+	swapWG.Wait()
+	for _, err := range failures {
+		t.Error(err)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+	if degraded == 0 {
+		t.Fatal("no query degraded: the storm never exercised the fallback path")
+	}
+
+	eng, err := client.Engine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Engine.Swaps == 0 {
+		t.Fatal("/engine reports zero swaps after a swap storm")
+	}
+	if _, ok := want[eng.Engine.Generation]; !ok {
+		t.Fatalf("/engine settled on generation %d, which belongs to no pool predictor", eng.Engine.Generation)
 	}
 }

@@ -43,6 +43,36 @@ func AccDelta(truth, pred []float64, delta float64) float64 {
 	return float64(hit) / float64(len(truth)) * 100
 }
 
+// SplitHoldout deterministically splits samples into a training set and a
+// held-out validation set: with frac ≈ 1/k, every k-th sample (by position)
+// is held out. The split depends only on sample order — which
+// db.Store.TrainingSnapshot fixes to insertion order — so the online
+// retrainer and `nnlqp-train -from-db` agree on the same holdout for the
+// same snapshot, and repeated splits of an unchanged database are
+// identical. Sets too small to validate (fewer than 5 samples, or frac <= 0)
+// are returned whole with an empty holdout.
+func SplitHoldout(samples []Sample, frac float64) (train, holdout []Sample) {
+	if frac <= 0 || len(samples) < 5 {
+		return samples, nil
+	}
+	k := int(math.Round(1 / frac))
+	if k < 2 {
+		k = 2
+	}
+	train = make([]Sample, 0, len(samples))
+	for i, s := range samples {
+		if i%k == k-1 {
+			holdout = append(holdout, s)
+		} else {
+			train = append(train, s)
+		}
+	}
+	if len(train) == 0 {
+		return samples, nil
+	}
+	return train, holdout
+}
+
 // Metrics bundles the two evaluation figures the paper reports.
 type Metrics struct {
 	MAPE   float64

@@ -226,6 +226,52 @@ func (s *Store) FindPlatformByName(name string) (*PlatformRecord, bool, error) {
 	}, true, nil
 }
 
+// Platforms returns every platform record, ordered by primary key, from a
+// point-in-time snapshot (the retrainer uses it to discover which platforms
+// have accumulated knowledge without holding any lock while decoding).
+func (s *Store) Platforms() ([]PlatformRecord, error) {
+	t, err := s.db.Table(TablePlatform)
+	if err != nil {
+		return nil, err
+	}
+	var out []PlatformRecord
+	t.SnapshotScan(func(row Row) bool {
+		out = append(out, PlatformRecord{
+			ID: row[0].(uint64), Name: row[1].(string), Hardware: row[2].(string),
+			Software: row[3].(string), DataType: row[4].(string),
+		})
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}
+
+// LatencyCount reports how many latency records a platform has accumulated —
+// the cheap signal the retrainer's new-measurement drift trigger polls.
+func (s *Store) LatencyCount(platformID uint64) (int, error) {
+	t, err := s.db.Table(TableLatency)
+	if err != nil {
+		return 0, err
+	}
+	return len(t.Snapshot().FindMulti("platform_id", platformID)), nil
+}
+
+// RecentLatencies returns the platform's n most recent latency records
+// (insertion order = primary key order), newest last. The retrainer's
+// rolling-MAPE drift trigger scores the live predictor against exactly this
+// window.
+func (s *Store) RecentLatencies(platformID uint64, n int) ([]LatencyRecord, error) {
+	recs, err := s.LatenciesForPlatform(platformID)
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].ID < recs[j].ID })
+	if n > 0 && len(recs) > n {
+		recs = recs[len(recs)-n:]
+	}
+	return recs, nil
+}
+
 // InsertLatency stores one latency measurement; duplicate
 // (model, platform, batch) keys are rejected (the cache already has them).
 func (s *Store) InsertLatency(rec LatencyRecord) (uint64, error) {

@@ -500,6 +500,10 @@ func (l *LocalFarm) Measure(ctx context.Context, platform string, g *onnx.Graph,
 // Devices reports the local farm's device count for a platform.
 func (l *LocalFarm) Devices(platform string) int { return l.Farm.Devices(platform) }
 
+// Idle reports the local farm's currently idle device count for a platform
+// (the active-measurement scheduler's capacity gate).
+func (l *LocalFarm) Idle(platform string) int { return l.Farm.Idle(platform) }
+
 // DeviceWaitSeconds reports the local farm's cumulative device-wait time.
 func (l *LocalFarm) DeviceWaitSeconds() float64 { return l.Farm.WaitSeconds() }
 

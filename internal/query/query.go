@@ -68,9 +68,26 @@ type ResilienceTracker interface {
 }
 
 // Fallback is the degradation target when the farm cannot measure before
-// the deadline: a trained latency predictor (*core.Predictor satisfies it).
+// the deadline: a trained latency predictor (*core.Predictor satisfies it,
+// as does serve.Engine).
 type Fallback interface {
 	Predict(g *onnx.Graph, platform string) (float64, error)
+}
+
+// ReadyReporter is optionally implemented by fallbacks whose predictor may
+// not be loaded yet (serve.Engine before its first swap): a not-Ready
+// fallback is treated exactly like no fallback, so installing an empty
+// engine does not change degradation behaviour.
+type ReadyReporter interface {
+	Ready() bool
+}
+
+// GenerationPredictor is optionally implemented by fallbacks that can report
+// which predictor generation computed an answer (serve.Engine); degraded
+// results then carry the generation so /stats and callers can attribute the
+// estimate to exact weights even across a concurrent hot-swap.
+type GenerationPredictor interface {
+	PredictWithGeneration(g *onnx.Graph, platform string) (float64, uint64, error)
 }
 
 // System is the NNLQ service: storage plus a device farm, fronted by an
@@ -93,12 +110,13 @@ type System struct {
 
 // flight is one in-progress farm measurement shared by coalesced callers.
 type flight struct {
-	done       chan struct{} // closed when the leader finishes
-	res        *hwsim.MeasureResult
-	degraded   bool    // the leader fell back to the predictor
-	degradedMS float64 // predictor estimate shared with followers
-	err        error
-	followers  int // guarded by System.mu; callers that joined this flight
+	done        chan struct{} // closed when the leader finishes
+	res         *hwsim.MeasureResult
+	degraded    bool    // the leader fell back to the predictor
+	degradedMS  float64 // predictor estimate shared with followers
+	degradedGen uint64  // predictor generation behind degradedMS
+	err         error
+	followers   int // guarded by System.mu; callers that joined this flight
 	// latencyMS is the leader's answer after storage reconciliation (a
 	// concurrent writer that won the unique-key race may have adopted a
 	// different stored value); followers report it so every coalesced caller
@@ -232,6 +250,11 @@ type Result struct {
 	// made durable: LatencyMS is a real measured value, but no database row
 	// (and no L1 entry) backs it, so a repeat query will re-measure.
 	StoreFailed bool
+	// Generation is the predictor generation that computed a Degraded
+	// answer (0 for measured/cached answers, or when the fallback cannot
+	// report one). Predictor and generation are read atomically, so a
+	// hot-swap racing this query can never mislabel the estimate.
+	Generation uint64
 	// Provenance labels where the answer came from: "cache", "measured",
 	// "coalesced" or "degraded".
 	Provenance string
@@ -366,10 +389,18 @@ func (s *System) Query(ctx context.Context, g *onnx.Graph, platform string) (*Re
 	m, merr := s.farm.Measure(ctx, platform, g, "nnlq")
 	degraded := false
 	var degradedMS float64
+	var degradedGen uint64
 	var storeErr error
 	if merr != nil && s.shouldDegrade(merr) {
-		if v, perr := s.getFallback().Predict(g, platform); perr == nil {
-			degraded, degradedMS, merr = true, v, nil
+		switch f := s.getFallback().(type) {
+		case GenerationPredictor:
+			if v, gen, perr := f.PredictWithGeneration(g, platform); perr == nil {
+				degraded, degradedMS, degradedGen, merr = true, v, gen, nil
+			}
+		default:
+			if v, perr := f.Predict(g, platform); perr == nil {
+				degraded, degradedMS, merr = true, v, nil
+			}
 		}
 	}
 	switch {
@@ -393,12 +424,13 @@ func (s *System) Query(ctx context.Context, g *onnx.Graph, platform string) (*Re
 		res.SimSeconds += degradedCostSec
 		res.LatencyMS = degradedMS
 		res.Degraded = true
+		res.Generation = degradedGen
 		res.Provenance = "degraded"
 	}
 	// Publish to followers and retire the flight. The flight is removed
 	// before done is closed and after the DB insert, so late arrivals
 	// either join the flight or hit the database — never re-measure.
-	fl.res, fl.degraded, fl.degradedMS, fl.err = m, degraded, degradedMS, merr
+	fl.res, fl.degraded, fl.degradedMS, fl.degradedGen, fl.err = m, degraded, degradedMS, degradedGen, merr
 	fl.latencyMS, fl.modelID, fl.platformID, fl.storeFailed = res.LatencyMS, res.ModelID, res.PlatformID, res.StoreFailed
 	s.mu.Lock()
 	delete(s.inflight, fkey)
@@ -427,7 +459,11 @@ func (s *System) Query(ctx context.Context, g *onnx.Graph, platform string) (*Re
 // qualifies; the request being the problem (unsupported op, unknown
 // platform, invalid model) or the caller having walked away does not.
 func (s *System) shouldDegrade(err error) bool {
-	if s.getFallback() == nil {
+	f := s.getFallback()
+	if f == nil {
+		return false
+	}
+	if r, ok := f.(ReadyReporter); ok && !r.Ready() {
 		return false
 	}
 	if errors.Is(err, context.Canceled) {
@@ -458,6 +494,7 @@ func (s *System) awaitFlight(ctx context.Context, fl *flight, res *Result, platf
 	if fl.degraded {
 		res.LatencyMS = fl.degradedMS
 		res.Degraded = true
+		res.Generation = fl.degradedGen
 		res.Provenance = "degraded"
 		s.count(func(st *Stats) {
 			st.Coalesced++

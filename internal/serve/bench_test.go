@@ -1,0 +1,73 @@
+package serve
+
+import (
+	"testing"
+
+	"nnlqp/internal/core"
+	"nnlqp/internal/hwsim"
+	"nnlqp/internal/models"
+)
+
+// BenchmarkEngineSwap measures the hot-swap itself — the pause a live
+// server pays to install a retrained predictor (readers never block; this
+// is the writer-side cost).
+func BenchmarkEngineSwap(b *testing.B) {
+	predA := tinyPredictor(b, 1, 6)
+	predB := tinyPredictor(b, 2, 6)
+	e := NewEngine(predA)
+	m := core.Metrics{MAPE: 10, Acc10: 90, Count: 4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%2 == 0 {
+			e.Swap(predB, m, "bench")
+		} else {
+			e.Swap(predA, m, "bench")
+		}
+	}
+}
+
+// BenchmarkEngineSnapshot measures the reader-side cost every /predict pays
+// to observe the (predictor, generation) pair.
+func BenchmarkEngineSnapshot(b *testing.B) {
+	e := NewEngine(tinyPredictor(b, 3, 6))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if pred, gen := e.Snapshot(); pred == nil || gen == 0 {
+			b.Fatal("snapshot lost the predictor")
+		}
+	}
+}
+
+// BenchmarkRetrainCycle measures one full bootstrap retrain — snapshot,
+// train, validate, swap — the wall time the background loop spends per
+// evolution step on a small database.
+func BenchmarkRetrainCycle(b *testing.B) {
+	store := testStore(b)
+	seedMeasurements(b, store, hwsim.DatasetPlatform, 1, 12, 1)
+	cfg := fastRetrainConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := NewEngine(nil)
+		r := NewRetrainer(store, e, cfg)
+		swapped, err := r.CheckOnce()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !swapped {
+			b.Fatal("bootstrap did not swap")
+		}
+	}
+}
+
+// BenchmarkSchedulerScore measures the per-candidate uncertainty scoring
+// cost (head fan-out + kernelization).
+func BenchmarkSchedulerScore(b *testing.B) {
+	a := NewScheduler(nil, NewEngine(tinyPredictor(b, 4, 6)), nil, fastActiveConfig())
+	g := models.BuildSqueezeNet(models.BaseSqueezeNet(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s := a.score(g); s < 0 {
+			b.Fatal("negative score")
+		}
+	}
+}

@@ -1,0 +1,193 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"nnlqp/internal/core"
+	"nnlqp/internal/hwsim"
+	"nnlqp/internal/models"
+	"nnlqp/internal/onnx"
+)
+
+// tinyPredictor trains a minimal predictor on n SqueezeNet graphs labelled
+// with the simulator's true latency, deterministic in seed.
+func tinyPredictor(t testing.TB, seed int64, n int) *core.Predictor {
+	t.Helper()
+	p, err := hwsim.PlatformByName(hwsim.DatasetPlatform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Hidden, cfg.Depth, cfg.HeadHidden, cfg.Epochs = 16, 2, 16, 5
+	cfg.Seed = seed
+	pred := core.New(cfg)
+	var samples []core.Sample
+	for i := 0; i < n; i++ {
+		g := models.BuildSqueezeNet(models.BaseSqueezeNet(i + 1))
+		ms, err := p.TrueLatencyMS(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := core.NewSample(g, ms, p.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		samples = append(samples, s)
+	}
+	if err := pred.Fit(samples); err != nil {
+		t.Fatal(err)
+	}
+	return pred
+}
+
+func TestEngineNotReady(t *testing.T) {
+	e := NewEngine(nil)
+	if e.Ready() {
+		t.Fatal("empty engine reports Ready")
+	}
+	if pred, gen := e.Snapshot(); pred != nil || gen != 0 {
+		t.Fatalf("Snapshot() = %v, %d, want nil, 0", pred, gen)
+	}
+	g := models.BuildSqueezeNet(models.BaseSqueezeNet(1))
+	if _, err := e.Predict(g, hwsim.DatasetPlatform); err == nil {
+		t.Fatal("Predict on an empty engine should error")
+	}
+	if st := e.Stats(); st.Ready || st.Generation != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// TestEngineSwapAtomicity is the -race regression for the old
+// Server.SetPredictor gap: s.pred and sys.SetFallback updated non-atomically,
+// so a concurrent degraded /query could pair one predictor's value with the
+// other's generation. With the Engine, every (value, generation) pair a
+// reader observes must belong to exactly one predictor.
+func TestEngineSwapAtomicity(t *testing.T) {
+	predA := tinyPredictor(t, 1, 8)
+	predB := tinyPredictor(t, 2, 8)
+	g := models.BuildSqueezeNet(models.BaseSqueezeNet(1))
+
+	want := map[uint64]float64{}
+	for _, p := range []*core.Predictor{predA, predB} {
+		v, err := p.Predict(g, hwsim.DatasetPlatform)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[p.Generation()] = v
+	}
+
+	e := NewEngine(predA)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				v, gen, err := e.PredictWithGeneration(g, hwsim.DatasetPlatform)
+				if err != nil {
+					t.Errorf("predict: %v", err)
+					return
+				}
+				exp, ok := want[gen]
+				if !ok {
+					t.Errorf("generation %d belongs to neither predictor", gen)
+					return
+				}
+				if v != exp {
+					t.Errorf("gen %d: value %v, want %v — torn (value, generation) pair", gen, v, exp)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 200; i++ {
+		p := predA
+		if i%2 == 0 {
+			p = predB
+		}
+		e.Swap(p, core.Metrics{}, "test")
+	}
+	close(stop)
+	wg.Wait()
+
+	if got := e.Stats().Swaps; got != 200 {
+		t.Fatalf("swaps = %d, want 200", got)
+	}
+}
+
+func TestEngineSwapHistory(t *testing.T) {
+	pred := tinyPredictor(t, 3, 6)
+	e := NewEngine(nil)
+	for i := 0; i < historyCap+7; i++ {
+		e.Swap(pred, core.Metrics{MAPE: float64(i), Acc10: 90, Count: 5}, "loop")
+	}
+	h := e.History()
+	if len(h) != historyCap {
+		t.Fatalf("history length = %d, want %d", len(h), historyCap)
+	}
+	for i := 1; i < len(h); i++ {
+		if h[i].Seq != h[i-1].Seq+1 {
+			t.Fatalf("history seq not monotonic at %d: %d after %d", i, h[i].Seq, h[i-1].Seq)
+		}
+	}
+	last := h[len(h)-1]
+	if last.Seq != int64(historyCap+7) || last.Generation != pred.Generation() {
+		t.Fatalf("last record: %+v", last)
+	}
+	if last.HoldoutMAPE != float64(historyCap+6) {
+		t.Fatalf("last holdout MAPE = %v", last.HoldoutMAPE)
+	}
+}
+
+func TestEngineRejectCounter(t *testing.T) {
+	e := NewEngine(nil)
+	e.Reject()
+	e.Reject()
+	if st := e.Stats(); st.Rejects != 2 || st.Swaps != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestEngineFallbackInterface(t *testing.T) {
+	// Engine must keep satisfying the query-path fallback shape; a compile
+	// check plus a behavioural one.
+	var f interface {
+		Predict(*onnx.Graph, string) (float64, error)
+		Ready() bool
+	} = NewEngine(nil)
+	if f.Ready() {
+		t.Fatal("ready")
+	}
+	pred := tinyPredictor(t, 4, 6)
+	e := NewEngine(pred)
+	g := models.BuildSqueezeNet(models.BaseSqueezeNet(1))
+	v, err := e.Predict(g, hwsim.DatasetPlatform)
+	if err != nil || v <= 0 {
+		t.Fatalf("Predict = %v, %v", v, err)
+	}
+	direct, _ := pred.Predict(g, hwsim.DatasetPlatform)
+	if v != direct {
+		t.Fatalf("engine answer %v differs from predictor answer %v", v, direct)
+	}
+}
+
+func TestEngineSwapRecordTimestamps(t *testing.T) {
+	pred := tinyPredictor(t, 5, 6)
+	e := NewEngine(nil)
+	before := time.Now()
+	rec := e.Swap(pred, core.Metrics{}, "manual")
+	if rec.At.Before(before.Add(-time.Second)) {
+		t.Fatalf("swap timestamp %v predates the swap", rec.At)
+	}
+	if rec.Reason != "manual" || rec.Seq != 1 {
+		t.Fatalf("record: %+v", rec)
+	}
+}

@@ -1,0 +1,127 @@
+package serve
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"nnlqp/internal/hwsim"
+	"nnlqp/internal/models"
+	"nnlqp/internal/query"
+)
+
+func fastActiveConfig() ActiveConfig {
+	return ActiveConfig{
+		Interval:   10 * time.Millisecond,
+		PerTick:    1,
+		Candidates: 2,
+		Platforms:  []string{hwsim.DatasetPlatform},
+		Families:   []string{models.FamilySqueezeNet},
+		Seed:       3,
+		Timeout:    30 * time.Second,
+	}
+}
+
+// TestSchedulerTickMeasures: one tick must land a real measurement in the
+// evolving database through the query path.
+func TestSchedulerTickMeasures(t *testing.T) {
+	store := testStore(t)
+	sys := query.New(store, &hwsim.LocalFarm{Farm: hwsim.NewDefaultFarm(2)})
+	a := NewScheduler(sys, NewEngine(nil), nil, fastActiveConfig())
+
+	if err := a.TickOnce(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	st := a.Status()
+	if st.Ticks != 1 || st.Scheduled != 1 || st.Measured != 1 {
+		t.Fatalf("status: %+v", st)
+	}
+	prec, ok, err := store.FindPlatformByName(hwsim.DatasetPlatform)
+	if err != nil || !ok {
+		t.Fatalf("platform row missing: ok=%v err=%v", ok, err)
+	}
+	n, err := store.LatencyCount(prec.ID)
+	if err != nil || n != 1 {
+		t.Fatalf("latency rows = %d, err=%v, want 1", n, err)
+	}
+}
+
+// idleStub reports a fixed idle-device count.
+type idleStub struct{ n int }
+
+func (s idleStub) Idle(string) int { return s.n }
+
+// TestSchedulerIdleGating: with a reporter showing zero idle capacity the
+// tick backs off without stealing farm time from real queries.
+func TestSchedulerIdleGating(t *testing.T) {
+	store := testStore(t)
+	sys := query.New(store, &hwsim.LocalFarm{Farm: hwsim.NewDefaultFarm(2)})
+	a := NewScheduler(sys, NewEngine(nil), idleStub{n: 0}, fastActiveConfig())
+
+	if err := a.TickOnce(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	st := a.Status()
+	if st.SkippedBusy != 1 || st.Scheduled != 0 || st.Measured != 0 {
+		t.Fatalf("status: %+v", st)
+	}
+
+	// With capacity available the same scheduler proceeds.
+	b := NewScheduler(sys, NewEngine(nil), idleStub{n: 2}, fastActiveConfig())
+	if err := b.TickOnce(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if st := b.Status(); st.Measured != 1 {
+		t.Fatalf("status with idle capacity: %+v", st)
+	}
+}
+
+// TestSchedulerCoverageDecay: measuring a graph must lower the coverage
+// bonus of its kernel families, steering later ticks toward unseen families.
+func TestSchedulerCoverageDecay(t *testing.T) {
+	store := testStore(t)
+	sys := query.New(store, &hwsim.LocalFarm{Farm: hwsim.NewDefaultFarm(2)})
+	a := NewScheduler(sys, NewEngine(nil), nil, fastActiveConfig())
+
+	g := models.BuildSqueezeNet(models.BaseSqueezeNet(1))
+	before := a.score(g)
+	a.noteMeasured(g)
+	after := a.score(g)
+	if !(after < before) {
+		t.Fatalf("score did not decay: before=%v after=%v", before, after)
+	}
+}
+
+// TestSchedulerUncertaintyScore: with a trained predictor the score includes
+// head disagreement; a multi-head predictor must produce a non-negative
+// disagreement term without breaking scoring.
+func TestSchedulerUncertaintyScore(t *testing.T) {
+	store := testStore(t)
+	sys := query.New(store, &hwsim.LocalFarm{Farm: hwsim.NewDefaultFarm(2)})
+	pred := tinyPredictor(t, 21, 8)
+	a := NewScheduler(sys, NewEngine(pred), nil, fastActiveConfig())
+
+	g := models.BuildSqueezeNet(models.BaseSqueezeNet(2))
+	if s := a.score(g); s <= 0 {
+		t.Fatalf("score = %v, want > 0", s)
+	}
+}
+
+// TestSchedulerBackgroundLoop drives Start/Stop: ticks happen on their own
+// and Stop cancels any in-flight measurement promptly.
+func TestSchedulerBackgroundLoop(t *testing.T) {
+	store := testStore(t)
+	sys := query.New(store, &hwsim.LocalFarm{Farm: hwsim.NewDefaultFarm(2)})
+	a := NewScheduler(sys, NewEngine(nil), nil, fastActiveConfig())
+	a.Start()
+	defer a.Stop()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for a.Status().Measured == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	a.Stop()
+	if st := a.Status(); st.Measured == 0 {
+		t.Fatalf("background loop never measured: %+v", st)
+	}
+}

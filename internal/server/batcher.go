@@ -9,9 +9,12 @@ import (
 	"nnlqp/internal/feats"
 )
 
-// predictOut is one request's share of a gathered batch result.
+// predictOut is one request's share of a gathered batch result. gen is the
+// generation of the predictor that ran the packed pass — the window's
+// captured generation, which a hot-swap landing mid-wait does not change.
 type predictOut struct {
 	v   float64
+	gen uint64
 	err error
 }
 
@@ -125,11 +128,11 @@ func (b *batcher) run(platform string, gb *gatherBatch) {
 	}
 	for i, j := range gb.jobs {
 		if err != nil {
-			j.done <- predictOut{err: err}
+			j.done <- predictOut{err: err, gen: gb.gen}
 			continue
 		}
 		b.memo.Put(j.key, platform, gb.gen, vals[i])
-		j.done <- predictOut{v: vals[i]}
+		j.done <- predictOut{v: vals[i], gen: gb.gen}
 	}
 }
 

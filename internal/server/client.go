@@ -112,15 +112,26 @@ func (c *Client) Predict(g *onnx.Graph, platform string, batch int) (float64, er
 
 // PredictContext is Predict bounded by ctx.
 func (c *Client) PredictContext(ctx context.Context, g *onnx.Graph, platform string, batch int) (float64, error) {
-	req, err := encodeRequest(g, platform, batch)
+	out, err := c.PredictDetailed(ctx, g, platform, batch)
 	if err != nil {
 		return 0, err
 	}
+	return out.LatencyMS, nil
+}
+
+// PredictDetailed is PredictContext returning the full response — including
+// the predictor generation the answer was computed under, which a caller
+// tracking hot-swaps needs.
+func (c *Client) PredictDetailed(ctx context.Context, g *onnx.Graph, platform string, batch int) (*PredictResponse, error) {
+	req, err := encodeRequest(g, platform, batch)
+	if err != nil {
+		return nil, err
+	}
 	var out PredictResponse
 	if err := c.post(ctx, "/predict", req, &out); err != nil {
-		return 0, err
+		return nil, err
 	}
-	return out.LatencyMS, nil
+	return &out, nil
 }
 
 // Platforms lists the server's platforms.
@@ -135,6 +146,21 @@ func (c *Client) Platforms() ([]string, error) {
 		return nil, err
 	}
 	return out["platforms"], nil
+}
+
+// Engine fetches the predictor-engine status: generation, swap history,
+// and (when the online loops run) retrain and active-measurement progress.
+func (c *Client) Engine() (*EngineResponse, error) {
+	resp, err := c.HTTP.Get(c.BaseURL + "/engine")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var out EngineResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return &out, nil
 }
 
 // Stats fetches server statistics.

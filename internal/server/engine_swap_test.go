@@ -1,0 +1,208 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"nnlqp/internal/core"
+	"nnlqp/internal/hwsim"
+	"nnlqp/internal/models"
+	"nnlqp/internal/onnx"
+)
+
+// trainTiny trains a minimal single-platform predictor, deterministic in
+// seed, for hot-swap tests that need two distinguishable parameter sets.
+func trainTiny(t *testing.T, seed int64) *core.Predictor {
+	t.Helper()
+	p, err := hwsim.PlatformByName(hwsim.DatasetPlatform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Hidden, cfg.Depth, cfg.HeadHidden, cfg.Epochs = 16, 2, 16, 5
+	cfg.Seed = seed
+	pred := core.New(cfg)
+	var train []core.Sample
+	for i := 0; i < 12; i++ {
+		g := models.BuildSqueezeNet(models.BaseSqueezeNet(i + 1))
+		ms, err := p.TrueLatencyMS(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := core.NewSample(g, ms, p.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		train = append(train, s)
+	}
+	if err := pred.Fit(train); err != nil {
+		t.Fatal(err)
+	}
+	return pred
+}
+
+// TestPredictHotSwapRacesBatchedWindow: a predictor hot-swap racing an
+// in-flight batched /predict window. Every response must carry the
+// generation of the weights that actually computed it (the window's captured
+// generation, not the generation live at response time), and memo entries
+// written under the old generation must never be served after the swap.
+func TestPredictHotSwapRacesBatchedWindow(t *testing.T) {
+	pred1 := trainTiny(t, 101)
+	pred2 := trainTiny(t, 202)
+	g := models.BuildSqueezeNet(models.BaseSqueezeNet(1))
+
+	// The ground truth each generation must map to.
+	want := map[uint64]float64{}
+	for _, p := range []*core.Predictor{pred1, pred2} {
+		v, err := p.Predict(g, hwsim.DatasetPlatform)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[p.Generation()] = v
+	}
+	gen1, gen2 := pred1.Generation(), pred2.Generation()
+	if want[gen1] == want[gen2] {
+		t.Log("warning: both predictors predict identically; value check is vacuous")
+	}
+
+	c, srv := startServer(t, pred1)
+	srv.ConfigurePredictBatching(60*time.Millisecond, 16)
+
+	// Open a gather window with concurrent requests, swap mid-window, and
+	// check every response against the generation it claims.
+	const n = 6
+	var wg sync.WaitGroup
+	type outcome struct {
+		resp *PredictResponse
+		err  error
+	}
+	outs := make([]outcome, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := c.PredictDetailed(context.Background(), g, hwsim.DatasetPlatform, 0)
+			outs[i] = outcome{resp: resp, err: err}
+		}(i)
+	}
+	time.Sleep(15 * time.Millisecond) // let requests join the window
+	srv.SetPredictor(pred2)
+	wg.Wait()
+
+	for i, o := range outs {
+		if o.err != nil {
+			t.Fatalf("request %d: %v", i, o.err)
+		}
+		exp, ok := want[o.resp.Generation]
+		if !ok {
+			t.Fatalf("request %d: generation %d belongs to neither predictor", i, o.resp.Generation)
+		}
+		if !o.resp.Memoized && o.resp.LatencyMS != exp {
+			t.Fatalf("request %d: gen %d answered %v, want %v — response does not match the weights it claims",
+				i, o.resp.Generation, o.resp.LatencyMS, exp)
+		}
+	}
+
+	// Post-swap: the old generation's memo entry must be unreachable. The
+	// answer must come from pred2 under gen2 — freshly computed, not memoized
+	// from a gen1 entry.
+	resp, err := c.PredictDetailed(context.Background(), g, hwsim.DatasetPlatform, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Generation != gen2 {
+		t.Fatalf("post-swap generation = %d, want %d", resp.Generation, gen2)
+	}
+	if resp.LatencyMS != want[gen2] {
+		t.Fatalf("post-swap answer %v, want pred2's %v", resp.LatencyMS, want[gen2])
+	}
+
+	// And once computed under gen2, repeats memoize under gen2.
+	resp2, err := c.PredictDetailed(context.Background(), g, hwsim.DatasetPlatform, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp2.Memoized || resp2.Generation != gen2 || resp2.LatencyMS != want[gen2] {
+		t.Fatalf("post-swap repeat: %+v", resp2)
+	}
+
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PredictorGeneration != gen2 || !st.PredictorReady || st.PredictorSwaps != 1 {
+		t.Fatalf("stats after swap: gen=%d ready=%v swaps=%d", st.PredictorGeneration, st.PredictorReady, st.PredictorSwaps)
+	}
+}
+
+// quarantinedFarm fails every measurement with the retry-exhausted error
+// that triggers predictor degradation.
+type quarantinedFarm struct{}
+
+func (quarantinedFarm) Measure(ctx context.Context, platform string, g *onnx.Graph, holder string) (*hwsim.MeasureResult, error) {
+	return nil, hwsim.ErrAllQuarantined
+}
+
+// TestSetPredictorSwapAtomicWithDegradedQuery is the -race regression for
+// the old SetPredictor gap: s.pred and sys.SetFallback updated under
+// different locks, so a degraded /query racing a swap could answer with one
+// predictor's value labelled with the other's generation. With the Engine as
+// the single owner, every degraded answer's (value, generation) pair must
+// belong to exactly one predictor.
+func TestSetPredictorSwapAtomicWithDegradedQuery(t *testing.T) {
+	pred1 := trainTiny(t, 303)
+	pred2 := trainTiny(t, 404)
+	g := models.BuildSqueezeNet(models.BaseSqueezeNet(1))
+
+	want := map[uint64]float64{}
+	for _, p := range []*core.Predictor{pred1, pred2} {
+		v, err := p.Predict(g, hwsim.DatasetPlatform)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[p.Generation()] = v
+	}
+
+	c, srv := startServerFarm(t, quarantinedFarm{}, pred1)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if i%2 == 0 {
+				srv.SetPredictor(pred2)
+			} else {
+				srv.SetPredictor(pred1)
+			}
+		}
+	}()
+
+	for i := 0; i < 40; i++ {
+		resp, err := c.Query(g, hwsim.DatasetPlatform, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !resp.Degraded {
+			t.Fatalf("query %d: expected a degraded answer, got %+v", i, resp)
+		}
+		exp, ok := want[resp.Generation]
+		if !ok {
+			t.Fatalf("query %d: generation %d belongs to neither predictor", i, resp.Generation)
+		}
+		if resp.LatencyMS != exp {
+			t.Fatalf("query %d: gen %d answered %v, want %v — torn fallback/generation pair",
+				i, resp.Generation, resp.LatencyMS, exp)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -32,6 +32,7 @@ import (
 	"nnlqp/internal/hwsim"
 	"nnlqp/internal/onnx"
 	"nnlqp/internal/query"
+	"nnlqp/internal/serve"
 )
 
 // Default serving timeouts, overridable on Server before Serve is called.
@@ -40,13 +41,20 @@ const (
 	DefaultShutdownGrace  = 10 * time.Second
 )
 
-// Server is the HTTP service state.
+// Server is the HTTP service state. The live predictor is owned by a
+// serve.Engine: one atomically swappable handle shared by /predict, the
+// gather-window batcher, and the query path's degradation fallback, so a
+// hot-swap is observed by every consumer at once.
 type Server struct {
-	sys   *query.System
-	memo  *core.PredictMemo
-	mu    sync.RWMutex
-	pred  *core.Predictor
-	batch *batcher // nil = /predict answers each request individually
+	sys    *query.System
+	memo   *core.PredictMemo
+	engine *serve.Engine
+	mu     sync.RWMutex
+	batch  *batcher // nil = /predict answers each request individually
+
+	retrainMu sync.Mutex
+	retrainer *serve.Retrainer
+	scheduler *serve.Scheduler
 
 	// RequestTimeout bounds each /query and /predict request (device wait
 	// included); 0 disables the per-request deadline.
@@ -57,21 +65,21 @@ type Server struct {
 }
 
 // New builds a server over a store, a device farm, and an optional trained
-// predictor (nil disables /predict until SetPredictor). The predictor
-// doubles as the query path's degradation fallback: when the farm cannot
-// measure before the deadline, /query answers with the prediction, marked
-// "degraded".
+// predictor (nil disables /predict until a predictor arrives via
+// SetPredictor or the retrainer). The predictor doubles as the query path's
+// degradation fallback: when the farm cannot measure before the deadline,
+// /query answers with the prediction, marked "degraded". The engine is
+// installed as the fallback even while empty — a not-Ready engine degrades
+// nothing (query.ReadyReporter), so behaviour matches having no fallback.
 func New(store *db.Store, farm query.Measurer, pred *core.Predictor) *Server {
 	s := &Server{
 		sys:            query.New(store, farm),
 		memo:           core.NewPredictMemo(0),
-		pred:           pred,
+		engine:         serve.NewEngine(pred),
 		RequestTimeout: DefaultRequestTimeout,
 		ShutdownGrace:  DefaultShutdownGrace,
 	}
-	if pred != nil {
-		s.sys.SetFallback(pred)
-	}
+	s.sys.SetFallback(s.engine)
 	return s
 }
 
@@ -79,17 +87,56 @@ func New(store *db.Store, farm query.Measurer, pred *core.Predictor) *Server {
 // custom fallback, or read stats directly).
 func (s *Server) System() *query.System { return s.sys }
 
-// SetPredictor installs (or replaces) the predictor served by /predict and
-// used as the query path's degradation fallback.
+// Engine exposes the predictor engine (the retrainer swaps through it;
+// tests and CLIs inspect generation and swap history).
+func (s *Server) Engine() *serve.Engine { return s.engine }
+
+// SetPredictor installs (or, with nil, uninstalls) the predictor served by
+// /predict and used as the query path's degradation fallback. The swap is a
+// single atomic publish through the engine: /predict, the batcher, /stats
+// and a concurrent degraded /query all flip from the old predictor to the
+// new one at the same instant — there is no window pairing the old fallback
+// with the new generation.
 func (s *Server) SetPredictor(p *core.Predictor) {
-	s.mu.Lock()
-	s.pred = p
-	s.mu.Unlock()
-	if p != nil {
-		s.sys.SetFallback(p)
-	} else {
-		s.sys.SetFallback(nil)
+	s.engine.Swap(p, core.Metrics{}, "manual")
+}
+
+// EnableRetraining starts the background retrainer: the server watches the
+// evolving database and hot-swaps improved predictors without a restart.
+// Call before Serve; the returned stop function (also wired into Serve's
+// stop) halts the loop.
+func (s *Server) EnableRetraining(cfg serve.RetrainConfig) *serve.Retrainer {
+	s.retrainMu.Lock()
+	defer s.retrainMu.Unlock()
+	if s.retrainer != nil {
+		return s.retrainer
 	}
+	s.retrainer = serve.NewRetrainer(s.sys.Store(), s.engine, cfg)
+	s.retrainer.Start()
+	return s.retrainer
+}
+
+// EnableActiveMeasurement starts the active-measurement scheduler: idle farm
+// capacity is spent measuring the graphs the predictor is most uncertain
+// about, feeding the evolving database where the retrainer picks them up.
+// idle may be nil (no capacity gating).
+func (s *Server) EnableActiveMeasurement(cfg serve.ActiveConfig, idle serve.IdleReporter) *serve.Scheduler {
+	s.retrainMu.Lock()
+	defer s.retrainMu.Unlock()
+	if s.scheduler != nil {
+		return s.scheduler
+	}
+	s.scheduler = serve.NewScheduler(s.sys, s.engine, idle, cfg)
+	s.scheduler.Start()
+	return s.scheduler
+}
+
+// backgroundLoops returns the currently running retrainer/scheduler (either
+// may be nil).
+func (s *Server) backgroundLoops() (*serve.Retrainer, *serve.Scheduler) {
+	s.retrainMu.Lock()
+	defer s.retrainMu.Unlock()
+	return s.retrainer, s.scheduler
 }
 
 // ConfigurePredictBatching turns on (or off) the /predict gather window:
@@ -133,7 +180,10 @@ type QueryResponse struct {
 	// StoreFailed marks a measured answer whose durable write failed: the
 	// value is real (and served) but was not persisted or cached, so a
 	// repeat query re-measures.
-	StoreFailed     bool    `json:"store_failed,omitempty"`
+	StoreFailed bool `json:"store_failed,omitempty"`
+	// Generation is the predictor generation behind a degraded answer
+	// (0 otherwise).
+	Generation      uint64  `json:"generation,omitempty"`
 	PipelineSeconds float64 `json:"pipeline_seconds"`
 }
 
@@ -147,6 +197,11 @@ type PredictResponse struct {
 	// pass (see ConfigurePredictBatching). The value is bit-identical to the
 	// single-request answer; the flag only records how it was produced.
 	Batched bool `json:"batched,omitempty"`
+	// Generation is the predictor generation that computed (or memoized)
+	// this answer. A request that joined a gather window opened before a
+	// hot-swap reports the window's generation — the weights that actually
+	// produced the value — not the generation live at response time.
+	Generation uint64 `json:"generation"`
 }
 
 // StatsResponse is the JSON body returned by /stats.
@@ -184,6 +239,18 @@ type StatsResponse struct {
 	MemoHits            uint64 `json:"memo_hits"`
 	MemoSize            int    `json:"memo_size"`
 	PredictorGeneration uint64 `json:"predictor_generation"`
+	// Engine counters: whether a predictor is loaded, how many hot-swaps
+	// (and validation rejects) the engine has seen, and the holdout metrics
+	// the live predictor shipped with (zero for manually loaded predictors).
+	PredictorReady       bool    `json:"predictor_ready"`
+	PredictorSwaps       int64   `json:"predictor_swaps"`
+	PredictorSwapRejects int64   `json:"predictor_swap_rejects"`
+	PredictorHoldoutMAPE float64 `json:"predictor_holdout_mape,omitempty"`
+	// Online-loop counters, zero unless -retrain / -active-measure are on.
+	RetrainRuns        int64   `json:"retrain_runs,omitempty"`
+	RetrainHoldoutMAPE float64 `json:"retrain_holdout_mape,omitempty"`
+	ActiveTicks        int64   `json:"active_measure_ticks,omitempty"`
+	ActiveMeasured     int64   `json:"active_measured,omitempty"`
 	// Gather-window counters for /predict batching: packed forward passes
 	// run, requests answered through one, and the widest batch flushed.
 	// All zero when batching is off.
@@ -223,6 +290,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/predict", s.withTimeout(s.handlePredict))
 	mux.HandleFunc("/platforms", s.handlePlatforms)
 	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/engine", s.handleEngine)
 	mux.HandleFunc("/checkpoint", s.handleCheckpoint)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.WriteHeader(http.StatusOK)
@@ -340,6 +408,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		LatencyMS: res.LatencyMS, CacheHit: res.Hit, Coalesced: res.Coalesced,
 		Degraded: res.Degraded, Provenance: res.Provenance, Tier: res.Tier,
 		StoreFailed:     res.StoreFailed,
+		Generation:      res.Generation,
 		PipelineSeconds: res.SimSeconds,
 	})
 }
@@ -349,8 +418,14 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
+	// One engine snapshot yields a consistent (predictor, generation) pair:
+	// a hot-swap racing this request either lands entirely before the load
+	// (the request is served by the new weights under the new generation) or
+	// entirely after it (old weights, old generation — whose memo entries
+	// the swap just orphaned).
+	pred, gen := s.engine.Snapshot()
 	s.mu.RLock()
-	pred, bt := s.pred, s.batch
+	bt := s.batch
 	s.mu.RUnlock()
 	if pred == nil {
 		writeErr(w, http.StatusServiceUnavailable, errors.New("no trained predictor loaded"))
@@ -366,9 +441,8 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	gen := pred.Generation()
 	if v, ok := s.memo.Get(uint64(key), req.Platform, gen); ok {
-		writeJSON(w, http.StatusOK, PredictResponse{LatencyMS: v, Memoized: true})
+		writeJSON(w, http.StatusOK, PredictResponse{LatencyMS: v, Memoized: true, Generation: gen})
 		return
 	}
 	if bt != nil {
@@ -386,7 +460,10 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 				writeErr(w, http.StatusBadRequest, out.err)
 				return
 			}
-			writeJSON(w, http.StatusOK, PredictResponse{LatencyMS: out.v, Batched: true})
+			// out.gen is the generation the window was opened under — the
+			// weights that actually computed the value, which may predate a
+			// swap that landed while this request waited.
+			writeJSON(w, http.StatusOK, PredictResponse{LatencyMS: out.v, Batched: true, Generation: out.gen})
 		case <-r.Context().Done():
 			// The flush delivers into the job's buffered channel regardless;
 			// this caller just stops waiting for it.
@@ -403,7 +480,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.memo.Put(uint64(key), req.Platform, gen, v)
-	writeJSON(w, http.StatusOK, PredictResponse{LatencyMS: v})
+	writeJSON(w, http.StatusOK, PredictResponse{LatencyMS: v, Generation: gen})
 }
 
 func (s *Server) handlePlatforms(w http.ResponseWriter, r *http.Request) {
@@ -423,13 +500,23 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	m, p, l := s.sys.Store().Counts()
 	es := s.sys.Store().EngineStats()
 	ms := s.memo.Stats()
-	var gen uint64
+	eng := s.engine.Stats()
 	s.mu.RLock()
-	if s.pred != nil {
-		gen = s.pred.Generation()
-	}
 	bs := s.batch.stats()
 	s.mu.RUnlock()
+	var retrainRuns int64
+	var retrainMAPE float64
+	var activeTicks, activeMeasured int64
+	if rt, sc := s.backgroundLoops(); rt != nil || sc != nil {
+		if rt != nil {
+			rst := rt.Status()
+			retrainRuns, retrainMAPE = rst.Runs, rst.LastHoldoutMAPE
+		}
+		if sc != nil {
+			ast := sc.Status()
+			activeTicks, activeMeasured = ast.Ticks, ast.Measured
+		}
+	}
 	writeJSON(w, http.StatusOK, StatsResponse{
 		Queries: st.Queries, Hits: st.Hits, Misses: st.Misses,
 		Coalesced: st.Coalesced, Failures: st.Failures,
@@ -441,7 +528,15 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Degraded: st.Degraded,
 		L1Hits:   st.L1Hits, L1NegHits: st.L1NegHits, L1Evictions: st.L1Evictions,
 		L1Size: st.L1Size, L1Negatives: st.L1Negatives,
-		MemoHits: ms.Hits, MemoSize: ms.Size, PredictorGeneration: gen,
+		MemoHits: ms.Hits, MemoSize: ms.Size, PredictorGeneration: eng.Generation,
+		PredictorReady:         eng.Ready,
+		PredictorSwaps:         eng.Swaps,
+		PredictorSwapRejects:   eng.Rejects,
+		PredictorHoldoutMAPE:   eng.HoldoutMAPE,
+		RetrainRuns:            retrainRuns,
+		RetrainHoldoutMAPE:     retrainMAPE,
+		ActiveTicks:            activeTicks,
+		ActiveMeasured:         activeMeasured,
 		PredictBatches:         bs.Batches,
 		PredictBatchedRequests: bs.Requests,
 		PredictBatchWidthMax:   bs.WidthMax,
@@ -451,6 +546,38 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		DBFsyncs: es.Fsyncs, DBWALBytes: es.WALBytes, DBWALRecords: es.WALRecords,
 		DBCheckpoints: es.Checkpoints, DBSnapshotAgeSec: es.SnapshotAgeSec,
 	})
+}
+
+// EngineResponse is the JSON body returned by /engine: the live engine
+// state, its swap history, and the retrainer/scheduler status when the
+// online loops are running.
+type EngineResponse struct {
+	Engine  serve.EngineStats    `json:"engine"`
+	History []serve.SwapRecord   `json:"history"`
+	Retrain *serve.RetrainStatus `json:"retrain,omitempty"`
+	Active  *serve.ActiveStatus  `json:"active,omitempty"`
+}
+
+// handleEngine is the observability endpoint for the evolving-database
+// loop: predictor generation, swap history, retrain triggers, and active
+// measurement progress in one GET.
+func (s *Server) handleEngine(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, errors.New("GET required"))
+		return
+	}
+	resp := EngineResponse{Engine: s.engine.Stats(), History: s.engine.History()}
+	if rt, sc := s.backgroundLoops(); rt != nil || sc != nil {
+		if rt != nil {
+			st := rt.Status()
+			resp.Retrain = &st
+		}
+		if sc != nil {
+			st := sc.Status()
+			resp.Active = &st
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleCheckpoint is the admin endpoint forcing a storage-engine
@@ -494,6 +621,16 @@ func (s *Server) Serve(addr string) (string, func() error, error) {
 	}
 	go func() { _ = srv.Serve(lis) }()
 	stop := func() error {
+		// Halt the online loops first so no retrain or active measurement
+		// starts while requests drain.
+		if rt, sc := s.backgroundLoops(); rt != nil || sc != nil {
+			if sc != nil {
+				sc.Stop()
+			}
+			if rt != nil {
+				rt.Stop()
+			}
+		}
 		grace := s.ShutdownGrace
 		if grace <= 0 {
 			grace = DefaultShutdownGrace

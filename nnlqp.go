@@ -276,14 +276,24 @@ type Stats struct {
 	PlatformRows   int
 	Latencies      int
 	StorageBytes   int64
+	// PredictorGeneration identifies the loaded predictor's weights
+	// (0 when no predictor is loaded); a retrain or reload bumps it.
+	PredictorGeneration uint64
 }
 
 // Stats returns a snapshot of system statistics.
 func (c *Client) Stats() Stats {
 	qs := c.sys.Stats()
 	m, p, l := c.store.Counts()
+	var gen uint64
+	c.mu.RLock()
+	if c.pred != nil {
+		gen = c.pred.Generation()
+	}
+	c.mu.RUnlock()
 	return Stats{
-		Queries: qs.Queries, CacheHits: qs.Hits, CacheMisses: qs.Misses,
+		PredictorGeneration: gen,
+		Queries:             qs.Queries, CacheHits: qs.Hits, CacheMisses: qs.Misses,
 		Coalesced: qs.Coalesced, Failures: qs.Failures,
 		StoreFailures: qs.StoreFailures,
 		HitRatio:      qs.HitRatio(),

@@ -10,6 +10,7 @@ import (
 	"nnlqp/internal/core"
 	"nnlqp/internal/hwsim"
 	"nnlqp/internal/models"
+	"nnlqp/internal/serve"
 	"nnlqp/internal/train"
 )
 
@@ -147,35 +148,87 @@ func (c *Client) TrainPredictor(opts TrainOptions) error {
 // with no accumulated records are an error.
 func (c *Client) TrainPredictorFromDB(opts TrainOptions) error {
 	opts = opts.withDefaults()
+	samples, err := c.dbSamples(opts)
+	if err != nil {
+		return err
+	}
+	return c.fitPredictor(opts, samples)
+}
+
+// TrainReport summarizes a from-database training run: corpus and holdout
+// sizes plus the trained predictor's accuracy on the held-out split.
+type TrainReport struct {
+	Samples      int
+	Holdout      int
+	HoldoutMAPE  float64
+	HoldoutAcc10 float64
+	Took         time.Duration
+}
+
+// TrainPredictorFromDBReport is TrainPredictorFromDB with validation: the
+// database corpus is split by the same deterministic holdout rule the
+// server's online retrainer uses (core.SplitHoldout at the retrainer's
+// default fraction), the predictor is fitted on the training split only,
+// and the report carries its MAPE / Acc(10%) on the unseen holdout — so an
+// offline `nnlqp-train -from-db` run and an online retrain of the same
+// snapshot validate against the same records.
+func (c *Client) TrainPredictorFromDBReport(opts TrainOptions) (*TrainReport, error) {
+	opts = opts.withDefaults()
+	samples, err := c.dbSamples(opts)
+	if err != nil {
+		return nil, err
+	}
+	trainSet, holdout := core.SplitHoldout(samples, serve.DefaultRetrainConfig().HoldoutFrac)
+	start := time.Now()
+	if err := c.fitPredictor(opts, trainSet); err != nil {
+		return nil, err
+	}
+	rep := &TrainReport{Samples: len(samples), Holdout: len(holdout), Took: time.Since(start)}
+	if len(holdout) > 0 {
+		c.mu.RLock()
+		pred := c.pred
+		c.mu.RUnlock()
+		m, err := pred.Evaluate(holdout)
+		if err != nil {
+			return nil, err
+		}
+		rep.HoldoutMAPE, rep.HoldoutAcc10 = m.MAPE, m.Acc10
+	}
+	return rep, nil
+}
+
+// dbSamples decodes every configured platform's TrainingSnapshot into one
+// sample set (insertion order per platform, so splits are reproducible).
+func (c *Client) dbSamples(opts TrainOptions) ([]core.Sample, error) {
 	var samples []core.Sample
 	for _, plat := range opts.Platforms {
 		prec, ok, err := c.store.FindPlatformByName(plat)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		if !ok {
-			return fmt.Errorf("nnlqp: platform %s has no records in the database", plat)
+			return nil, fmt.Errorf("nnlqp: platform %s has no records in the database", plat)
 		}
 		ts, err := c.store.TrainingSnapshot(prec.ID)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		if len(ts.Records) == 0 {
-			return fmt.Errorf("nnlqp: platform %s has no latency records in the database", plat)
+			return nil, fmt.Errorf("nnlqp: platform %s has no latency records in the database", plat)
 		}
 		for _, rec := range ts.Records {
 			mrec, ok := ts.Model(rec.ModelID)
 			if !ok {
-				return fmt.Errorf("nnlqp: latency record %d references missing model %d", rec.ID, rec.ModelID)
+				return nil, fmt.Errorf("nnlqp: latency record %d references missing model %d", rec.ID, rec.ModelID)
 			}
 			s, err := core.NewSample(mrec.Graph, rec.LatencyMS, plat)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			samples = append(samples, s)
 		}
 	}
-	return c.fitPredictor(opts, samples)
+	return samples, nil
 }
 
 // fitPredictor trains a fresh predictor on samples and installs it.
