@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race chaos check fmt vet bench bench-db bench-query bench-predict bench-retrain
+.PHONY: build test race chaos check fmt vet bench bench-db bench-query bench-predict bench-retrain bench-cluster
 
 build:
 	$(GO) build ./...
@@ -17,7 +17,8 @@ race:
 		./internal/db ./internal/query ./internal/hwsim ./internal/server \
 		./internal/tensor ./internal/train ./internal/gnn ./internal/core \
 		./internal/baselines ./internal/chaos ./internal/serve \
-		./internal/feats ./internal/onnx ./internal/graphhash
+		./internal/feats ./internal/onnx ./internal/graphhash \
+		./internal/cluster
 
 # End-to-end fault-injection storms (internal/chaos) with a pinned seed:
 # every fault mode plus the mixed fleet, under the race detector. Replay a
@@ -64,4 +65,12 @@ bench-predict:
 bench-retrain:
 	$(GO) test ./internal/serve -run '^$$' \
 		-bench 'BenchmarkEngineSwap|BenchmarkEngineSnapshot|BenchmarkRetrainCycle|BenchmarkSchedulerScore' \
+		-benchmem -benchtime 1s
+
+# Cluster-serving baselines (BENCH_cluster.json): the router-hop tax on a
+# warm L1 hit (direct vs routed) and each routing policy's aggregate L1 hit
+# rate over a three-replica repeated-graph workload.
+bench-cluster:
+	$(GO) test ./internal/server -run '^$$' \
+		-bench 'BenchmarkRouterOverhead|BenchmarkClusterPolicyL1' \
 		-benchmem -benchtime 1s

@@ -1,13 +1,18 @@
-// Command nnlqp-server runs the NNLQP HTTP service: latency query backed by
-// the evolving database and the (simulated) device farm, plus latency
-// prediction when a trained predictor is supplied.
+// Command nnlqp-server is the composition root for NNLQP's serving processes.
+// By default it wires all node roles into one process — storage (database +
+// L1 cache), measurement (device farm + resilience ladder) and the serving
+// core (HTTP handlers + predictor engine) — exactly the single-server layout
+// every earlier revision shipped. With -route it instead runs none of those
+// roles and becomes a cluster front-end router fanning requests across
+// replica servers under a pluggable policy.
 //
 // Usage:
 //
 //	nnlqp-server -addr :8080 -db ./nnlqp-data -predictor pred.gob
 //	nnlqp-server -addr :8080 -farm 127.0.0.1:9090   # remote device farm
+//	nnlqp-server -addr :8080 -route 127.0.0.1:8081,127.0.0.1:8082,127.0.0.1:8083 -route-policy affinity
 //
-// On SIGINT/SIGTERM the server stops accepting connections and drains
+// On SIGINT/SIGTERM the process stops accepting connections and drains
 // in-flight requests for up to -shutdown-grace before exiting.
 package main
 
@@ -19,9 +24,11 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"nnlqp/internal/cluster"
 	"nnlqp/internal/core"
 	"nnlqp/internal/db"
 	"nnlqp/internal/hwsim"
@@ -63,9 +70,65 @@ func main() {
 	activeInterval := flag.Duration("active-measure-interval", 0, "scheduler tick interval (0 = default 15s)")
 	activePerTick := flag.Int("active-measure-per-tick", 0, "measurements scheduled per tick (0 = default 2)")
 	activeCandidates := flag.Int("active-measure-candidates", 0, "candidate graphs scored per scheduled measurement (0 = default 8)")
+	route := flag.String("route", "", "comma-separated replica addresses; non-empty runs this process as a cluster router instead of a server")
+	routePolicy := flag.String("route-policy", "round-robin", "routing policy: round-robin, least-loaded or affinity")
+	routeAttempts := flag.Int("route-attempts", 0, "replicas one request may try before giving up (0 = default 3)")
+	routeRetryBudget := flag.Float64("route-retry-budget", 0, "router retry token bucket capacity (0 = default 16)")
+	routeProbe := flag.Duration("route-probe-interval", 0, "replica health-probe cadence (0 = default 2s)")
 	pprofAddr := flag.String("pprof-addr", "", "listen address for net/http/pprof (empty = disabled); keep it loopback-only")
 	flag.Parse()
 
+	if *pprofAddr != "" {
+		// pprof gets its own mux and listener so the profiling surface is
+		// never exposed on the serving address.
+		pm := http.NewServeMux()
+		pm.HandleFunc("/debug/pprof/", pprof.Index)
+		pm.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pm.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pm.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("pprof listening on http://%s/debug/pprof/", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, pm); err != nil {
+				log.Printf("pprof listener: %v", err)
+			}
+		}()
+	}
+
+	// Router role: no storage, no farm, no predictor — just membership and
+	// policy over the replicas' public HTTP API.
+	if *route != "" {
+		policy, err := cluster.PolicyByName(*routePolicy)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rt := cluster.New(cluster.Config{
+			Policy:        policy,
+			MaxAttempts:   *routeAttempts,
+			RetryBudget:   *routeRetryBudget,
+			ProbeInterval: *routeProbe,
+		})
+		for i, a := range strings.Split(*route, ",") {
+			a = strings.TrimSpace(a)
+			if a == "" {
+				continue
+			}
+			rt.AddReplica(fmt.Sprintf("replica-%d", i), a)
+		}
+		if len(rt.Members().Members()) == 0 {
+			log.Fatal("-route needs at least one replica address")
+		}
+		bound, stop, err := rt.Serve(*addr)
+		if err != nil {
+			log.Fatalf("listen: %v", err)
+		}
+		fmt.Printf("nnlqp-router (%s) listening on http://%s, %d replicas\n",
+			policy.Name(), bound, len(rt.Members().Members()))
+		waitForSignal(stop, *shutdownGrace)
+		return
+	}
+
+	// Storage role: durable store + L1 serving cache.
 	dbOpts := db.Options{CheckpointWALBytes: *ckptWALBytes, CheckpointRecords: *ckptRecords}
 	switch *syncMode {
 	case "always":
@@ -79,24 +142,22 @@ func main() {
 	if err != nil {
 		log.Fatalf("open store: %v", err)
 	}
-	defer store.Close()
+	storage := server.NewStorageRole(store, *cacheEntries, *cacheNegTTL)
+	defer storage.Close()
 
-	var farm query.Measurer
-	var idle serve.IdleReporter // in-process farm only; remote farms expose no idle signal
+	// Measurement role: device farm (in-process or remote) + resilience.
+	var meas *server.MeasurementRole
 	if *farmAddr != "" {
-		rf, err := hwsim.DialFarm(*farmAddr)
+		meas, err = server.NewRemoteMeasurementRole(*farmAddr)
 		if err != nil {
 			log.Fatalf("dial farm: %v", err)
 		}
-		defer rf.Close()
-		farm = rf
+		defer meas.Close()
 	} else {
-		lf := &hwsim.LocalFarm{Farm: hwsim.NewDefaultFarm(*devices)}
-		farm = lf
-		idle = lf
+		meas = server.NewLocalMeasurementRole(*devices)
 	}
 	if !*noResilience {
-		farm = query.NewResilientFarm(farm, query.ResilienceConfig{
+		meas.EnableResilience(query.ResilienceConfig{
 			MaxAttempts:     *maxAttempts,
 			AttemptTimeout:  *attemptTimeout,
 			HedgeDelay:      *hedgeDelay,
@@ -119,16 +180,10 @@ func main() {
 		log.Printf("predictor loaded: platforms %v", pred.Platforms())
 	}
 
-	srv := server.New(store, farm, pred)
+	// Serving core composed over the two roles.
+	srv := server.NewCore(storage, meas, pred)
 	if *noDegrade {
 		srv.System().SetFallback(nil)
-	}
-	if *cacheEntries != 0 || *cacheNegTTL != 0 {
-		entries := *cacheEntries
-		if entries < 0 {
-			entries = 1
-		}
-		srv.System().ConfigureCache(entries, *cacheNegTTL)
 	}
 	srv.RequestTimeout = *reqTimeout
 	srv.ShutdownGrace = *shutdownGrace
@@ -154,37 +209,24 @@ func main() {
 			PerTick:    *activePerTick,
 			Candidates: *activeCandidates,
 		}
-		srv.EnableActiveMeasurement(cfg, idle)
+		srv.EnableActiveMeasurement(cfg, nil)
 		log.Printf("active measurement enabled (interval %s)", cfg.WithDefaults().Interval)
 	}
 
-	if *pprofAddr != "" {
-		// pprof gets its own mux and listener so the profiling surface is
-		// never exposed on the serving address.
-		pm := http.NewServeMux()
-		pm.HandleFunc("/debug/pprof/", pprof.Index)
-		pm.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-		pm.HandleFunc("/debug/pprof/profile", pprof.Profile)
-		pm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-		pm.HandleFunc("/debug/pprof/trace", pprof.Trace)
-		go func() {
-			log.Printf("pprof listening on http://%s/debug/pprof/", *pprofAddr)
-			if err := http.ListenAndServe(*pprofAddr, pm); err != nil {
-				log.Printf("pprof listener: %v", err)
-			}
-		}()
-	}
 	bound, stop, err := srv.Serve(*addr)
 	if err != nil {
 		log.Fatalf("listen: %v", err)
 	}
 	fmt.Printf("nnlqp-server listening on http://%s\n", bound)
 	fmt.Print(hwsim.FleetSummary())
+	waitForSignal(stop, *shutdownGrace)
+}
 
+func waitForSignal(stop func() error, grace time.Duration) {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	log.Printf("shutting down (draining for up to %s)", *shutdownGrace)
+	log.Printf("shutting down (draining for up to %s)", grace)
 	start := time.Now()
 	if err := stop(); err != nil {
 		log.Printf("shutdown: %v", err)

@@ -1,0 +1,259 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"nnlqp/internal/cluster"
+	"nnlqp/internal/core"
+	"nnlqp/internal/db"
+	"nnlqp/internal/hwsim"
+	"nnlqp/internal/models"
+	"nnlqp/internal/server"
+)
+
+// TestChaosClusterReplicaKill is the cluster kill/restart scenario: three
+// replicas — each serving a *different* predictor generation, so a misrouted
+// or torn answer is detectable by value — sit behind a round-robin router
+// while a /predict storm runs. Mid-storm one replica is shut down (gracefully:
+// in-flight requests drain, new connections are refused), then restarted on
+// the same address. The contract:
+//
+//   - the router ejects the dead replica and readmits it after restart,
+//   - not one storm request fails — failed dispatches retry on the next
+//     replica under the token budget,
+//   - every answer's (generation, value) pair belongs to exactly one live
+//     replica: zero requests observe a wrong-generation answer,
+//   - the restarted replica takes real traffic again after readmission.
+func TestChaosClusterReplicaKill(t *testing.T) {
+	pool := make([]*core.Predictor, 3)
+	for i := range pool {
+		p, err := TinyPredictor(*chaosSeed + int64(i)*111)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool[i] = p
+	}
+	graphs, err := Graphs(*chaosSeed, 3, models.FamilySqueezeNet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ground truth: what each replica's generation predicts for each graph.
+	want := map[uint64]map[string]float64{}
+	for _, p := range pool {
+		byGraph := map[string]float64{}
+		for _, g := range graphs {
+			v, err := p.Predict(g, hwsim.DatasetPlatform)
+			if err != nil {
+				t.Fatal(err)
+			}
+			byGraph[g.Name] = v
+		}
+		want[p.Generation()] = byGraph
+	}
+
+	store, err := db.OpenStore("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+
+	startReplica := func(i int, addr string) (string, func() error, error) {
+		srv := server.NewCore(server.NewStorageRole(store, 0, 0),
+			server.NewLocalMeasurementRole(2), pool[i])
+		return srv.Serve(addr)
+	}
+	addrs := make([]string, len(pool))
+	stops := make([]func() error, len(pool))
+	for i := range pool {
+		addrs[i], stops[i], err = startReplica(i, "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Cleanup(func() {
+		for _, stop := range stops {
+			if stop != nil {
+				_ = stop()
+			}
+		}
+	})
+
+	// Fast health policy so eject and readmit both happen within the storm:
+	// two blamed failures sink the score below 0.5, and the 150ms→capped
+	// backoff keeps the probation probes coming while the replica is down.
+	rt := cluster.New(cluster.Config{
+		Policy:        cluster.NewRoundRobin(),
+		MaxAttempts:   3,
+		RetryBudget:   1024,
+		ProbeInterval: 40 * time.Millisecond,
+		ProbeTimeout:  time.Second,
+		Health: cluster.HealthPolicy{
+			Threshold: 0.5,
+			Base:      150 * time.Millisecond,
+			Max:       time.Second,
+		},
+	})
+	for i, a := range addrs {
+		rt.AddReplica(fmt.Sprintf("replica-%d", i), a)
+	}
+	rtAddr, rtStop, err := rt.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = rtStop() }()
+	client := server.NewClientTimeout("http://"+rtAddr, 10*time.Second)
+
+	// The storm: six workers hammer /predict through the router for the whole
+	// kill/restart cycle, validating every single answer against the ground
+	// truth of the generation that produced it.
+	var (
+		stopStorm = make(chan struct{})
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		failures  []error
+		answered  atomic.Int64
+	)
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stopStorm:
+					return
+				default:
+				}
+				g := graphs[(w+i)%len(graphs)]
+				ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+				resp, err := client.PredictDetailed(ctx, g, hwsim.DatasetPlatform, 0)
+				cancel()
+				mu.Lock()
+				if err != nil {
+					failures = append(failures, fmt.Errorf("worker %d req %d: %w", w, i, err))
+				} else if exp, ok := want[resp.Generation]; !ok {
+					failures = append(failures, fmt.Errorf(
+						"worker %d req %d: generation %d belongs to no replica", w, i, resp.Generation))
+				} else if resp.LatencyMS != exp[g.Name] {
+					failures = append(failures, fmt.Errorf(
+						"worker %d req %d: gen %d answered %v, want %v — wrong-generation answer",
+						w, i, resp.Generation, resp.LatencyMS, exp[g.Name]))
+				}
+				mu.Unlock()
+				answered.Add(1)
+				time.Sleep(time.Millisecond) // bound the request rate, not the coverage
+			}
+		}(w)
+	}
+	defer func() {
+		select {
+		case <-stopStorm:
+		default:
+			close(stopStorm)
+		}
+		wg.Wait()
+	}()
+
+	memberStatus := func(st cluster.StatusResponse, name string) cluster.MemberStatus {
+		for _, m := range st.Members {
+			if m.Name == name {
+				return m
+			}
+		}
+		t.Fatalf("member %s missing from status %+v", name, st)
+		return cluster.MemberStatus{}
+	}
+	waitFor := func(what string, deadline time.Duration, cond func(cluster.StatusResponse) bool) cluster.StatusResponse {
+		end := time.Now().Add(deadline)
+		for {
+			st := rt.Status()
+			if cond(st) {
+				return st
+			}
+			if time.Now().After(end) {
+				t.Fatalf("timed out waiting for %s: %+v", what, st)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+
+	// Phase 1: warm — round-robin spreads traffic across all three replicas.
+	waitFor("warm-up traffic", 20*time.Second, func(st cluster.StatusResponse) bool {
+		for _, m := range st.Members {
+			if m.Requests == 0 {
+				return false
+			}
+		}
+		return st.Requests >= 12
+	})
+
+	// Phase 2: kill replica-0. Graceful shutdown drains its in-flight
+	// requests; everything after gets connection-refused, which the router
+	// must blame, retry on the next replica, and convert into an ejection.
+	if err := stops[0](); err != nil {
+		t.Fatal(err)
+	}
+	stops[0] = nil
+	st := waitFor("replica-0 ejection", 20*time.Second, func(st cluster.StatusResponse) bool {
+		m := memberStatus(st, "replica-0")
+		return m.Ejections >= 1 && !m.Healthy
+	})
+	t.Logf("ejected: %+v", memberStatus(st, "replica-0"))
+
+	// Phase 3: restart on the same address (the membership entry is fixed, so
+	// the replica must come back where the router expects it).
+	for end := time.Now().Add(5 * time.Second); ; {
+		_, stop0, err := startReplica(0, addrs[0])
+		if err == nil {
+			stops[0] = stop0
+			break
+		}
+		if time.Now().After(end) {
+			t.Fatalf("restart on %s: %v", addrs[0], err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Phase 4: the prober must readmit it — probation first, then full
+	// rehabilitation on the next successful probe.
+	st = waitFor("replica-0 readmission", 20*time.Second, func(st cluster.StatusResponse) bool {
+		m := memberStatus(st, "replica-0")
+		return m.Healthy && !m.Probation && m.Readmissions >= 1
+	})
+	atReadmit := memberStatus(st, "replica-0").Requests
+	t.Logf("readmitted: %+v", memberStatus(st, "replica-0"))
+
+	// Phase 5: readmission is real — the restarted replica serves storm
+	// traffic again, not just probes (probes do not count as requests).
+	waitFor("post-readmit traffic on replica-0", 20*time.Second, func(st cluster.StatusResponse) bool {
+		return memberStatus(st, "replica-0").Requests > atReadmit
+	})
+
+	close(stopStorm)
+	wg.Wait()
+	for _, err := range failures {
+		t.Error(err)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	final := rt.Status()
+	m0 := memberStatus(final, "replica-0")
+	t.Logf("storm: answered=%d retries=%d denied=%d exhausted=%d no_healthy=%d replica-0={ejections=%d readmissions=%d failures=%d}",
+		answered.Load(), final.Retries, final.RetriesDenied, final.Exhausted, final.NoHealthy,
+		m0.Ejections, m0.Readmissions, m0.Failures)
+	if m0.Ejections < 1 || m0.Readmissions < 1 {
+		t.Fatalf("kill/restart cycle not reflected in health history: %+v", m0)
+	}
+	if final.Retries == 0 {
+		t.Fatal("no request ever retried: the kill window was never exercised")
+	}
+	if answered.Load() < 50 {
+		t.Fatalf("storm only answered %d requests", answered.Load())
+	}
+}

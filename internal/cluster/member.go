@@ -1,0 +1,282 @@
+package cluster
+
+import (
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Replica health mirrors the device-farm taxonomy (internal/hwsim/health.go):
+// every routed outcome folds into an EWMA success score per replica; a replica
+// whose score sinks below the eject threshold is pulled from the healthy set
+// for a doubling backoff window, then readmitted on probation — one success
+// fully rehabilitates it, one failure re-ejects it with a doubled window
+// (capped). The background prober keeps scoring ejected replicas, so a
+// restarted replica rejoins without any client traffic having to gamble on it.
+
+// Health policy defaults; override with Config.Health.
+const (
+	DefaultEjectThreshold = 0.35
+	DefaultEjectBase      = 500 * time.Millisecond
+	DefaultEjectMax       = 30 * time.Second
+	memberDecay           = 0.65 // EWMA weight kept on failure/success
+)
+
+// HealthPolicy configures when replicas are ejected and for how long.
+type HealthPolicy struct {
+	// Threshold is the EWMA score below which a replica is ejected.
+	Threshold float64
+	// Base/Max bound the exponential ejection window.
+	Base, Max time.Duration
+}
+
+func (p HealthPolicy) withDefaults() HealthPolicy {
+	if p.Threshold <= 0 {
+		p.Threshold = DefaultEjectThreshold
+	}
+	if p.Base <= 0 {
+		p.Base = DefaultEjectBase
+	}
+	if p.Max <= 0 {
+		p.Max = DefaultEjectMax
+	}
+	return p
+}
+
+// Member is one backend replica the router can dispatch to.
+type Member struct {
+	name string // display name, unique within the membership
+	addr string // host:port of the replica's HTTP listener
+	seed uint64 // rendezvous seed, FNV-64a of name
+
+	inflight       atomic.Int64 // requests this router currently has open
+	remoteInFlight atomic.Int64 // in_flight gauge from the last /stats probe
+	requests       atomic.Int64 // requests dispatched (including failed)
+	failures       atomic.Int64 // dispatches blamed on the replica
+
+	mu           sync.Mutex
+	score        float64 // EWMA of success(1)/failure(0), starts at 1
+	ejectedUntil time.Time
+	backoff      time.Duration
+	probation    bool
+	ejections    int64
+	readmissions int64
+
+	// Health policy, copied from the membership at Add so reportResult needs
+	// no back-pointer. Guarded by mu.
+	policyThreshold float64
+	policyBase      time.Duration
+	policyMax       time.Duration
+}
+
+// NewMember builds a member for a replica at addr. name must be unique within
+// a membership; it seeds the rendezvous ranking, so a member keeps its slice
+// of the keyspace across router restarts.
+func NewMember(name, addr string) *Member {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	p := HealthPolicy{}.withDefaults()
+	return &Member{
+		name: name, addr: addr, seed: h.Sum64(), score: 1,
+		policyThreshold: p.Threshold, policyBase: p.Base, policyMax: p.Max,
+	}
+}
+
+// Name returns the member's display name.
+func (m *Member) Name() string { return m.name }
+
+// Addr returns the replica's host:port.
+func (m *Member) Addr() string { return m.addr }
+
+// Load is the member's outstanding-request estimate: the router's own
+// in-flight count plus the gauge the replica reported on its last probe.
+func (m *Member) Load() int64 { return m.inflight.Load() + m.remoteInFlight.Load() }
+
+// healthy reports whether the member is outside its ejection window.
+func (m *Member) healthy(now time.Time) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return !now.Before(m.ejectedUntil)
+}
+
+// reportResult folds one routed outcome into the member's health score.
+// ok=false means the failure is replica-attributed (network error, 5xx the
+// replica should not emit); relayed client errors must not be reported.
+func (m *Member) reportResult(ok bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if ok {
+		m.score = memberDecay*m.score + (1 - memberDecay)
+		if m.probation {
+			// A probe answered: full rehabilitation.
+			m.probation = false
+			m.backoff = 0
+			m.score = 1
+		}
+		return
+	}
+	m.score = memberDecay * m.score
+	if m.probation || m.score < m.policyThreshold {
+		m.ejectLocked(time.Now())
+	}
+}
+
+// ejectLocked pulls the member from the healthy set for its (doubling)
+// backoff window. Callers must hold m.mu.
+func (m *Member) ejectLocked(now time.Time) {
+	if m.backoff <= 0 {
+		m.backoff = m.policyBase
+	} else {
+		m.backoff *= 2
+		if m.backoff > m.policyMax {
+			m.backoff = m.policyMax
+		}
+	}
+	m.ejectedUntil = now.Add(m.backoff)
+	m.probation = false
+	m.score = 1 // the probation probe re-judges the replica from scratch
+	m.ejections++
+}
+
+// Eject forces the member out of rotation for d (an admin hook, also used by
+// tests and chaos to stage membership churn).
+func (m *Member) Eject(d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.ejectedUntil = time.Now().Add(d)
+	m.probation = false
+	m.ejections++
+}
+
+// maybeReadmit moves a member whose ejection window has expired onto
+// probation. Called by the healthy-set scan; idempotent.
+func (m *Member) maybeReadmit(now time.Time) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.ejectedUntil.IsZero() || now.Before(m.ejectedUntil) || m.probation {
+		return
+	}
+	m.ejectedUntil = time.Time{}
+	m.probation = true
+	m.readmissions++
+}
+
+// MemberStatus is the wire form of one member's state in /cluster.
+type MemberStatus struct {
+	Name         string  `json:"name"`
+	Addr         string  `json:"addr"`
+	Healthy      bool    `json:"healthy"`
+	Probation    bool    `json:"probation"`
+	Score        float64 `json:"score"`
+	InFlight     int64   `json:"in_flight"`
+	RemoteLoad   int64   `json:"remote_in_flight"`
+	Requests     int64   `json:"requests"`
+	Failures     int64   `json:"failures"`
+	Ejections    int64   `json:"ejections"`
+	Readmissions int64   `json:"readmissions"`
+}
+
+// Status snapshots the member for /cluster.
+func (m *Member) Status() MemberStatus {
+	now := time.Now()
+	m.mu.Lock()
+	st := MemberStatus{
+		Name:         m.name,
+		Addr:         m.addr,
+		Healthy:      !now.Before(m.ejectedUntil),
+		Probation:    m.probation,
+		Score:        m.score,
+		Ejections:    m.ejections,
+		Readmissions: m.readmissions,
+	}
+	m.mu.Unlock()
+	st.InFlight = m.inflight.Load()
+	st.RemoteLoad = m.remoteInFlight.Load()
+	st.Requests = m.requests.Load()
+	st.Failures = m.failures.Load()
+	return st
+}
+
+// Membership is the router's replica set. Members can be added and removed
+// while serving; Healthy also performs readmission (expired ejection windows
+// flip to probation as a side effect of being observed).
+type Membership struct {
+	mu      sync.RWMutex
+	members []*Member
+	policy  HealthPolicy
+}
+
+// NewMembership builds an empty membership with the given health policy
+// (zero fields take defaults).
+func NewMembership(policy HealthPolicy) *Membership {
+	return &Membership{policy: policy.withDefaults()}
+}
+
+// Add registers a member. Adding a name that already exists replaces the old
+// entry (a restarted replica re-registering keeps its keyspace slice).
+func (ms *Membership) Add(m *Member) {
+	m.mu.Lock()
+	m.policyThreshold = ms.policy.Threshold
+	m.policyBase = ms.policy.Base
+	m.policyMax = ms.policy.Max
+	m.mu.Unlock()
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	for i, old := range ms.members {
+		if old.name == m.name {
+			ms.members[i] = m
+			return
+		}
+	}
+	ms.members = append(ms.members, m)
+}
+
+// Remove drops the named member; it reports whether one was found.
+func (ms *Membership) Remove(name string) bool {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	for i, m := range ms.members {
+		if m.name == name {
+			ms.members = append(ms.members[:i:i], ms.members[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Lookup returns the named member, if registered.
+func (ms *Membership) Lookup(name string) (*Member, bool) {
+	ms.mu.RLock()
+	defer ms.mu.RUnlock()
+	for _, m := range ms.members {
+		if m.name == name {
+			return m, true
+		}
+	}
+	return nil, false
+}
+
+// Members snapshots the full membership, healthy or not.
+func (ms *Membership) Members() []*Member {
+	ms.mu.RLock()
+	defer ms.mu.RUnlock()
+	return append([]*Member(nil), ms.members...)
+}
+
+// Healthy snapshots the members outside their ejection windows, readmitting
+// (onto probation) any whose window has expired.
+func (ms *Membership) Healthy() []*Member {
+	now := time.Now()
+	ms.mu.RLock()
+	all := append([]*Member(nil), ms.members...)
+	ms.mu.RUnlock()
+	out := make([]*Member, 0, len(all))
+	for _, m := range all {
+		m.maybeReadmit(now)
+		if m.healthy(now) {
+			out = append(out, m)
+		}
+	}
+	return out
+}

@@ -1,0 +1,117 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+)
+
+// Policy orders the healthy replicas for one request. The router dispatches
+// to the first member and falls through the rest on retryable failure, so a
+// policy expresses both the primary choice and the failover order.
+//
+// Implementations must be safe for concurrent use and must not retain the
+// healthy slice (the router reuses it).
+type Policy interface {
+	// Name labels the policy in /cluster and logs.
+	Name() string
+	// Order returns the members to try, most preferred first. healthy is
+	// never empty; the returned slice is freshly allocated.
+	Order(key uint64, healthy []*Member) []*Member
+}
+
+// PolicyByName resolves a policy from its flag spelling: "round-robin",
+// "least-loaded" or "affinity" (cache-affinity rendezvous hashing).
+func PolicyByName(name string) (Policy, error) {
+	switch name {
+	case "round-robin", "rr", "":
+		return NewRoundRobin(), nil
+	case "least-loaded", "ll":
+		return LeastLoaded{}, nil
+	case "affinity", "cache-affinity", "hrw":
+		return CacheAffinity{}, nil
+	}
+	return nil, fmt.Errorf("cluster: unknown policy %q (want round-robin, least-loaded or affinity)", name)
+}
+
+// RoundRobin rotates dispatch across the healthy set: request n starts at
+// member n mod len and fails over in ring order. Ignores the request key, so
+// repeated queries for one graph spread — and warm — every replica's L1.
+type RoundRobin struct {
+	n atomic.Uint64
+}
+
+// NewRoundRobin returns a round-robin policy starting at the first member.
+func NewRoundRobin() *RoundRobin { return &RoundRobin{} }
+
+// Name implements Policy.
+func (*RoundRobin) Name() string { return "round-robin" }
+
+// Order implements Policy.
+func (r *RoundRobin) Order(_ uint64, healthy []*Member) []*Member {
+	start := int((r.n.Add(1) - 1) % uint64(len(healthy)))
+	out := make([]*Member, 0, len(healthy))
+	for i := range healthy {
+		out = append(out, healthy[(start+i)%len(healthy)])
+	}
+	return out
+}
+
+// LeastLoaded dispatches to the replica with the fewest outstanding requests:
+// the router's own in-flight count for the member plus the in-flight gauge
+// the member reported on its last /stats probe (so load seen by other
+// routers, or by clients talking to replicas directly, still counts). Ties
+// break by rendezvous score, so equal-load ties keep cache affinity instead
+// of flapping.
+type LeastLoaded struct{}
+
+// Name implements Policy.
+func (LeastLoaded) Name() string { return "least-loaded" }
+
+// Order implements Policy.
+func (LeastLoaded) Order(key uint64, healthy []*Member) []*Member {
+	out := append([]*Member(nil), healthy...)
+	sort.SliceStable(out, func(i, j int) bool {
+		li, lj := out[i].Load(), out[j].Load()
+		if li != lj {
+			return li < lj
+		}
+		return rendezvous(key, out[i].seed) > rendezvous(key, out[j].seed)
+	})
+	return out
+}
+
+// CacheAffinity routes each graph hash to the replica that wins
+// highest-random-weight (rendezvous) hashing on (key, member): the same key
+// always lands on the same live member, so that member's L1 accumulates the
+// key's entry and repeats hit at ~146 ns instead of re-probing the database
+// (~46 µs) or re-measuring. Membership churn is minimally disruptive — when
+// a member leaves only its own keys move (to their second choice), and a
+// joining member steals ~1/N of the keyspace — exactly the property modular
+// hashing lacks.
+type CacheAffinity struct{}
+
+// Name implements Policy.
+func (CacheAffinity) Name() string { return "affinity" }
+
+// Order implements Policy.
+func (CacheAffinity) Order(key uint64, healthy []*Member) []*Member {
+	out := append([]*Member(nil), healthy...)
+	sort.SliceStable(out, func(i, j int) bool {
+		return rendezvous(key, out[i].seed) > rendezvous(key, out[j].seed)
+	})
+	return out
+}
+
+// rendezvous computes the highest-random-weight score of (key, member seed):
+// a 64-bit finalizer-style mix, so each member induces an independent
+// pseudo-random ranking over keys.
+func rendezvous(key, seed uint64) uint64 {
+	x := key ^ seed
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}

@@ -1,0 +1,638 @@
+// Package cluster turns N single-process nnlqp-servers into one serving
+// endpoint: a front-end router owns the replica membership (health probes,
+// EWMA eject/readmit) and fans /query and /predict across the replicas under
+// a pluggable routing policy — round-robin, least-loaded, or cache-affinity
+// rendezvous hashing on the graph hash. Failed dispatches retry on the
+// policy's next choice under a bounded token-bucket budget; /stats aggregates
+// the replica counters and /engine and /cluster expose the per-replica view.
+//
+// The package deliberately depends only on the standard library (it speaks to
+// replicas over their public HTTP API), so internal/server's client can
+// import it for the /cluster response types without an import cycle.
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config tunes the router. Zero values select the defaults.
+type Config struct {
+	// Policy orders replicas per request (default round-robin).
+	Policy Policy
+	// MaxAttempts bounds how many replicas one request may try (default 3).
+	MaxAttempts int
+	// AttemptTimeout bounds each replica attempt (default 30s). The request's
+	// own context still applies on top.
+	AttemptTimeout time.Duration
+	// RetryBudget / RetryRefill shape the shared token bucket: every retry
+	// spends one token, every successful first attempt refunds RetryRefill
+	// tokens (defaults 16 / 0.25). An empty bucket fails fast to the last
+	// response instead of amplifying load on a melting cluster.
+	RetryBudget float64
+	// RetryRefill is the per-success refund (default 0.25).
+	RetryRefill float64
+	// ProbeInterval is the health-probe cadence (default 2s); probes also
+	// refresh each replica's reported in-flight gauge for least-loaded.
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe (default ProbeInterval).
+	ProbeTimeout time.Duration
+	// Health configures replica ejection (zero fields take defaults).
+	Health HealthPolicy
+}
+
+func (c Config) withDefaults() Config {
+	if c.Policy == nil {
+		c.Policy = NewRoundRobin()
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.AttemptTimeout <= 0 {
+		c.AttemptTimeout = 30 * time.Second
+	}
+	if c.RetryBudget <= 0 {
+		c.RetryBudget = 16
+	}
+	if c.RetryRefill <= 0 {
+		c.RetryRefill = 0.25
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 2 * time.Second
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = c.ProbeInterval
+	}
+	c.Health = c.Health.withDefaults()
+	return c
+}
+
+// StatusResponse is the JSON body returned by /cluster.
+type StatusResponse struct {
+	Policy        string         `json:"policy"`
+	Requests      int64          `json:"requests"`
+	Retries       int64          `json:"retries"`
+	RetriesDenied int64          `json:"retries_denied"`
+	NoHealthy     int64          `json:"no_healthy"`
+	Exhausted     int64          `json:"exhausted"`
+	Probes        int64          `json:"probes"`
+	RetryTokens   float64        `json:"retry_tokens"`
+	Members       []MemberStatus `json:"members"`
+}
+
+// Router is the cluster front end. It serves the same /query and /predict
+// wire API as a replica — clients cannot tell a router from a single server —
+// plus the cluster-wide observability endpoints.
+type Router struct {
+	cfg     Config
+	members *Membership
+	httpc   *http.Client
+
+	requests      atomic.Int64
+	retries       atomic.Int64
+	retriesDenied atomic.Int64
+	noHealthy     atomic.Int64
+	exhausted     atomic.Int64
+	probes        atomic.Int64
+
+	budgetMu sync.Mutex
+	budget   float64
+
+	stopMu         sync.Mutex
+	stopCh, doneCh chan struct{}
+}
+
+// New builds a router with an empty membership; register replicas with
+// AddReplica (or Members().Add) before or while serving.
+func New(cfg Config) *Router {
+	cfg = cfg.withDefaults()
+	return &Router{
+		cfg:     cfg,
+		members: NewMembership(cfg.Health),
+		httpc:   &http.Client{},
+		budget:  cfg.RetryBudget,
+	}
+}
+
+// Policy returns the routing policy in use.
+func (rt *Router) Policy() Policy { return rt.cfg.Policy }
+
+// Members exposes the membership for registration and inspection.
+func (rt *Router) Members() *Membership { return rt.members }
+
+// AddReplica registers a replica by name and base address ("host:port" or a
+// full "http://host:port" URL).
+func (rt *Router) AddReplica(name, addr string) *Member {
+	m := NewMember(name, addr)
+	rt.members.Add(m)
+	return m
+}
+
+// spendToken takes one retry token; false means the budget is empty.
+func (rt *Router) spendToken() bool {
+	rt.budgetMu.Lock()
+	defer rt.budgetMu.Unlock()
+	if rt.budget < 1 {
+		return false
+	}
+	rt.budget--
+	return true
+}
+
+// refund credits the budget after a successful first attempt.
+func (rt *Router) refund() {
+	rt.budgetMu.Lock()
+	defer rt.budgetMu.Unlock()
+	rt.budget += rt.cfg.RetryRefill
+	if rt.budget > rt.cfg.RetryBudget {
+		rt.budget = rt.cfg.RetryBudget
+	}
+}
+
+func (rt *Router) retryTokens() float64 {
+	rt.budgetMu.Lock()
+	defer rt.budgetMu.Unlock()
+	return rt.budget
+}
+
+// baseURL normalizes a member address to an http base URL.
+func baseURL(addr string) string {
+	if len(addr) > 7 && (addr[:7] == "http://" || addr[:8] == "https://") {
+		return addr
+	}
+	return "http://" + addr
+}
+
+// requestKey derives the routing key from the request fields the cache keys
+// on: FNV-64a over (model base64, platform, batch). Byte-identical models
+// hash identically, so under cache-affinity every repeat of a graph lands on
+// the replica whose L1 already holds it.
+func requestKey(model, platform string, batch int) uint64 {
+	h := fnv.New64a()
+	io.WriteString(h, model)
+	h.Write([]byte{0})
+	io.WriteString(h, platform)
+	fmt.Fprintf(h, "\x00%d", batch)
+	return h.Sum64()
+}
+
+// proxyRequest is the subset of the replica request body the router needs
+// for key derivation; the body bytes are forwarded untouched.
+type proxyRequest struct {
+	Model     string `json:"model"`
+	Platform  string `json:"platform"`
+	BatchSize int    `json:"batch_size"`
+}
+
+// attemptResult is one replica attempt's outcome.
+type attemptResult struct {
+	status int
+	header http.Header
+	body   []byte
+}
+
+// forward POSTs body to one member under the attempt timeout.
+func (rt *Router) forward(ctx context.Context, m *Member, path string, body []byte) (*attemptResult, error) {
+	actx, cancel := context.WithTimeout(ctx, rt.cfg.AttemptTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(actx, http.MethodPost, baseURL(m.addr)+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	m.requests.Add(1)
+	m.inflight.Add(1)
+	defer m.inflight.Add(-1)
+	resp, err := rt.httpc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	return &attemptResult{status: resp.StatusCode, header: resp.Header, body: data}, nil
+}
+
+// retryable reports whether a replica response should fail over to the next
+// member, and whether the failure is the replica's fault for health scoring.
+// Network errors and 500/502 blame the replica; 503 retries without blame
+// (a replica with no predictor loaded answers /predict 503 — it is healthy,
+// just not useful for this request). 2xx, 4xx and 504 are final: the caller's
+// request or deadline, not the replica.
+func retryable(res *attemptResult, err error) (retry, blame bool) {
+	if err != nil {
+		return true, true
+	}
+	switch res.status {
+	case http.StatusInternalServerError, http.StatusBadGateway:
+		return true, true
+	case http.StatusServiceUnavailable:
+		return true, false
+	}
+	return false, false
+}
+
+// handleProxy routes one /query or /predict request: derive the key, order
+// the healthy set by policy, try members in order with retry-on-next under
+// the token budget, and relay the winning (or final) replica response.
+func (rt *Router) handleProxy(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	rt.requests.Add(1)
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "read body: "+err.Error())
+		return
+	}
+	var req proxyRequest
+	_ = json.Unmarshal(body, &req) // malformed bodies route anywhere; the replica 400s them
+	key := requestKey(req.Model, req.Platform, req.BatchSize)
+
+	healthy := rt.members.Healthy()
+	if len(healthy) == 0 {
+		rt.noHealthy.Add(1)
+		writeErr(w, http.StatusServiceUnavailable, "no healthy replicas")
+		return
+	}
+	order := rt.cfg.Policy.Order(key, healthy)
+	attempts := rt.cfg.MaxAttempts
+	if attempts > len(order) {
+		attempts = len(order)
+	}
+
+	var last *attemptResult
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			if !rt.spendToken() {
+				rt.retriesDenied.Add(1)
+				break
+			}
+			rt.retries.Add(1)
+		}
+		m := order[i]
+		res, err := rt.forward(r.Context(), m, r.URL.Path, body)
+		if r.Context().Err() != nil {
+			// The client went away (or its deadline expired): not the
+			// replica's fault, and no point trying the next one.
+			writeErr(w, http.StatusGatewayTimeout, r.Context().Err().Error())
+			return
+		}
+		retry, blame := retryable(res, err)
+		if blame {
+			m.failures.Add(1)
+			m.reportResult(false)
+		} else {
+			m.reportResult(true)
+		}
+		if !retry {
+			if i == 0 {
+				rt.refund()
+			}
+			relay(w, res)
+			return
+		}
+		last, lastErr = res, err
+	}
+	rt.exhausted.Add(1)
+	if last != nil {
+		relay(w, last)
+		return
+	}
+	writeErr(w, http.StatusBadGateway, fmt.Sprintf("all replicas failed: %v", lastErr))
+}
+
+// relay copies a replica response through to the client.
+func relay(w http.ResponseWriter, res *attemptResult) {
+	if ct := res.header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	w.WriteHeader(res.status)
+	_, _ = w.Write(res.body)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+// get fetches path from one member under the probe timeout.
+func (rt *Router) get(m *Member, path string) ([]byte, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), rt.cfg.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL(m.addr)+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := rt.httpc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: status %d", path, resp.StatusCode)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// probeOnce polls every member's /stats — healthy or ejected — folding the
+// outcome into its health score (this is what readmits a recovered replica
+// without gambling client traffic on it) and refreshing the in-flight gauge
+// least-loaded routing reads.
+func (rt *Router) probeOnce() {
+	for _, m := range rt.members.Members() {
+		rt.probes.Add(1)
+		data, err := rt.get(m, "/stats")
+		if err != nil {
+			m.reportResult(false)
+			continue
+		}
+		var st struct {
+			InFlight int64 `json:"in_flight"`
+		}
+		if json.Unmarshal(data, &st) == nil {
+			m.remoteInFlight.Store(st.InFlight)
+		}
+		m.reportResult(true)
+		m.maybeReadmit(time.Now())
+	}
+}
+
+// StartProber launches the background health-probe loop (Serve does this
+// automatically); StopProber halts it.
+func (rt *Router) StartProber() {
+	rt.stopMu.Lock()
+	defer rt.stopMu.Unlock()
+	if rt.stopCh != nil {
+		return
+	}
+	rt.stopCh = make(chan struct{})
+	rt.doneCh = make(chan struct{})
+	stop, done := rt.stopCh, rt.doneCh
+	go func() {
+		defer close(done)
+		t := time.NewTicker(rt.cfg.ProbeInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				rt.probeOnce()
+			}
+		}
+	}()
+}
+
+// StopProber halts the background probe loop.
+func (rt *Router) StopProber() {
+	rt.stopMu.Lock()
+	stop, done := rt.stopCh, rt.doneCh
+	rt.stopCh, rt.doneCh = nil, nil
+	rt.stopMu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}
+
+// maxKeys are replica /stats fields where the cluster-wide value is the max,
+// not the sum: generations, high-water marks and ages.
+var maxKeys = map[string]bool{
+	"predictor_generation":    true,
+	"predict_batch_width_max": true,
+	"predictor_holdout_mape":  true,
+	"retrain_holdout_mape":    true,
+	"db_snapshot_age_seconds": true,
+}
+
+// mergeStats folds one replica's /stats JSON into the aggregate: numbers sum
+// (or max, for maxKeys), booleans OR. Note database row counts sum too — the
+// aggregate is the replicas' combined view, so replicas sharing one store
+// count it once per replica.
+func mergeStats(agg map[string]any, one map[string]any) {
+	for k, v := range one {
+		switch val := v.(type) {
+		case float64:
+			prev, _ := agg[k].(float64)
+			if maxKeys[k] {
+				if _, ok := agg[k]; !ok || val > prev {
+					agg[k] = val
+				}
+			} else {
+				agg[k] = prev + val
+			}
+		case bool:
+			prev, _ := agg[k].(bool)
+			agg[k] = prev || val
+		default:
+			if _, ok := agg[k]; !ok {
+				agg[k] = v
+			}
+		}
+	}
+}
+
+// handleStats aggregates /stats across the healthy replicas: counters sum,
+// gauges in maxKeys take the max, hit_ratio is recomputed from the summed
+// hits/queries, and "replicas" reports how many answered.
+func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	agg := map[string]any{}
+	replicas := 0
+	for _, m := range rt.members.Healthy() {
+		data, err := rt.get(m, "/stats")
+		if err != nil {
+			m.reportResult(false)
+			continue
+		}
+		var one map[string]any
+		if json.Unmarshal(data, &one) != nil {
+			continue
+		}
+		mergeStats(agg, one)
+		replicas++
+	}
+	if q, _ := agg["queries"].(float64); q > 0 {
+		h, _ := agg["hits"].(float64)
+		agg["hit_ratio"] = h / q
+	}
+	agg["replicas"] = replicas
+	writeJSON(w, http.StatusOK, agg)
+}
+
+// handleEngine returns each healthy replica's /engine response keyed by
+// member name — predictor generations and swap histories are per-replica
+// state, so they are presented side by side rather than merged.
+func (rt *Router) handleEngine(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	out := map[string]json.RawMessage{}
+	for _, m := range rt.members.Healthy() {
+		data, err := rt.get(m, "/engine")
+		if err != nil {
+			out[m.name] = mustJSON(map[string]string{"error": err.Error()})
+			continue
+		}
+		out[m.name] = json.RawMessage(data)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleCheckpoint fans the checkpoint request out to every healthy replica
+// and reports each one's response (or error) by member name.
+func (rt *Router) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	out := map[string]json.RawMessage{}
+	for _, m := range rt.members.Healthy() {
+		ctx, cancel := context.WithTimeout(r.Context(), rt.cfg.AttemptTimeout)
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL(m.addr)+"/checkpoint", nil)
+		if err == nil {
+			var resp *http.Response
+			if resp, err = rt.httpc.Do(req); err == nil {
+				data, rerr := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if rerr == nil && resp.StatusCode == http.StatusOK {
+					out[m.name] = json.RawMessage(data)
+					cancel()
+					continue
+				}
+				err = fmt.Errorf("status %d", resp.StatusCode)
+			}
+		}
+		cancel()
+		out[m.name] = mustJSON(map[string]string{"error": err.Error()})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handlePlatforms forwards to the first healthy replica (every replica
+// serves the same simulator platform set).
+func (rt *Router) handlePlatforms(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	for _, m := range rt.members.Healthy() {
+		data, err := rt.get(m, "/platforms")
+		if err != nil {
+			m.reportResult(false)
+			continue
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(data)
+		return
+	}
+	writeErr(w, http.StatusServiceUnavailable, "no healthy replicas")
+}
+
+// handleCluster reports the router's own state: policy, retry counters,
+// token budget and the per-member health view.
+func (rt *Router) handleCluster(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	writeJSON(w, http.StatusOK, rt.Status())
+}
+
+// Status snapshots the router for /cluster.
+func (rt *Router) Status() StatusResponse {
+	st := StatusResponse{
+		Policy:        rt.cfg.Policy.Name(),
+		Requests:      rt.requests.Load(),
+		Retries:       rt.retries.Load(),
+		RetriesDenied: rt.retriesDenied.Load(),
+		NoHealthy:     rt.noHealthy.Load(),
+		Exhausted:     rt.exhausted.Load(),
+		Probes:        rt.probes.Load(),
+		RetryTokens:   rt.retryTokens(),
+	}
+	for _, m := range rt.members.Members() {
+		st.Members = append(st.Members, m.Status())
+	}
+	return st
+}
+
+func mustJSON(v any) json.RawMessage {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return json.RawMessage(`{}`)
+	}
+	return data
+}
+
+// Handler returns the router's HTTP mux: the replica-compatible serving
+// endpoints plus the cluster view.
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", rt.handleProxy)
+	mux.HandleFunc("/predict", rt.handleProxy)
+	mux.HandleFunc("/platforms", rt.handlePlatforms)
+	mux.HandleFunc("/stats", rt.handleStats)
+	mux.HandleFunc("/engine", rt.handleEngine)
+	mux.HandleFunc("/checkpoint", rt.handleCheckpoint)
+	mux.HandleFunc("/cluster", rt.handleCluster)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// Serve starts the router on addr (use "127.0.0.1:0" for ephemeral), starts
+// the health prober, and returns the bound address and a stop func that
+// halts the prober and drains in-flight requests.
+func (rt *Router) Serve(addr string) (string, func() error, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	rt.StartProber()
+	srv := &http.Server{
+		Handler:           rt.Handler(),
+		ReadTimeout:       30 * time.Second,
+		ReadHeaderTimeout: 10 * time.Second,
+		WriteTimeout:      2 * rt.cfg.AttemptTimeout * time.Duration(rt.cfg.MaxAttempts),
+		IdleTimeout:       2 * time.Minute,
+	}
+	go func() { _ = srv.Serve(lis) }()
+	stop := func() error {
+		rt.StopProber()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			return srv.Close()
+		}
+		return nil
+	}
+	return lis.Addr().String(), stop, nil
+}

@@ -43,6 +43,56 @@ func AccDelta(truth, pred []float64, delta float64) float64 {
 	return float64(hit) / float64(len(truth)) * 100
 }
 
+// Pearson is the Pearson correlation coefficient between truth and pred:
+// 1.0 means the predictor ranks and scales latencies linearly with reality,
+// 0 means no linear relationship. NaN for mismatched/empty inputs or when
+// either series is constant (zero variance).
+func Pearson(truth, pred []float64) float64 {
+	if len(truth) != len(pred) || len(truth) == 0 {
+		return math.NaN()
+	}
+	n := float64(len(truth))
+	var mt, mp float64
+	for i := range truth {
+		mt += truth[i]
+		mp += pred[i]
+	}
+	mt /= n
+	mp /= n
+	var cov, vt, vp float64
+	for i := range truth {
+		dt, dp := truth[i]-mt, pred[i]-mp
+		cov += dt * dp
+		vt += dt * dt
+		vp += dp * dp
+	}
+	if vt == 0 || vp == 0 {
+		return math.NaN()
+	}
+	return cov / math.Sqrt(vt*vp)
+}
+
+// Calibration is the mean predicted latency over the mean true latency: 1.0
+// is perfectly calibrated in aggregate, above 1 the predictor systematically
+// over-estimates, below 1 it under-estimates. Orthogonal to MAPE (a
+// predictor can have low MAPE yet a consistent bias) and to Pearson (a
+// perfectly correlated predictor can still be scaled wrong). NaN for
+// mismatched/empty inputs or a zero truth mean.
+func Calibration(truth, pred []float64) float64 {
+	if len(truth) != len(pred) || len(truth) == 0 {
+		return math.NaN()
+	}
+	var st, sp float64
+	for i := range truth {
+		st += truth[i]
+		sp += pred[i]
+	}
+	if st == 0 {
+		return math.NaN()
+	}
+	return sp / st
+}
+
 // SplitHoldout deterministically splits samples into a training set and a
 // held-out validation set: with frac ≈ 1/k, every k-th sample (by position)
 // is held out. The split depends only on sample order — which

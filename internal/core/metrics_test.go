@@ -1,0 +1,42 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPearson(t *testing.T) {
+	truth := []float64{1, 2, 3, 4, 5}
+	if r := Pearson(truth, []float64{2, 4, 6, 8, 10}); math.Abs(r-1) > 1e-12 {
+		t.Fatalf("perfect positive correlation = %v", r)
+	}
+	if r := Pearson(truth, []float64{10, 8, 6, 4, 2}); math.Abs(r+1) > 1e-12 {
+		t.Fatalf("perfect negative correlation = %v", r)
+	}
+	// Zero variance on either side is undefined, not ±1.
+	if r := Pearson(truth, []float64{3, 3, 3, 3, 3}); !math.IsNaN(r) {
+		t.Fatalf("constant predictions gave %v, want NaN", r)
+	}
+	if r := Pearson(nil, nil); !math.IsNaN(r) {
+		t.Fatalf("empty input gave %v, want NaN", r)
+	}
+	if r := Pearson(truth, []float64{1, 2}); !math.IsNaN(r) {
+		t.Fatalf("length mismatch gave %v, want NaN", r)
+	}
+}
+
+func TestCalibration(t *testing.T) {
+	truth := []float64{1, 2, 3, 4}
+	if c := Calibration(truth, []float64{2, 4, 6, 8}); math.Abs(c-2) > 1e-12 {
+		t.Fatalf("2x over-prediction = %v, want 2", c)
+	}
+	if c := Calibration(truth, truth); math.Abs(c-1) > 1e-12 {
+		t.Fatalf("perfect calibration = %v, want 1", c)
+	}
+	if c := Calibration(nil, nil); !math.IsNaN(c) {
+		t.Fatalf("empty input gave %v, want NaN", c)
+	}
+	if c := Calibration([]float64{0, 0}, []float64{1, 1}); !math.IsNaN(c) {
+		t.Fatalf("zero truth mass gave %v, want NaN", c)
+	}
+}

@@ -139,6 +139,17 @@ func (c *Cache) Get(k CacheKey) (CacheValue, bool, bool) {
 	return e.val, true, false
 }
 
+// Peek reports whether k has a positive entry, without touching LRU order or
+// any counter — a read-only probe for callers (the active-measurement
+// scheduler) that must not distort serving statistics.
+func (c *Cache) Peek(k CacheKey) bool {
+	s := c.shard(k)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[k]
+	return ok && !e.negative
+}
+
 // Put records a durable measurement (write-through from the store path or
 // promotion from an L2 hit). It replaces a negative entry for the same key.
 func (c *Cache) Put(k CacheKey, v CacheValue) {

@@ -42,6 +42,21 @@ type Measurer interface {
 	Measure(ctx context.Context, platform string, g *onnx.Graph, holder string) (*hwsim.MeasureResult, error)
 }
 
+// Storage is the durable L2 tier the query path runs against — exactly the
+// store operations serving needs, so the query system no longer owns a
+// concrete *db.Store. A process can hand the same *db.Store (which satisfies
+// this interface) to several serving cores, or swap in an alternative durable
+// tier, without the query layer knowing.
+type Storage interface {
+	InsertPlatform(name, hardware, software, dataType string) (*db.PlatformRecord, error)
+	FindModelByHash(key graphhash.Key) (*db.ModelRecord, bool, error)
+	FindLatency(modelID, platformID uint64, batch int) (*db.LatencyRecord, bool, error)
+	RecordMeasurement(g *onnx.Graph, platformID uint64, rec db.LatencyRecord) (modelID uint64, latencyMS float64, err error)
+	InsertModel(g *onnx.Graph) (*db.ModelRecord, error)
+	InsertLatency(rec db.LatencyRecord) (uint64, error)
+	Counts() (models, platforms, latencies int)
+}
+
 // DeviceCounter is optionally implemented by farms that can report how many
 // devices they hold for a platform; QueryMany uses it to size its worker
 // pool. hwsim.LocalFarm and hwsim.RemoteFarm both implement it.
@@ -93,9 +108,10 @@ type GenerationPredictor interface {
 // System is the NNLQ service: storage plus a device farm, fronted by an
 // in-process L1 cache (see cache.go); the durable store is the L2 tier.
 type System struct {
-	store *db.Store
+	store Storage
 	farm  Measurer
 	cache *Cache
+	obs   *obsLog
 
 	mu       sync.Mutex
 	stats    Stats
@@ -187,13 +203,26 @@ func (s Stats) HitRatio() float64 {
 
 // New builds a query system over a store and a farm, with a default-sized
 // L1 cache (resize with ConfigureCache before serving).
-func New(store *db.Store, farm Measurer) *System {
-	return &System{store: store, farm: farm, cache: NewCache(0, 0), inflight: make(map[string]*flight)}
+func New(store Storage, farm Measurer) *System {
+	return NewWith(store, farm, nil)
+}
+
+// NewWith builds a query system over an externally owned L1 cache (nil
+// creates a default-sized one). This is the role-composition constructor: a
+// storage role that owns both the durable store and the serving cache hands
+// them over together, so cache ownership is explicit rather than buried in
+// the query layer.
+func NewWith(store Storage, farm Measurer, cache *Cache) *System {
+	if cache == nil {
+		cache = NewCache(0, 0)
+	}
+	return &System{store: store, farm: farm, cache: cache, obs: newObsLog(0), inflight: make(map[string]*flight)}
 }
 
 // ConfigureCache replaces the L1 with one of the given capacity and negative
 // TTL (zero values select the defaults). Call before serving traffic: the
-// swap is not synchronized against in-flight queries.
+// swap is not synchronized against in-flight queries. Role-based wiring
+// should size the cache on the storage role (server.NewStorageRole) instead.
 func (s *System) ConfigureCache(entries int, negTTL time.Duration) {
 	s.cache = NewCache(entries, negTTL)
 }
@@ -215,8 +244,10 @@ func (s *System) InvalidateCached(g *onnx.Graph, platform string) (bool, error) 
 // FlushCache empties the L1 tier entirely (the nuclear invalidation hook).
 func (s *System) FlushCache() { s.cache.Flush() }
 
-// Store exposes the underlying store (the predictor trainers read it).
-func (s *System) Store() *db.Store { return s.store }
+// Store exposes the underlying durable tier. Callers that need the full
+// *db.Store surface (training snapshots, checkpointing) should hold their own
+// reference — the serving layer's storage role does — rather than downcast.
+func (s *System) Store() Storage { return s.store }
 
 // SetFallback installs (or, with nil, clears) the predictor used for
 // graceful degradation when a platform has no healthy devices before the
@@ -436,6 +467,11 @@ func (s *System) Query(ctx context.Context, g *onnx.Graph, platform string) (*Re
 	delete(s.inflight, fkey)
 	s.mu.Unlock()
 	close(fl.done)
+
+	// Every miss that reached the farm is an observation: the active
+	// measurement scheduler mines this log for graphs real traffic asked
+	// about — especially ones that never got ground truth (degraded/failed).
+	s.obs.record(g, platform, key, merr == nil && !degraded, degraded)
 
 	if merr != nil {
 		s.countFailure()

@@ -1,0 +1,69 @@
+package serve
+
+import (
+	"encoding/json"
+	"testing"
+
+	"nnlqp/internal/hwsim"
+)
+
+// TestDriftProbeReportsPearsonAndCalibration: once a predictor is live, every
+// poll scores it against the recent observe-predict window and publishes the
+// three health figures — rolling MAPE, Pearson correlation and calibration
+// ratio — even when no retrain trigger fires.
+func TestDriftProbeReportsPearsonAndCalibration(t *testing.T) {
+	store := testStore(t)
+	seedMeasurements(t, store, hwsim.DatasetPlatform, 1, 12, 1)
+
+	e := NewEngine(nil)
+	cfg := fastRetrainConfig()
+	cfg.MinNewRecords = 1000 // no count trigger: the probe must run regardless
+	r := NewRetrainer(store, e, cfg)
+	if swapped, err := r.CheckOnce(); err != nil || !swapped {
+		t.Fatalf("bootstrap: swapped=%v err=%v", swapped, err)
+	}
+
+	// A no-trigger poll still probes the window.
+	if swapped, err := r.CheckOnce(); err != nil || swapped {
+		t.Fatalf("idle poll: swapped=%v err=%v", swapped, err)
+	}
+	st := r.Status()
+	if st.LastRollingMAPE <= 0 {
+		t.Fatalf("no rolling MAPE recorded: %+v", st)
+	}
+	if st.LastRollingPearson == 0 || st.LastRollingPearson < -1 || st.LastRollingPearson > 1 {
+		t.Fatalf("rolling Pearson out of range or unset: %+v", st)
+	}
+	if st.LastCalibrationRatio <= 0 {
+		t.Fatalf("calibration ratio unset: %+v", st)
+	}
+
+	// The platform drifts to 2× latencies: the predictor now systematically
+	// under-predicts, so the calibration ratio (mean predicted / mean true)
+	// must drop below its pre-drift value.
+	before := st.LastCalibrationRatio
+	seedMeasurements(t, store, hwsim.DatasetPlatform, 13, 8, 2)
+	if _, err := r.CheckOnce(); err != nil {
+		t.Fatal(err)
+	}
+	st = r.Status()
+	if !(st.LastCalibrationRatio < before) {
+		t.Fatalf("calibration ratio did not fall under drift: before=%v after=%v",
+			before, st.LastCalibrationRatio)
+	}
+
+	// The figures ride along in the status JSON /engine serves.
+	data, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"last_rolling_mape", "last_rolling_pearson", "last_calibration_ratio"} {
+		if _, ok := decoded[k]; !ok {
+			t.Fatalf("status JSON missing %s: %s", k, data)
+		}
+	}
+}

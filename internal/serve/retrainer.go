@@ -11,6 +11,20 @@ import (
 	"nnlqp/internal/db"
 )
 
+// TrainStore is the durable-tier surface the retrainer needs — snapshots and
+// recent-record reads. *db.Store satisfies it; taking the interface keeps the
+// retrainer wired to a storage role rather than owning a concrete store, so a
+// serving process can hand the same store to several consumers (or a test can
+// substitute a fake) without the retrainer knowing.
+type TrainStore interface {
+	FindPlatformByName(name string) (*db.PlatformRecord, bool, error)
+	Platforms() ([]db.PlatformRecord, error)
+	LatencyCount(platformID uint64) (int, error)
+	RecentLatencies(platformID uint64, n int) ([]db.LatencyRecord, error)
+	GetModel(id uint64) (*db.ModelRecord, bool, error)
+	TrainingSnapshot(platformID uint64) (*db.TrainingSet, error)
+}
+
 // RetrainConfig controls the online retraining loop.
 //
 // The drift-trigger state machine (DESIGN.md §12):
@@ -120,8 +134,15 @@ type RetrainStatus struct {
 	LastHoldoutMAPE   float64 `json:"last_holdout_mape,omitempty"`
 	LastHoldoutAcc10  float64 `json:"last_holdout_acc10,omitempty"`
 	LastRollingMAPE   float64 `json:"last_rolling_mape,omitempty"`
-	LastTrainSeconds  float64 `json:"last_train_seconds,omitempty"`
-	LastError         string  `json:"last_error,omitempty"`
+	// LastRollingPearson / LastCalibrationRatio are the drift probe's
+	// companion figures over the same observe-predict window: correlation
+	// catches a predictor whose ranking collapsed even while MAPE looks
+	// tolerable, and the calibration ratio (mean predicted / mean true, 1.0 =
+	// unbiased) catches a systematic scale drift MAPE averages away.
+	LastRollingPearson   float64 `json:"last_rolling_pearson,omitempty"`
+	LastCalibrationRatio float64 `json:"last_calibration_ratio,omitempty"`
+	LastTrainSeconds     float64 `json:"last_train_seconds,omitempty"`
+	LastError            string  `json:"last_error,omitempty"`
 }
 
 // Retrainer watches the evolving database and keeps the Engine's predictor
@@ -132,7 +153,7 @@ type RetrainStatus struct {
 // only when the candidate is at least as accurate as the incumbent on that
 // same holdout.
 type Retrainer struct {
-	store  *db.Store
+	store  TrainStore
 	engine *Engine
 	cfg    RetrainConfig
 
@@ -146,7 +167,7 @@ type Retrainer struct {
 
 // NewRetrainer builds a retrainer over the store and engine. Call Start for
 // the background loop, or CheckOnce to drive it manually (tests, CLIs).
-func NewRetrainer(store *db.Store, engine *Engine, cfg RetrainConfig) *Retrainer {
+func NewRetrainer(store TrainStore, engine *Engine, cfg RetrainConfig) *Retrainer {
 	return &Retrainer{
 		store:         store,
 		engine:        engine,
@@ -264,24 +285,31 @@ func (r *Retrainer) decideTrigger(plats []platformRecords) (string, float64) {
 	counts := r.trainedCounts
 	swapMAPE := r.swapMAPE
 	r.mu.Unlock()
+	// Run the drift probe on every poll once a predictor is live (not only
+	// when a drift trigger could fire): rolling MAPE, Pearson correlation and
+	// the calibration ratio are the continuous health signals /engine exposes,
+	// and a manually loaded predictor (swapMAPE == 0) deserves them too.
+	rolling, probed := math.NaN(), false
+	if m, err := r.driftProbe(plats); err == nil {
+		rolling, probed = m, !math.IsNaN(m)
+	}
 	for _, p := range plats {
 		if p.count-counts[p.rec.Name] >= r.cfg.MinNewRecords {
 			return fmt.Sprintf("count:%s", p.rec.Name), 0
 		}
 	}
-	if swapMAPE > 0 {
-		rolling, err := r.rollingMAPE(plats)
-		if err == nil && !math.IsNaN(rolling) && rolling > swapMAPE*r.cfg.DriftMAPEFactor {
-			return fmt.Sprintf("drift:%.1f%%>%.1f%%", rolling, swapMAPE*r.cfg.DriftMAPEFactor), rolling
-		}
+	if swapMAPE > 0 && probed && rolling > swapMAPE*r.cfg.DriftMAPEFactor {
+		return fmt.Sprintf("drift:%.1f%%>%.1f%%", rolling, swapMAPE*r.cfg.DriftMAPEFactor), rolling
 	}
 	return "", 0
 }
 
-// rollingMAPE scores the live predictor against the most recent DriftWindow
-// records of every training platform — the continuous observe-predict
-// calibration probe.
-func (r *Retrainer) rollingMAPE(plats []platformRecords) (float64, error) {
+// driftProbe scores the live predictor against the most recent DriftWindow
+// records of every training platform — the continuous observe-predict probe.
+// It records rolling MAPE (the drift-trigger input) together with the Pearson
+// correlation and calibration ratio over the same window, and returns the
+// rolling MAPE.
+func (r *Retrainer) driftProbe(plats []platformRecords) (float64, error) {
 	pred := r.engine.Current()
 	if pred == nil {
 		return math.NaN(), nil
@@ -316,8 +344,16 @@ func (r *Retrainer) rollingMAPE(plats []platformRecords) (float64, error) {
 		return math.NaN(), nil
 	}
 	m := core.MAPE(truths, preds)
+	pearson := core.Pearson(truths, preds)
+	calib := core.Calibration(truths, preds)
 	r.mu.Lock()
 	r.status.LastRollingMAPE = m
+	if !math.IsNaN(pearson) {
+		r.status.LastRollingPearson = pearson
+	}
+	if !math.IsNaN(calib) {
+		r.status.LastCalibrationRatio = calib
+	}
 	r.mu.Unlock()
 	return m, nil
 }

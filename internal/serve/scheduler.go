@@ -78,13 +78,18 @@ type IdleReporter interface {
 
 // ActiveStatus is a snapshot of the scheduler's counters.
 type ActiveStatus struct {
-	Ticks       int64  `json:"ticks"`
-	Scheduled   int64  `json:"scheduled"`
-	Measured    int64  `json:"measured"`
-	Unsupported int64  `json:"unsupported"`
-	Failures    int64  `json:"failures"`
-	SkippedBusy int64  `json:"skipped_busy"`
-	LastError   string `json:"last_error,omitempty"`
+	Ticks       int64 `json:"ticks"`
+	Scheduled   int64 `json:"scheduled"`
+	Measured    int64 `json:"measured"`
+	Unsupported int64 `json:"unsupported"`
+	Failures    int64 `json:"failures"`
+	SkippedBusy int64 `json:"skipped_busy"`
+	// LogCandidates / ZooCandidates count where scored candidates came from:
+	// the query observation log (the workload's observed distribution) vs the
+	// static model zoo (the cold-start fallback).
+	LogCandidates int64  `json:"log_candidates"`
+	ZooCandidates int64  `json:"zoo_candidates"`
+	LastError     string `json:"last_error,omitempty"`
 }
 
 // Scheduler spends idle farm capacity on the measurements that teach the
@@ -238,13 +243,44 @@ func (a *Scheduler) platforms() []string {
 	return hwsim.PlatformNames()
 }
 
-// TickOnce runs one scheduling round: draw candidates, score, measure the
-// top PerTick on the platform with the most idle capacity. It returns the
-// first measurement error (unsupported-op rejections are counted, not
-// returned — a simulator platform legitimately rejects some variants).
-func (a *Scheduler) TickOnce(ctx context.Context) error {
+// logBonus weights candidates drawn from the query observation log over zoo
+// variants: graphs real traffic asked about are worth more than synthetic
+// ones, and graphs the database still has no ground truth for (degraded or
+// failed queries) are worth the most — measuring them converts a served guess
+// into a stored measurement.
+const (
+	logBonusObserved   = 0.5
+	logBonusUnmeasured = 1.5
+)
+
+// drawCandidates assembles one tick's scored candidate pool for the target
+// platform. Up to half the budget is drawn from the query log's observed
+// distribution (most recent first, skipping graphs the L1 already holds
+// ground truth for on the target); the remainder — the whole budget when the
+// log is cold — comes from the static model zoo.
+func (a *Scheduler) drawCandidates(target string) []candidate {
+	cands := make([]candidate, 0, a.cfg.Candidates)
+	var logDrawn, zooDrawn int64
+
+	quota := (a.cfg.Candidates + 1) / 2
+	seen := make(map[uint64]bool)
+	for _, o := range a.sys.Observations(4 * a.cfg.Candidates) {
+		if len(cands) >= quota {
+			break
+		}
+		if seen[uint64(o.Hash)] || a.sys.CachedPositive(o.Graph, target) {
+			continue
+		}
+		seen[uint64(o.Hash)] = true
+		bonus := logBonusObserved
+		if !o.Measured || o.Degraded {
+			bonus = logBonusUnmeasured
+		}
+		cands = append(cands, candidate{graph: o.Graph, score: a.score(o.Graph) + bonus})
+		logDrawn++
+	}
+
 	a.mu.Lock()
-	a.status.Ticks++
 	rng := a.rng
 	// Draw under the lock: rand.Rand is not goroutine-safe and Start's loop
 	// may race a manual TickOnce call.
@@ -252,26 +288,42 @@ func (a *Scheduler) TickOnce(ctx context.Context) error {
 		fam  string
 		seed int64
 	}
-	draws := make([]draw, a.cfg.Candidates)
+	draws := make([]draw, a.cfg.Candidates-len(cands))
 	for i := range draws {
 		draws[i] = draw{fam: a.cfg.Families[rng.Intn(len(a.cfg.Families))], seed: rng.Int63()}
 	}
 	a.mu.Unlock()
-
-	cands := make([]candidate, 0, len(draws))
 	for _, d := range draws {
 		g, err := models.Variant(d.fam, rand.New(rand.NewSource(d.seed)), 1)
 		if err != nil {
 			continue
 		}
 		cands = append(cands, candidate{graph: g, score: a.score(g)})
+		zooDrawn++
 	}
-	sort.SliceStable(cands, func(i, j int) bool { return cands[i].score > cands[j].score })
 
-	// Pick the platform with the most idle devices; with no reporter, rotate
-	// deterministically through the list.
+	a.mu.Lock()
+	a.status.LogCandidates += logDrawn
+	a.status.ZooCandidates += zooDrawn
+	a.mu.Unlock()
+	return cands
+}
+
+// TickOnce runs one scheduling round: pick the target platform, draw
+// candidates from the query log's observed distribution (zoo fallback),
+// score, and measure the top PerTick. It returns the first measurement error
+// (unsupported-op rejections are counted, not returned — a simulator platform
+// legitimately rejects some variants).
+func (a *Scheduler) TickOnce(ctx context.Context) error {
+	a.mu.Lock()
+	a.status.Ticks++
+	ticks := a.status.Ticks
+	a.mu.Unlock()
+
+	// Pick the platform with the most idle devices first (the log filter is
+	// target-relative); with no reporter, rotate deterministically.
 	plats := a.platforms()
-	if len(plats) == 0 || len(cands) == 0 {
+	if len(plats) == 0 {
 		return nil
 	}
 	target := plats[0]
@@ -289,10 +341,14 @@ func (a *Scheduler) TickOnce(ctx context.Context) error {
 			return nil
 		}
 	} else {
-		a.mu.Lock()
-		target = plats[int(a.status.Ticks)%len(plats)]
-		a.mu.Unlock()
+		target = plats[int(ticks)%len(plats)]
 	}
+
+	cands := a.drawCandidates(target)
+	if len(cands) == 0 {
+		return nil
+	}
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].score > cands[j].score })
 
 	var firstErr error
 	n := a.cfg.PerTick

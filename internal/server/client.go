@@ -11,6 +11,7 @@ import (
 	"strings"
 	"time"
 
+	"nnlqp/internal/cluster"
 	"nnlqp/internal/onnx"
 )
 
@@ -157,6 +158,25 @@ func (c *Client) Engine() (*EngineResponse, error) {
 	}
 	defer resp.Body.Close()
 	var out EngineResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Cluster fetches the router's cluster status: routing policy, retry
+// counters and the per-member health view. Only routers serve /cluster; a
+// plain server answers 404.
+func (c *Client) Cluster() (*cluster.StatusResponse, error) {
+	resp, err := c.HTTP.Get(c.BaseURL + "/cluster")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("server: status %d (is this a router?)", resp.StatusCode)
+	}
+	var out cluster.StatusResponse
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 		return nil, err
 	}

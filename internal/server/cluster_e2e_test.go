@@ -1,0 +1,166 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+
+	"nnlqp/internal/cluster"
+	"nnlqp/internal/db"
+	"nnlqp/internal/hwsim"
+	"nnlqp/internal/models"
+	"nnlqp/internal/onnx"
+)
+
+// startCluster brings up nReplicas serving cores over one shared durable
+// store (private L1s, shared L2 — the multi-replica layout the role split
+// exists for) behind a router running the given policy, and returns a client
+// pointed at the router plus the router's base URL.
+func startCluster(t *testing.T, nReplicas int, policy cluster.Policy) (*Client, string) {
+	t.Helper()
+	store, err := db.OpenStore("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { store.Close() })
+
+	rt := cluster.New(cluster.Config{Policy: policy})
+	for i := 0; i < nReplicas; i++ {
+		storage := NewStorageRole(store, 0, 0)
+		meas := NewLocalMeasurementRole(2)
+		srv := NewCore(storage, meas, nil)
+		addr, stop, err := srv.Serve("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { stop() })
+		rt.AddReplica(fmt.Sprintf("replica-%d", i), addr)
+	}
+	addr, stop, err := rt.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { stop() })
+	return NewClient("http://" + addr), "http://" + addr
+}
+
+// aggregateL1Rate reads the router's aggregated /stats and returns the
+// cluster-wide L1 hit rate plus the raw counters.
+func aggregateL1Rate(t *testing.T, baseURL string) (rate float64, l1Hits, queries float64) {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var agg map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&agg); err != nil {
+		t.Fatal(err)
+	}
+	l1Hits, _ = agg["l1_hits"].(float64)
+	queries, _ = agg["queries"].(float64)
+	if queries == 0 {
+		t.Fatalf("aggregate stats report no queries: %v", agg)
+	}
+	return l1Hits / queries, l1Hits, queries
+}
+
+// runRepeatedWorkload drives the same G graphs through the router R times in
+// a fixed order, asserting every answer is usable.
+func runRepeatedWorkload(t *testing.T, c *Client, graphs []*onnx.Graph, passes int) {
+	t.Helper()
+	for p := 0; p < passes; p++ {
+		for i, g := range graphs {
+			r, err := c.Query(g, hwsim.DatasetPlatform, 0)
+			if err != nil {
+				t.Fatalf("pass %d graph %d: %v", p, i, err)
+			}
+			if r.LatencyMS <= 0 {
+				t.Fatalf("pass %d graph %d: latency %v", p, i, r.LatencyMS)
+			}
+		}
+	}
+}
+
+// TestClusterAffinityBeatsRoundRobinL1 is the cluster acceptance test: on a
+// repeated-graph workload over three replicas sharing one durable store,
+// cache-affinity routing must produce a strictly higher aggregate L1 hit rate
+// than round-robin. Affinity pins each graph to one replica (1 miss + R-1 L1
+// hits per graph); round-robin spreads each graph's repeats across all three
+// private L1s, re-warming each from the shared L2 first.
+func TestClusterAffinityBeatsRoundRobinL1(t *testing.T) {
+	const nGraphs, passes = 10, 6
+	graphs := make([]*onnx.Graph, nGraphs)
+	for i := range graphs {
+		graphs[i] = models.BuildSqueezeNet(models.BaseSqueezeNet(i + 1))
+	}
+
+	rrClient, rrURL := startCluster(t, 3, cluster.NewRoundRobin())
+	runRepeatedWorkload(t, rrClient, graphs, passes)
+	rrRate, rrHits, rrQueries := aggregateL1Rate(t, rrURL)
+
+	afClient, afURL := startCluster(t, 3, cluster.CacheAffinity{})
+	runRepeatedWorkload(t, afClient, graphs, passes)
+	afRate, afHits, afQueries := aggregateL1Rate(t, afURL)
+
+	t.Logf("round-robin: l1=%v/%v (%.3f)  affinity: l1=%v/%v (%.3f)",
+		rrHits, rrQueries, rrRate, afHits, afQueries, afRate)
+	if rrQueries != nGraphs*passes || afQueries != nGraphs*passes {
+		t.Fatalf("query counts: rr=%v affinity=%v, want %d", rrQueries, afQueries, nGraphs*passes)
+	}
+	if !(afRate > rrRate) {
+		t.Fatalf("affinity L1 rate %.3f not strictly above round-robin %.3f", afRate, rrRate)
+	}
+	// The shapes are deterministic: affinity pins each graph to one replica,
+	// so exactly one miss per graph cluster-wide.
+	if want := float64(nGraphs * (passes - 1)); afHits != want {
+		t.Fatalf("affinity l1_hits = %v, want %v", afHits, want)
+	}
+}
+
+// TestClusterRouterIsWireCompatible: a client built for a single server works
+// unchanged against the router — /query, /predict-shaped errors, /platforms,
+// and the router-only /cluster endpoint via Client.Cluster.
+func TestClusterRouterIsWireCompatible(t *testing.T) {
+	c, _ := startCluster(t, 2, cluster.LeastLoaded{})
+	g := models.BuildSqueezeNet(models.BaseSqueezeNet(1))
+
+	r1, err := c.Query(g, hwsim.DatasetPlatform, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.CacheHit {
+		t.Fatalf("first query hit: %+v", r1)
+	}
+	// Same graph again: least-loaded ties break by rendezvous, so the repeat
+	// lands on the same replica and hits its L1.
+	r2, err := c.Query(g, hwsim.DatasetPlatform, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.CacheHit || r2.LatencyMS != r1.LatencyMS {
+		t.Fatalf("repeat query: %+v want hit at %v", r2, r1.LatencyMS)
+	}
+
+	// No replica has a predictor: /predict relays the replicas' 503.
+	if _, err := c.Predict(g, hwsim.DatasetPlatform, 0); err == nil {
+		t.Fatal("predict with no predictor loaded succeeded")
+	}
+
+	plats, err := c.Platforms()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plats) == 0 {
+		t.Fatal("no platforms via router")
+	}
+
+	st, err := c.Cluster()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Policy != "least-loaded" || len(st.Members) != 2 || st.Requests < 3 {
+		t.Fatalf("cluster status: %+v", st)
+	}
+}

@@ -1,0 +1,120 @@
+package server
+
+import (
+	"time"
+
+	"nnlqp/internal/db"
+	"nnlqp/internal/hwsim"
+	"nnlqp/internal/query"
+	"nnlqp/internal/serve"
+)
+
+// Node roles (DESIGN.md §13). The server used to be a god-object: one struct
+// privately owned the durable store, the L1 cache, the device farm, the
+// resilience ladder, the predictor engine and the HTTP handlers, so "run part
+// of the system in this process" was not expressible. The roles below are
+// separately constructible units a composition root (cmd/nnlqp-server) wires
+// together:
+//
+//   - StorageRole     — durable store (WAL/checkpoint) + the L1 serving cache
+//   - MeasurementRole — device farm + the retry/hedge resilience ladder
+//   - Server          — the serving core: HTTP handlers, predictor engine,
+//     prediction memo and the /predict batcher, composed over the two roles
+//
+// A process can run all roles (server.New — today's single-process wiring,
+// flag-compatible), point the measurement role at a remote farm, share one
+// storage role across several serving cores, or run none of them and act as a
+// cluster front-end router instead (internal/cluster).
+
+// StorageRole owns the durable tier and the in-process L1 serving cache: the
+// store's WAL/checkpoint lifecycle and the cache sizing live here, not in the
+// query path. The same role can back several serving cores in one process —
+// they share the durable L2 and the L1 write-through discipline.
+type StorageRole struct {
+	store *db.Store
+	cache *query.Cache
+}
+
+// NewStorageRole wraps an open store with an L1 cache of the given capacity
+// and negative TTL (zero values select the defaults).
+func NewStorageRole(store *db.Store, cacheEntries int, negTTL time.Duration) *StorageRole {
+	if cacheEntries < 0 {
+		cacheEntries = 1
+	}
+	return &StorageRole{store: store, cache: query.NewCache(cacheEntries, negTTL)}
+}
+
+// Store exposes the durable store (the retrainer trains from its snapshots).
+func (r *StorageRole) Store() *db.Store { return r.store }
+
+// Cache exposes the L1 serving tier this role owns.
+func (r *StorageRole) Cache() *query.Cache { return r.cache }
+
+// Checkpoint forces a storage-engine checkpoint (snapshot + WAL truncation).
+func (r *StorageRole) Checkpoint() error { return r.store.Checkpoint() }
+
+// EngineStats reports the storage-engine counters.
+func (r *StorageRole) EngineStats() db.EngineStats { return r.store.EngineStats() }
+
+// Counts reports the database row counts.
+func (r *StorageRole) Counts() (models, platforms, latencies int) { return r.store.Counts() }
+
+// StorageBytes reports the durable tier's on-disk (or in-memory) footprint.
+func (r *StorageRole) StorageBytes() int64 { return r.store.StorageBytes() }
+
+// Close releases the store.
+func (r *StorageRole) Close() error { return r.store.Close() }
+
+// MeasurementRole owns the device farm and the resilience ladder in front of
+// it. The farm may be in-process (NewLocalMeasurementRole), remote
+// (NewRemoteMeasurementRole), or custom (NewMeasurementRole); EnableResilience
+// layers the PR-4 retry/hedge/budget wrapper on whichever farm is installed.
+type MeasurementRole struct {
+	farm  query.Measurer
+	idle  serve.IdleReporter // nil when the farm exposes no idle signal
+	close func() error       // nil when there is nothing to release
+}
+
+// NewMeasurementRole wraps an arbitrary farm (tests, custom fleets). No idle
+// signal is assumed; resilience is off until EnableResilience.
+func NewMeasurementRole(farm query.Measurer) *MeasurementRole {
+	return &MeasurementRole{farm: farm}
+}
+
+// NewLocalMeasurementRole builds the in-process simulated fleet with the
+// given devices per platform, exposing its idle signal for the
+// active-measurement scheduler.
+func NewLocalMeasurementRole(devicesPerPlatform int) *MeasurementRole {
+	lf := &hwsim.LocalFarm{Farm: hwsim.NewDefaultFarm(devicesPerPlatform)}
+	return &MeasurementRole{farm: lf, idle: lf}
+}
+
+// NewRemoteMeasurementRole dials a remote device farm (nnlqp-farm). Remote
+// farms expose no idle signal.
+func NewRemoteMeasurementRole(addr string) (*MeasurementRole, error) {
+	rf, err := hwsim.DialFarm(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &MeasurementRole{farm: rf, close: rf.Close}, nil
+}
+
+// EnableResilience wraps the current farm with the retry/hedge/budget ladder.
+// Call during composition, before the role is handed to a serving core.
+func (m *MeasurementRole) EnableResilience(cfg query.ResilienceConfig) {
+	m.farm = query.NewResilientFarm(m.farm, cfg)
+}
+
+// Farm exposes the (possibly resilience-wrapped) measurer.
+func (m *MeasurementRole) Farm() query.Measurer { return m.farm }
+
+// Idle exposes the farm's idle-capacity signal (nil for remote/custom farms).
+func (m *MeasurementRole) Idle() serve.IdleReporter { return m.idle }
+
+// Close releases the farm connection when the role owns one.
+func (m *MeasurementRole) Close() error {
+	if m.close == nil {
+		return nil
+	}
+	return m.close()
+}

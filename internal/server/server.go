@@ -41,16 +41,20 @@ const (
 	DefaultShutdownGrace  = 10 * time.Second
 )
 
-// Server is the HTTP service state. The live predictor is owned by a
-// serve.Engine: one atomically swappable handle shared by /predict, the
-// gather-window batcher, and the query path's degradation fallback, so a
-// hot-swap is observed by every consumer at once.
+// Server is the serving core: the HTTP handlers, the predictor engine, the
+// prediction memo and the /predict batcher, composed over a StorageRole and a
+// MeasurementRole (roles.go). The live predictor is owned by a serve.Engine:
+// one atomically swappable handle shared by /predict, the gather-window
+// batcher, and the query path's degradation fallback, so a hot-swap is
+// observed by every consumer at once.
 type Server struct {
-	sys    *query.System
-	memo   *core.PredictMemo
-	engine *serve.Engine
-	mu     sync.RWMutex
-	batch  *batcher // nil = /predict answers each request individually
+	storage *StorageRole
+	meas    *MeasurementRole
+	sys     *query.System
+	memo    *core.PredictMemo
+	engine  *serve.Engine
+	mu      sync.RWMutex
+	batch   *batcher // nil = /predict answers each request individually
 
 	retrainMu sync.Mutex
 	retrainer *serve.Retrainer
@@ -64,16 +68,18 @@ type Server struct {
 	ShutdownGrace time.Duration
 }
 
-// New builds a server over a store, a device farm, and an optional trained
-// predictor (nil disables /predict until a predictor arrives via
-// SetPredictor or the retrainer). The predictor doubles as the query path's
-// degradation fallback: when the farm cannot measure before the deadline,
-// /query answers with the prediction, marked "degraded". The engine is
-// installed as the fallback even while empty — a not-Ready engine degrades
+// NewCore composes a serving core over explicitly constructed roles — the
+// composition-root constructor. The optional predictor (nil disables /predict
+// until one arrives via SetPredictor or the retrainer) doubles as the query
+// path's degradation fallback: when the farm cannot measure before the
+// deadline, /query answers with the prediction, marked "degraded". The engine
+// is installed as the fallback even while empty — a not-Ready engine degrades
 // nothing (query.ReadyReporter), so behaviour matches having no fallback.
-func New(store *db.Store, farm query.Measurer, pred *core.Predictor) *Server {
+func NewCore(storage *StorageRole, meas *MeasurementRole, pred *core.Predictor) *Server {
 	s := &Server{
-		sys:            query.New(store, farm),
+		storage:        storage,
+		meas:           meas,
+		sys:            query.NewWith(storage.Store(), meas.Farm(), storage.Cache()),
 		memo:           core.NewPredictMemo(0),
 		engine:         serve.NewEngine(pred),
 		RequestTimeout: DefaultRequestTimeout,
@@ -83,9 +89,23 @@ func New(store *db.Store, farm query.Measurer, pred *core.Predictor) *Server {
 	return s
 }
 
+// New builds a single-process server over a store, a device farm, and an
+// optional trained predictor — the all-roles-in-one wiring every PR before
+// the role split used, kept signature- and behaviour-compatible. It is
+// exactly NewCore over default-constructed roles.
+func New(store *db.Store, farm query.Measurer, pred *core.Predictor) *Server {
+	return NewCore(NewStorageRole(store, 0, 0), NewMeasurementRole(farm), pred)
+}
+
 // System exposes the underlying query system (to tune resilience, install a
 // custom fallback, or read stats directly).
 func (s *Server) System() *query.System { return s.sys }
+
+// Storage exposes the storage role this core serves from.
+func (s *Server) Storage() *StorageRole { return s.storage }
+
+// Measurement exposes the measurement role this core serves from.
+func (s *Server) Measurement() *MeasurementRole { return s.meas }
 
 // Engine exposes the predictor engine (the retrainer swaps through it;
 // tests and CLIs inspect generation and swap history).
@@ -111,7 +131,7 @@ func (s *Server) EnableRetraining(cfg serve.RetrainConfig) *serve.Retrainer {
 	if s.retrainer != nil {
 		return s.retrainer
 	}
-	s.retrainer = serve.NewRetrainer(s.sys.Store(), s.engine, cfg)
+	s.retrainer = serve.NewRetrainer(s.storage.Store(), s.engine, cfg)
 	s.retrainer.Start()
 	return s.retrainer
 }
@@ -119,12 +139,16 @@ func (s *Server) EnableRetraining(cfg serve.RetrainConfig) *serve.Retrainer {
 // EnableActiveMeasurement starts the active-measurement scheduler: idle farm
 // capacity is spent measuring the graphs the predictor is most uncertain
 // about, feeding the evolving database where the retrainer picks them up.
-// idle may be nil (no capacity gating).
+// idle may be nil — the measurement role's own idle signal is used when it
+// has one, else scheduling is ungated.
 func (s *Server) EnableActiveMeasurement(cfg serve.ActiveConfig, idle serve.IdleReporter) *serve.Scheduler {
 	s.retrainMu.Lock()
 	defer s.retrainMu.Unlock()
 	if s.scheduler != nil {
 		return s.scheduler
+	}
+	if idle == nil {
+		idle = s.meas.Idle()
 	}
 	s.scheduler = serve.NewScheduler(s.sys, s.engine, idle, cfg)
 	s.scheduler.Start()
@@ -497,8 +521,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	st := s.sys.Stats()
-	m, p, l := s.sys.Store().Counts()
-	es := s.sys.Store().EngineStats()
+	m, p, l := s.storage.Counts()
+	es := s.storage.EngineStats()
 	ms := s.memo.Stats()
 	eng := s.engine.Stats()
 	s.mu.RLock()
@@ -541,7 +565,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		PredictBatchedRequests: bs.Requests,
 		PredictBatchWidthMax:   bs.WidthMax,
 		Models:                 m, Platforms: p, Latencies: l,
-		StorageBytes:    s.sys.Store().StorageBytes(),
+		StorageBytes:    s.storage.StorageBytes(),
 		DBCommitBatches: es.CommitBatches, DBCommitRecords: es.CommitRecords,
 		DBFsyncs: es.Fsyncs, DBWALBytes: es.WALBytes, DBWALRecords: es.WALRecords,
 		DBCheckpoints: es.Checkpoints, DBSnapshotAgeSec: es.SnapshotAgeSec,
@@ -588,11 +612,11 @@ func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusMethodNotAllowed, errors.New("POST required"))
 		return
 	}
-	if err := s.sys.Store().Checkpoint(); err != nil {
+	if err := s.storage.Checkpoint(); err != nil {
 		writeErr(w, http.StatusInternalServerError, err)
 		return
 	}
-	es := s.sys.Store().EngineStats()
+	es := s.storage.EngineStats()
 	writeJSON(w, http.StatusOK, CheckpointResponse{
 		Checkpoints: es.Checkpoints, WALBytes: es.WALBytes,
 		WALRecords: es.WALRecords, SnapshotAgeSec: es.SnapshotAgeSec,
