@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race chaos check fmt vet bench bench-db bench-query bench-predict bench-retrain bench-cluster
+.PHONY: build test race chaos check fmt vet bench bench-db bench-query bench-predict bench-retrain bench-cluster bench-load
 
 build:
 	$(GO) build ./...
@@ -18,7 +18,7 @@ race:
 		./internal/tensor ./internal/train ./internal/gnn ./internal/core \
 		./internal/baselines ./internal/chaos ./internal/serve \
 		./internal/feats ./internal/onnx ./internal/graphhash \
-		./internal/cluster
+		./internal/cluster ./internal/slo ./internal/workload
 
 # End-to-end fault-injection storms (internal/chaos) with a pinned seed:
 # every fault mode plus the mixed fleet, under the race detector. Replay a
@@ -74,3 +74,12 @@ bench-cluster:
 	$(GO) test ./internal/server -run '^$$' \
 		-bench 'BenchmarkRouterOverhead|BenchmarkClusterPolicyL1' \
 		-benchmem -benchtime 1s
+
+# Production load-harness smoke (BENCH_load.json): a pinned-seed 10s
+# three-SLO-class workload (poisson/gamma/weibull arrivals) against one
+# admission-limited serving core — per-class p50/p95/p99, goodput, shed rate
+# and Jain fairness. The 2s deterministic variant runs in `make check` via
+# the internal/workload tests.
+bench-load:
+	$(GO) test ./internal/workload -run '^$$' -bench 'BenchmarkLoadHarness' \
+		-benchtime 1x -args -load.out=$(CURDIR)/BENCH_load.json

@@ -1,0 +1,197 @@
+// Command nnlqp-load is the production load harness CLI: it generates (or
+// replays) a deterministic multi-client workload trace and drives it
+// open-loop against an nnlqp-server or cluster router, reporting per-SLO-class
+// latency percentiles, goodput, an error taxonomy and cross-client fairness
+// as JSON.
+//
+// The workload comes either from a spec file (-spec, see internal/workload)
+// or from the flags below, which build an N-client spec cycling the listed
+// SLO classes. Everything is seeded: the same seed and spec produce the same
+// trace byte for byte, so a run can be recorded (-record) and replayed
+// (-replay) exactly.
+//
+// Usage:
+//
+//	nnlqp-load -target http://127.0.0.1:8080 -duration 10 -clients 3 -rate 20
+//	nnlqp-load -target http://127.0.0.1:8080 -spec workload.json -out report.json
+//	nnlqp-load -seed 7 -record trace.json -dry-run        # materialize only
+//	nnlqp-load -target http://127.0.0.1:8080 -replay trace.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"nnlqp/internal/slo"
+	"nnlqp/internal/workload"
+)
+
+func main() {
+	target := flag.String("target", "", "base URL of the server or router to drive (required unless -dry-run)")
+	specPath := flag.String("spec", "", "workload spec JSON file (overrides the flag-built spec)")
+	seed := flag.Int64("seed", 1, "workload RNG seed")
+	duration := flag.Float64("duration", 10, "trace duration in seconds")
+	clients := flag.Int("clients", 3, "number of synthetic clients")
+	rate := flag.Float64("rate", 20, "per-client mean arrival rate, requests/second")
+	dist := flag.String("dist", "poisson", "inter-arrival distribution: poisson, gamma or weibull")
+	shape := flag.Float64("shape", 2, "gamma/weibull shape parameter")
+	classes := flag.String("classes", "interactive,batch,best-effort", "comma-separated SLO classes cycled across clients")
+	mix := flag.String("mix", "query=1,predict=1", "op mix weights, e.g. query=2,predict=1,checkpoint=0.05")
+	nModels := flag.Int("models", 4, "distinct model variants per client")
+	platform := flag.String("platform", workload.DefaultPlatform, "target platform for query/predict ops")
+	record := flag.String("record", "", "write the materialized trace to this file")
+	replay := flag.String("replay", "", "drive a previously recorded trace instead of generating one")
+	out := flag.String("out", "", "write the JSON report here (default stdout)")
+	deadlines := flag.Bool("deadlines", false, "apply each request's SLO-class deadline as its HTTP timeout")
+	dryRun := flag.Bool("dry-run", false, "materialize (and optionally -record) the trace without driving it")
+	flag.Parse()
+
+	var tr *workload.Trace
+	var err error
+	switch {
+	case *replay != "":
+		tr, err = workload.LoadTrace(*replay)
+		if err != nil {
+			log.Fatalf("load trace: %v", err)
+		}
+		log.Printf("replaying %s: %d records over %.1fs", *replay, len(tr.Records), tr.Spec.DurationSec)
+	default:
+		var spec *workload.Spec
+		if *specPath != "" {
+			spec, err = workload.LoadSpec(*specPath)
+			if err != nil {
+				log.Fatalf("load spec: %v", err)
+			}
+		} else {
+			spec, err = flagSpec(*seed, *duration, *clients, *rate, *dist, *shape, *classes, *mix, *nModels, *platform)
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+		tr, err = workload.Generate(*spec)
+		if err != nil {
+			log.Fatalf("generate trace: %v", err)
+		}
+		log.Printf("generated %d records over %.1fs (%d clients, seed %d)",
+			len(tr.Records), spec.DurationSec, len(spec.Clients), spec.Seed)
+	}
+
+	if *record != "" {
+		if err := tr.Save(*record); err != nil {
+			log.Fatalf("record trace: %v", err)
+		}
+		log.Printf("trace recorded to %s", *record)
+	}
+	if *dryRun {
+		return
+	}
+	if *target == "" {
+		log.Fatal("-target required (or pass -dry-run to only materialize the trace)")
+	}
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	start := time.Now()
+	results, err := workload.Run(ctx, tr, workload.NewHTTPTarget(*target), workload.RunOptions{
+		PerRequestDeadline: *deadlines,
+	})
+	if err != nil {
+		log.Fatalf("run: %v", err)
+	}
+	rep := workload.BuildReport(results, time.Since(start))
+
+	if *out != "" {
+		if err := rep.Save(*out); err != nil {
+			log.Fatalf("write report: %v", err)
+		}
+		log.Printf("report written to %s (goodput %.1f rps, jain %.3f)", *out, rep.GoodputRPS, rep.JainFairness)
+		return
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(rep); err != nil {
+		log.Fatalf("encode report: %v", err)
+	}
+}
+
+// flagSpec builds an N-client spec from the flat flags: every client shares
+// the arrival process and mix, and the SLO classes cycle across clients.
+func flagSpec(seed int64, duration float64, clients int, rate float64, dist string, shape float64, classes, mixStr string, nModels int, platform string) (*workload.Spec, error) {
+	if clients <= 0 {
+		return nil, fmt.Errorf("-clients must be > 0")
+	}
+	var classList []slo.Class
+	for _, s := range strings.Split(classes, ",") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		c, err := slo.Parse(s)
+		if err != nil {
+			return nil, err
+		}
+		classList = append(classList, c)
+	}
+	if len(classList) == 0 {
+		return nil, fmt.Errorf("-classes lists no valid SLO class")
+	}
+	opMix, err := parseMix(mixStr)
+	if err != nil {
+		return nil, err
+	}
+	spec := &workload.Spec{Seed: seed, DurationSec: duration}
+	for i := 0; i < clients; i++ {
+		class := classList[i%len(classList)]
+		spec.Clients = append(spec.Clients, workload.ClientSpec{
+			Name:     fmt.Sprintf("%s-%d", class, i),
+			Class:    class,
+			Arrival:  workload.ArrivalSpec{Dist: workload.Distribution(dist), Rate: rate, Shape: shape},
+			Mix:      opMix,
+			Models:   nModels,
+			Platform: platform,
+		})
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return spec, nil
+}
+
+// parseMix parses "query=2,predict=1,checkpoint=0.05".
+func parseMix(s string) (workload.OpMix, error) {
+	var m workload.OpMix
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kv := strings.SplitN(part, "=", 2)
+		if len(kv) != 2 {
+			return m, fmt.Errorf("bad -mix entry %q (want op=weight)", part)
+		}
+		w, err := strconv.ParseFloat(strings.TrimSpace(kv[1]), 64)
+		if err != nil || w < 0 {
+			return m, fmt.Errorf("bad -mix weight in %q", part)
+		}
+		switch workload.Op(strings.TrimSpace(kv[0])) {
+		case workload.OpQuery:
+			m.Query = w
+		case workload.OpPredict:
+			m.Predict = w
+		case workload.OpCheckpoint:
+			m.Checkpoint = w
+		default:
+			return m, fmt.Errorf("bad -mix op in %q (want query, predict or checkpoint)", part)
+		}
+	}
+	return m, nil
+}

@@ -70,6 +70,9 @@ func main() {
 	activeInterval := flag.Duration("active-measure-interval", 0, "scheduler tick interval (0 = default 15s)")
 	activePerTick := flag.Int("active-measure-per-tick", 0, "measurements scheduled per tick (0 = default 2)")
 	activeCandidates := flag.Int("active-measure-candidates", 0, "candidate graphs scored per scheduled measurement (0 = default 8)")
+	admitRate := flag.Float64("admit-rate", 0, "admission-control token rate in requests/second for /query and /predict (0 = admission off)")
+	admitBurst := flag.Float64("admit-burst", 0, "admission token-bucket burst capacity (0 = rate/10, min 1)")
+	admitQueue := flag.Int("admit-queue", 0, "over-rate requests allowed to wait for a token in SLO-urgency order (0 = shed immediately)")
 	route := flag.String("route", "", "comma-separated replica addresses; non-empty runs this process as a cluster router instead of a server")
 	routePolicy := flag.String("route-policy", "round-robin", "routing policy: round-robin, least-loaded or affinity")
 	routeAttempts := flag.Int("route-attempts", 0, "replicas one request may try before giving up (0 = default 3)")
@@ -190,6 +193,12 @@ func main() {
 	if *predictBatchWindow > 0 {
 		srv.ConfigurePredictBatching(*predictBatchWindow, *predictBatchMax)
 		log.Printf("predict micro-batching: window %s, max width %d", *predictBatchWindow, *predictBatchMax)
+	}
+	if *admitRate > 0 {
+		srv.ConfigureAdmission(server.AdmissionConfig{
+			Rate: *admitRate, Burst: *admitBurst, QueueCap: *admitQueue,
+		})
+		log.Printf("admission control: rate %.1f rps, burst %.1f, queue %d", *admitRate, *admitBurst, *admitQueue)
 	}
 	if *retrain {
 		cfg := serve.RetrainConfig{

@@ -1,0 +1,122 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+// headerReplica records the request headers it saw and optionally answers
+// with a scripted shed (429 + Retry-After).
+type headerReplica struct {
+	srv *httptest.Server
+
+	mu   sync.Mutex
+	got  []http.Header
+	shed bool
+}
+
+func newHeaderReplica(t *testing.T) *headerReplica {
+	t.Helper()
+	f := &headerReplica{}
+	mux := http.NewServeMux()
+	proxy := func(w http.ResponseWriter, r *http.Request) {
+		f.mu.Lock()
+		f.got = append(f.got, r.Header.Clone())
+		shed := f.shed
+		f.mu.Unlock()
+		if shed {
+			w.Header().Set("Retry-After", "7")
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprint(w, `{"error":"admission: over rate, shed"}`)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"latency_ms":1.5,"provenance":"cache"}`)
+	}
+	mux.HandleFunc("/query", proxy)
+	mux.HandleFunc("/predict", proxy)
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprint(w, `{"queries":0,"in_flight":0}`)
+	})
+	f.srv = httptest.NewServer(mux)
+	t.Cleanup(f.srv.Close)
+	return f
+}
+
+func (f *headerReplica) headers() []http.Header {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]http.Header(nil), f.got...)
+}
+
+// TestForwardPassesNNLQPHeaders is the regression test for the header-drop
+// bug: the router must pass every X-NNLQP-* request header through to the
+// replica — including ones this router version does not know about — and must
+// not leak unrelated client headers.
+func TestForwardPassesNNLQPHeaders(t *testing.T) {
+	f := newHeaderReplica(t)
+	rt := New(Config{})
+	rt.AddReplica("r0", f.srv.URL)
+
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodPost, "/query", bytes.NewReader([]byte(`{}`)))
+	req.Header.Set("X-NNLQP-Class", "interactive")
+	req.Header.Set("X-NNLQP-Future-Extension", "v2")
+	req.Header.Set("X-Unrelated", "nope")
+	rt.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d, want 200", rec.Code)
+	}
+
+	hs := f.headers()
+	if len(hs) != 1 {
+		t.Fatalf("replica saw %d requests, want 1", len(hs))
+	}
+	h := hs[0]
+	if got := h.Get("X-NNLQP-Class"); got != "interactive" {
+		t.Fatalf("X-NNLQP-Class = %q, want interactive", got)
+	}
+	if got := h.Get("X-NNLQP-Future-Extension"); got != "v2" {
+		t.Fatalf("unknown X-NNLQP-* header dropped: X-NNLQP-Future-Extension = %q, want v2", got)
+	}
+	if got := h.Get("X-Unrelated"); got != "" {
+		t.Fatalf("unrelated header leaked through: X-Unrelated = %q", got)
+	}
+}
+
+// TestRelayPreservesRetryAfterAndCountsShed pins the shed path through the
+// router: a replica 429 is final (no failover — every replica shares the same
+// overload), its Retry-After header reaches the client, and the router's
+// /cluster shed counter records it.
+func TestRelayPreservesRetryAfterAndCountsShed(t *testing.T) {
+	f := newHeaderReplica(t)
+	f.mu.Lock()
+	f.shed = true
+	f.mu.Unlock()
+	rt := New(Config{})
+	rt.AddReplica("r0", f.srv.URL)
+
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodPost, "/query", bytes.NewReader([]byte(`{}`)))
+	rt.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", rec.Code)
+	}
+	if got := rec.Header().Get("Retry-After"); got != "7" {
+		t.Fatalf("Retry-After = %q, want 7 (dropped in relay?)", got)
+	}
+	if len(f.headers()) != 1 {
+		t.Fatalf("replica saw %d attempts, want 1 (429 must not fail over)", len(f.headers()))
+	}
+	st := rt.Status()
+	if st.Shed != 1 {
+		t.Fatalf("router shed counter = %d, want 1", st.Shed)
+	}
+	if st.Retries != 0 {
+		t.Fatalf("router retried a shed response %d times, want 0", st.Retries)
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -84,6 +85,7 @@ type StatusResponse struct {
 	RetriesDenied int64          `json:"retries_denied"`
 	NoHealthy     int64          `json:"no_healthy"`
 	Exhausted     int64          `json:"exhausted"`
+	Shed          int64          `json:"shed"`
 	Probes        int64          `json:"probes"`
 	RetryTokens   float64        `json:"retry_tokens"`
 	Members       []MemberStatus `json:"members"`
@@ -102,6 +104,7 @@ type Router struct {
 	retriesDenied atomic.Int64
 	noHealthy     atomic.Int64
 	exhausted     atomic.Int64
+	shed          atomic.Int64
 	probes        atomic.Int64
 
 	budgetMu sync.Mutex
@@ -200,8 +203,17 @@ type attemptResult struct {
 	body   []byte
 }
 
-// forward POSTs body to one member under the attempt timeout.
-func (rt *Router) forward(ctx context.Context, m *Member, path string, body []byte) (*attemptResult, error) {
+// forwardHeaderPrefix selects which client request headers the router passes
+// through to replicas. net/http canonicalizes "X-NNLQP-Class" and friends to
+// this form, so a prefix match on the canonical spelling covers the whole
+// X-NNLQP-* namespace — including extension headers this router version has
+// never heard of. Dropping unknown ones would silently strip, e.g., the SLO
+// class a replica's admission controller keys on.
+const forwardHeaderPrefix = "X-Nnlqp-"
+
+// forward POSTs body to one member under the attempt timeout, passing
+// X-NNLQP-* request headers through untouched.
+func (rt *Router) forward(ctx context.Context, m *Member, path string, header http.Header, body []byte) (*attemptResult, error) {
 	actx, cancel := context.WithTimeout(ctx, rt.cfg.AttemptTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(actx, http.MethodPost, baseURL(m.addr)+path, bytes.NewReader(body))
@@ -209,6 +221,11 @@ func (rt *Router) forward(ctx context.Context, m *Member, path string, body []by
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	for k, vs := range header {
+		if strings.HasPrefix(k, forwardHeaderPrefix) {
+			req.Header[k] = vs
+		}
+	}
 	m.requests.Add(1)
 	m.inflight.Add(1)
 	defer m.inflight.Add(-1)
@@ -284,7 +301,7 @@ func (rt *Router) handleProxy(w http.ResponseWriter, r *http.Request) {
 			rt.retries.Add(1)
 		}
 		m := order[i]
-		res, err := rt.forward(r.Context(), m, r.URL.Path, body)
+		res, err := rt.forward(r.Context(), m, r.URL.Path, r.Header, body)
 		if r.Context().Err() != nil {
 			// The client went away (or its deadline expired): not the
 			// replica's fault, and no point trying the next one.
@@ -302,23 +319,31 @@ func (rt *Router) handleProxy(w http.ResponseWriter, r *http.Request) {
 			if i == 0 {
 				rt.refund()
 			}
-			relay(w, res)
+			rt.relay(w, res)
 			return
 		}
 		last, lastErr = res, err
 	}
 	rt.exhausted.Add(1)
 	if last != nil {
-		relay(w, last)
+		rt.relay(w, last)
 		return
 	}
 	writeErr(w, http.StatusBadGateway, fmt.Sprintf("all replicas failed: %v", lastErr))
 }
 
-// relay copies a replica response through to the client.
-func relay(w http.ResponseWriter, res *attemptResult) {
+// relay copies a replica response through to the client, preserving the
+// headers admission control depends on (Retry-After on a 429 shed) and
+// counting replica sheds the router passed along.
+func (rt *Router) relay(w http.ResponseWriter, res *attemptResult) {
+	if res.status == http.StatusTooManyRequests {
+		rt.shed.Add(1)
+	}
 	if ct := res.header.Get("Content-Type"); ct != "" {
 		w.Header().Set("Content-Type", ct)
+	}
+	if ra := res.header.Get("Retry-After"); ra != "" {
+		w.Header().Set("Retry-After", ra)
 	}
 	w.WriteHeader(res.status)
 	_, _ = w.Write(res.body)
@@ -573,6 +598,7 @@ func (rt *Router) Status() StatusResponse {
 		RetriesDenied: rt.retriesDenied.Load(),
 		NoHealthy:     rt.noHealthy.Load(),
 		Exhausted:     rt.exhausted.Load(),
+		Shed:          rt.shed.Load(),
 		Probes:        rt.probes.Load(),
 		RetryTokens:   rt.retryTokens(),
 	}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"nnlqp/internal/onnx"
+	"nnlqp/internal/slo"
 )
 
 // Device is one physical board/card of a platform in the farm. The paper's
@@ -30,6 +31,11 @@ type Farm struct {
 	all     map[string][]*Device
 	held    map[string]string // device ID -> holder tag
 	waitSec float64           // cumulative seconds callers spent blocked in Acquire
+	// waiting counts blocked Acquire callers per platform and SLO urgency
+	// level: a waiter defers to any queued waiter of a more urgent level on
+	// the same platform, so an interactive request never waits behind queued
+	// best-effort traffic for a device.
+	waiting map[string]*[slo.NumUrgencies]int
 
 	// Fault tolerance (health.go / fault.go).
 	health      map[string]*deviceHealth
@@ -47,6 +53,7 @@ func NewFarm() *Farm {
 		idle:       make(map[string][]*Device),
 		all:        make(map[string][]*Device),
 		held:       make(map[string]string),
+		waiting:    make(map[string]*[slo.NumUrgencies]int),
 		health:     make(map[string]*deviceHealth),
 		faultState: make(map[string]*faultState),
 		policy:     HealthPolicy{}.withDefaults(),
@@ -90,6 +97,22 @@ func (f *Farm) Idle(platform string) int {
 	return len(f.idle[platform])
 }
 
+// Waiting returns how many Acquire callers are currently blocked waiting
+// for a device of the platform (all urgency levels).
+func (f *Farm) Waiting(platform string) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	w := f.waiting[platform]
+	if w == nil {
+		return 0
+	}
+	n := 0
+	for _, c := range w {
+		n += c
+	}
+	return n
+}
+
 // WaitSeconds returns the cumulative wall-clock time callers have spent
 // blocked in Acquire waiting for a device, across all platforms.
 func (f *Farm) WaitSeconds() float64 {
@@ -128,24 +151,61 @@ func (f *Farm) tryAcquireLocked(platform, holder string, now time.Time) *Device 
 	return nil
 }
 
+// moreUrgentWaitingLocked reports whether a waiter of a strictly more
+// urgent SLO level is queued for the platform; less urgent arrivals defer
+// the device to it.
+func (f *Farm) moreUrgentWaitingLocked(platform string, urgency int) bool {
+	w := f.waiting[platform]
+	if w == nil {
+		return false
+	}
+	for i := 0; i < urgency; i++ {
+		if w[i] > 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // Acquire blocks until a healthy device of the platform is idle or ctx is
 // done. It returns an error immediately when the farm has no such devices at
 // all, ErrAllQuarantined when every device of the platform sits inside an
 // unexpired quarantine window (waiting would not help — degrade instead),
 // and ctx.Err() when the context is cancelled while waiting; in those cases
 // no device slot is consumed.
+//
+// Contended waits are served in deadline-urgency order: the caller's SLO
+// class rides the context (slo.WithContext; untagged work is best-effort),
+// and a freed device always goes to the most urgent class with a queued
+// waiter. Within one class, waiters race exactly as before.
 func (f *Farm) Acquire(ctx context.Context, platform, holder string) (*Device, error) {
+	urgency := slo.FromContext(ctx).Urgency()
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if len(f.all[platform]) == 0 {
 		return nil, fmt.Errorf("hwsim: farm has no devices for platform %q", platform)
 	}
-	if d := f.tryAcquireLocked(platform, holder, time.Now()); d != nil {
-		return d, nil
+	if !f.moreUrgentWaitingLocked(platform, urgency) {
+		if d := f.tryAcquireLocked(platform, holder, time.Now()); d != nil {
+			return d, nil
+		}
 	}
-	// Slow path: wait on the cond until a release (or cancellation) wakes
-	// us. The AfterFunc takes f.mu before broadcasting so the wakeup cannot
-	// slip between our ctx.Err() check and cond.Wait().
+	// Slow path: register as a waiter at our urgency level, then wait on the
+	// cond until a release (or cancellation) wakes us. The AfterFunc takes
+	// f.mu before broadcasting so the wakeup cannot slip between our
+	// ctx.Err() check and cond.Wait().
+	w := f.waiting[platform]
+	if w == nil {
+		w = new([slo.NumUrgencies]int)
+		f.waiting[platform] = w
+	}
+	w[urgency]++
+	defer func() {
+		w[urgency]--
+		// Our departure may unblock a less urgent waiter that was deferring
+		// to us (whether we got a device or gave up).
+		f.cond.Broadcast()
+	}()
 	stop := context.AfterFunc(ctx, func() {
 		f.mu.Lock()
 		f.cond.Broadcast()
@@ -159,8 +219,10 @@ func (f *Farm) Acquire(ctx context.Context, platform, holder string) (*Device, e
 			return nil, err
 		}
 		now := time.Now()
-		if d := f.tryAcquireLocked(platform, holder, now); d != nil {
-			return d, nil
+		if !f.moreUrgentWaitingLocked(platform, urgency) {
+			if d := f.tryAcquireLocked(platform, holder, now); d != nil {
+				return d, nil
+			}
 		}
 		if f.allQuarantinedLocked(platform, now) {
 			return nil, fmt.Errorf("%w: platform %q has 0/%d healthy devices",

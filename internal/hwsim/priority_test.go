@@ -1,0 +1,118 @@
+package hwsim
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"nnlqp/internal/slo"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestAcquirePriorityServesInteractiveFirst pins the deadline-urgency queue:
+// with one device held and a best-effort waiter already queued, an
+// interactive waiter that arrives later must get the freed device first.
+func TestAcquirePriorityServesInteractiveFirst(t *testing.T) {
+	p := Platforms()[0]
+	f := NewFarm()
+	f.AddDevice(&Device{ID: "solo", Platform: p})
+
+	d, err := f.Acquire(context.Background(), p.Name, "holder")
+	if err != nil {
+		t.Fatalf("initial acquire: %v", err)
+	}
+
+	got := make(chan string, 2)
+	// Best-effort waiter queues first (untagged context defaults to
+	// best-effort).
+	go func() {
+		d2, err := f.Acquire(context.Background(), p.Name, "be")
+		if err != nil {
+			got <- "be-err"
+			return
+		}
+		got <- "best-effort"
+		f.Release(d2)
+	}()
+	waitFor(t, "best-effort waiter to queue", func() bool { return f.Waiting(p.Name) == 1 })
+
+	// Interactive waiter arrives second.
+	go func() {
+		ctx := slo.WithContext(context.Background(), slo.Interactive)
+		d3, err := f.Acquire(ctx, p.Name, "int")
+		if err != nil {
+			got <- "int-err"
+			return
+		}
+		got <- "interactive"
+		f.Release(d3)
+	}()
+	waitFor(t, "interactive waiter to queue", func() bool { return f.Waiting(p.Name) == 2 })
+
+	f.Release(d)
+	if first := <-got; first != "interactive" {
+		t.Fatalf("first acquisition went to %q, want interactive", first)
+	}
+	if second := <-got; second != "best-effort" {
+		t.Fatalf("second acquisition went to %q, want best-effort", second)
+	}
+}
+
+// TestAcquirePriorityDeferringWaiterUnblocksOnCancel: a best-effort waiter
+// deferring to a queued interactive waiter must still get the device when
+// the interactive waiter gives up (its context is cancelled).
+func TestAcquirePriorityDeferringWaiterUnblocksOnCancel(t *testing.T) {
+	p := Platforms()[0]
+	f := NewFarm()
+	f.AddDevice(&Device{ID: "solo", Platform: p})
+
+	d, err := f.Acquire(context.Background(), p.Name, "holder")
+	if err != nil {
+		t.Fatalf("initial acquire: %v", err)
+	}
+
+	ictx, cancel := context.WithCancel(slo.WithContext(context.Background(), slo.Interactive))
+	idone := make(chan struct{})
+	go func() {
+		defer close(idone)
+		// The race between cancel and the freed device is inherent; either
+		// outcome is fine — what must never happen is the deferring
+		// best-effort waiter sleeping forever after we depart.
+		if d3, err := f.Acquire(ictx, p.Name, "int"); err == nil {
+			f.Release(d3)
+		}
+	}()
+	waitFor(t, "interactive waiter to queue", func() bool { return f.Waiting(p.Name) == 1 })
+
+	beGot := make(chan struct{})
+	go func() {
+		d2, err := f.Acquire(context.Background(), p.Name, "be")
+		if err == nil {
+			close(beGot)
+			f.Release(d2)
+		}
+	}()
+	waitFor(t, "best-effort waiter to queue", func() bool { return f.Waiting(p.Name) == 2 })
+
+	// Free the device and cancel the interactive waiter concurrently: the
+	// best-effort waiter, which was deferring to it, must still be served.
+	f.Release(d)
+	cancel()
+	<-idone
+	select {
+	case <-beGot:
+	case <-time.After(5 * time.Second):
+		t.Fatal("best-effort waiter never acquired after interactive departed")
+	}
+}

@@ -13,6 +13,7 @@ import (
 
 	"nnlqp/internal/cluster"
 	"nnlqp/internal/onnx"
+	"nnlqp/internal/slo"
 )
 
 // DefaultClientTimeout bounds every client request unless overridden via
@@ -23,6 +24,9 @@ const DefaultClientTimeout = 30 * time.Second
 type Client struct {
 	BaseURL string
 	HTTP    *http.Client
+	// Class optionally tags every request with an SLO class (slo.Header);
+	// empty sends no header and the server treats requests as best-effort.
+	Class slo.Class
 }
 
 // NewClient creates a client for a server at baseURL (e.g.
@@ -47,6 +51,9 @@ func (c *Client) post(ctx context.Context, path string, req *Request, out any) e
 		return err
 	}
 	hreq.Header.Set("Content-Type", "application/json")
+	if c.Class != "" {
+		hreq.Header.Set(slo.Header, string(c.Class))
+	}
 	resp, err := c.HTTP.Do(hreq)
 	if err != nil {
 		return err

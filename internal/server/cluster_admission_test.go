@@ -1,0 +1,120 @@
+package server
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"nnlqp/internal/cluster"
+	"nnlqp/internal/db"
+	"nnlqp/internal/models"
+	"nnlqp/internal/slo"
+)
+
+// TestClusterRoutesClassToReplicaAdmissionBucket is the end-to-end regression
+// test for the router header-drop bug: a class-tagged request sent through
+// the router must be accounted in the replica-side admission controller under
+// that class — not defaulted to best-effort because the router stripped the
+// X-NNLQP-Class header.
+func TestClusterRoutesClassToReplicaAdmissionBucket(t *testing.T) {
+	store, err := db.OpenStore("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { store.Close() })
+
+	rt := cluster.New(cluster.Config{Policy: cluster.NewRoundRobin()})
+	var replicas []*Server
+	for i := 0; i < 2; i++ {
+		srv := NewCore(NewStorageRole(store, 0, 0), NewLocalMeasurementRole(2), nil)
+		srv.ConfigureAdmission(AdmissionConfig{Rate: 1000, Burst: 100})
+		addr, stop, err := srv.Serve("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { stop() })
+		rt.AddReplica(fmt.Sprintf("replica-%d", i), addr)
+		replicas = append(replicas, srv)
+	}
+	addr, stop, err := rt.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { stop() })
+
+	g := models.BuildSqueezeNet(models.BaseSqueezeNet(1))
+	const perClass = 4
+	for _, class := range []slo.Class{slo.Interactive, slo.Batch} {
+		c := NewClient("http://" + addr)
+		c.Class = class
+		for i := 0; i < perClass; i++ {
+			if _, err := c.Query(g, "cpu-openppl-fp32", 0); err != nil {
+				t.Fatalf("%s query %d: %v", class, i, err)
+			}
+		}
+	}
+
+	// Round-robin spreads the requests; what matters is that across the
+	// replicas every request is accounted under the class it was tagged with.
+	byClass := map[slo.Class]int64{}
+	for _, srv := range replicas {
+		for class, st := range srv.Admission().Stats().ByClass {
+			byClass[class] += st.Admitted
+		}
+	}
+	if byClass[slo.Interactive] != perClass || byClass[slo.Batch] != perClass {
+		t.Fatalf("replica admission buckets = %v, want %d interactive and %d batch", byClass, perClass, perClass)
+	}
+	if byClass[slo.BestEffort] != 0 {
+		t.Fatalf("%d tagged requests fell into the best-effort bucket (header dropped in routing?)", byClass[slo.BestEffort])
+	}
+}
+
+// TestClusterRelaysReplicaShed asserts an overloaded replica's 429 travels
+// back through the router to the client (with the error surfaced), and that
+// the router's /cluster view counts the shed.
+func TestClusterRelaysReplicaShed(t *testing.T) {
+	store, err := db.OpenStore("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { store.Close() })
+
+	srv := NewCore(NewStorageRole(store, 0, 0), NewLocalMeasurementRole(2), nil)
+	srv.ConfigureAdmission(AdmissionConfig{Rate: 0.001, Burst: 1})
+	raddr, rstop, err := srv.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { rstop() })
+
+	rt := cluster.New(cluster.Config{Policy: cluster.NewRoundRobin()})
+	rt.AddReplica("replica-0", raddr)
+	addr, stop, err := rt.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { stop() })
+
+	c := NewClient("http://" + addr)
+	c.Class = slo.Interactive
+	g := models.BuildSqueezeNet(models.BaseSqueezeNet(1))
+	if _, err := c.Query(g, "cpu-openppl-fp32", 0); err != nil {
+		t.Fatalf("first query should take the burst token: %v", err)
+	}
+	_, err = c.Query(g, "cpu-openppl-fp32", 0)
+	if err == nil || !strings.Contains(err.Error(), "429") {
+		t.Fatalf("second query error = %v, want a relayed 429", err)
+	}
+	cs, err := c.Cluster()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Shed != 1 {
+		t.Fatalf("router shed counter = %d, want 1", cs.Shed)
+	}
+	ast := srv.Admission().Stats()
+	if ast.ByClass[slo.Interactive].Shed != 1 {
+		t.Fatalf("replica interactive shed = %d, want 1 (by-class %v)", ast.ByClass[slo.Interactive].Shed, ast.ByClass)
+	}
+}

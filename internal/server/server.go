@@ -33,6 +33,7 @@ import (
 	"nnlqp/internal/onnx"
 	"nnlqp/internal/query"
 	"nnlqp/internal/serve"
+	"nnlqp/internal/slo"
 )
 
 // Default serving timeouts, overridable on Server before Serve is called.
@@ -54,7 +55,8 @@ type Server struct {
 	memo    *core.PredictMemo
 	engine  *serve.Engine
 	mu      sync.RWMutex
-	batch   *batcher // nil = /predict answers each request individually
+	batch   *batcher   // nil = /predict answers each request individually
+	admit   *Admission // nil = admission control off
 
 	retrainMu sync.Mutex
 	retrainer *serve.Retrainer
@@ -161,6 +163,29 @@ func (s *Server) backgroundLoops() (*serve.Retrainer, *serve.Scheduler) {
 	s.retrainMu.Lock()
 	defer s.retrainMu.Unlock()
 	return s.retrainer, s.scheduler
+}
+
+// ConfigureAdmission turns on token-bucket admission control for /query and
+// /predict: sustained traffic above cfg.Rate requests/s (after a burst
+// allowance) waits in a bounded deadline-urgency queue or is shed with
+// 429 + Retry-After. cfg.Rate <= 0 turns admission off. Call before Serve;
+// the swap is not synchronized against in-flight requests.
+func (s *Server) ConfigureAdmission(cfg AdmissionConfig) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cfg.Rate <= 0 {
+		s.admit = nil
+		return
+	}
+	s.admit = NewAdmission(cfg)
+}
+
+// Admission exposes the admission controller (nil when off); tests and the
+// stats path read its counters.
+func (s *Server) Admission() *Admission {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.admit
 }
 
 // ConfigurePredictBatching turns on (or off) the /predict gather window:
@@ -275,6 +300,16 @@ type StatsResponse struct {
 	RetrainHoldoutMAPE float64 `json:"retrain_holdout_mape,omitempty"`
 	ActiveTicks        int64   `json:"active_measure_ticks,omitempty"`
 	ActiveMeasured     int64   `json:"active_measured,omitempty"`
+	// Admission-control counters, all zero (and admit_by_class absent) when
+	// admission is off. The invariant admit_requests = admitted + shed is
+	// exact; queued counts requests that waited in the urgency queue, and
+	// admit_queue_now is the current queue depth.
+	AdmitRequests int64                         `json:"admit_requests"`
+	Admitted      int64                         `json:"admitted"`
+	Shed          int64                         `json:"shed"`
+	Queued        int64                         `json:"queued"`
+	AdmitQueueNow int                           `json:"admit_queue_now"`
+	AdmitByClass  map[slo.Class]AdmitClassStats `json:"admit_by_class,omitempty"`
 	// Gather-window counters for /predict batching: packed forward passes
 	// run, requests answered through one, and the widest batch flushed.
 	// All zero when batching is off.
@@ -310,8 +345,8 @@ type errorResponse struct {
 // Handler returns the HTTP mux.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/query", s.withTimeout(s.handleQuery))
-	mux.HandleFunc("/predict", s.withTimeout(s.handlePredict))
+	mux.HandleFunc("/query", s.withTimeout(s.withAdmission(s.handleQuery)))
+	mux.HandleFunc("/predict", s.withTimeout(s.withAdmission(s.handlePredict)))
 	mux.HandleFunc("/platforms", s.handlePlatforms)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/engine", s.handleEngine)
@@ -331,6 +366,32 @@ func (s *Server) withTimeout(h http.HandlerFunc) http.HandlerFunc {
 			ctx, cancel := context.WithTimeout(r.Context(), s.RequestTimeout)
 			defer cancel()
 			r = r.WithContext(ctx)
+		}
+		h(w, r)
+	}
+}
+
+// withAdmission tags the request context with its SLO class (from the
+// X-NNLQP-Class header; untagged traffic is best-effort — the class then
+// orders both the admission queue here and the farm's device queue below)
+// and, when admission control is on, gates the request through the token
+// bucket before the body is even read: shedding is cheap by construction.
+// Shed requests answer 429 with a Retry-After hint.
+func (s *Server) withAdmission(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		class := slo.FromHeader(r.Header)
+		r = r.WithContext(slo.WithContext(r.Context(), class))
+		if a := s.Admission(); a != nil {
+			if err := a.Admit(r.Context(), class); err != nil {
+				var shed *ShedError
+				if errors.As(err, &shed) {
+					w.Header().Set("Retry-After", fmt.Sprintf("%d", int(shed.RetryAfter.Seconds())))
+					writeErr(w, http.StatusTooManyRequests, err)
+					return
+				}
+				writeErr(w, statusForError(err), err)
+				return
+			}
 		}
 		h(w, r)
 	}
@@ -527,7 +588,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	eng := s.engine.Stats()
 	s.mu.RLock()
 	bs := s.batch.stats()
+	admit := s.admit
 	s.mu.RUnlock()
+	var adm AdmissionStats
+	var admByClass map[slo.Class]AdmitClassStats
+	if admit != nil {
+		adm = admit.Stats()
+		admByClass = adm.ByClass
+	}
 	var retrainRuns int64
 	var retrainMAPE float64
 	var activeTicks, activeMeasured int64
@@ -561,6 +629,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		RetrainHoldoutMAPE:     retrainMAPE,
 		ActiveTicks:            activeTicks,
 		ActiveMeasured:         activeMeasured,
+		AdmitRequests:          adm.Requests,
+		Admitted:               adm.Admitted,
+		Shed:                   adm.Shed,
+		Queued:                 adm.Queued,
+		AdmitQueueNow:          adm.QueuedNow,
+		AdmitByClass:           admByClass,
 		PredictBatches:         bs.Batches,
 		PredictBatchedRequests: bs.Requests,
 		PredictBatchWidthMax:   bs.WidthMax,

@@ -1,0 +1,143 @@
+package workload
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+)
+
+// Distribution names an inter-arrival process.
+type Distribution string
+
+const (
+	// Poisson arrivals: exponential inter-arrival gaps — the memoryless
+	// baseline for independent clients.
+	Poisson Distribution = "poisson"
+	// Gamma inter-arrival gaps with shape k: k < 1 is burstier than Poisson
+	// (clumped arrivals with long quiet stretches), k > 1 is smoother.
+	Gamma Distribution = "gamma"
+	// Weibull inter-arrival gaps with shape k: heavy-tailed for k < 1 —
+	// the classic model for bursty production traffic.
+	Weibull Distribution = "weibull"
+)
+
+// ArrivalSpec describes one client's arrival process.
+type ArrivalSpec struct {
+	// Dist selects the inter-arrival distribution (default poisson).
+	Dist Distribution `json:"dist,omitempty"`
+	// Rate is the mean arrival rate in requests/second (required, > 0).
+	// Every distribution is calibrated so the mean inter-arrival gap is
+	// exactly 1/Rate; Dist and Shape change the variance around it, not the
+	// throughput.
+	Rate float64 `json:"rate"`
+	// Shape is the gamma/weibull shape parameter k (default 2; ignored for
+	// poisson).
+	Shape float64 `json:"shape,omitempty"`
+}
+
+func (a ArrivalSpec) validate() error {
+	if a.Rate <= 0 {
+		return fmt.Errorf("arrival rate must be > 0 (got %v)", a.Rate)
+	}
+	switch a.Dist {
+	case "", Poisson, Gamma, Weibull:
+	default:
+		return fmt.Errorf("unknown arrival distribution %q", a.Dist)
+	}
+	if a.Shape < 0 {
+		return fmt.Errorf("arrival shape must be >= 0 (got %v)", a.Shape)
+	}
+	return nil
+}
+
+// clientRNG derives the deterministic RNG stream for one named client: the
+// FNV-64a hash of the name folded into the spec seed. Two clients with
+// different names get streams that are independent for all practical
+// purposes, and one client's stream never moves when other clients are added
+// or removed from the spec.
+func clientRNG(seed int64, name string) *rand.Rand {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return rand.New(rand.NewSource(seed ^ int64(h.Sum64())))
+}
+
+// sampler draws inter-arrival gaps (in seconds) with mean 1/rate.
+type sampler struct {
+	spec ArrivalSpec
+	rng  *rand.Rand
+	// scale converts a unit-mean draw into a 1/rate-mean gap.
+	scale float64
+}
+
+func newSampler(spec ArrivalSpec, rng *rand.Rand) *sampler {
+	if spec.Dist == "" {
+		spec.Dist = Poisson
+	}
+	if spec.Shape == 0 {
+		spec.Shape = 2
+	}
+	s := &sampler{spec: spec, rng: rng}
+	switch spec.Dist {
+	case Gamma:
+		// Gamma(k, θ) has mean k·θ; θ = 1/(k·rate) gives mean 1/rate.
+		s.scale = 1 / (spec.Shape * spec.Rate)
+	case Weibull:
+		// Weibull(k, λ) has mean λ·Γ(1+1/k); pick λ for mean 1/rate.
+		s.scale = 1 / (spec.Rate * math.Gamma(1+1/spec.Shape))
+	default:
+		s.scale = 1 / spec.Rate
+	}
+	return s
+}
+
+// next draws one inter-arrival gap in seconds.
+func (s *sampler) next() float64 {
+	switch s.spec.Dist {
+	case Gamma:
+		return s.gamma(s.spec.Shape) * s.scale
+	case Weibull:
+		// Inverse CDF: λ·(-ln U)^(1/k).
+		u := s.uniformOpen()
+		return s.scale * math.Pow(-math.Log(u), 1/s.spec.Shape)
+	default:
+		return s.rng.ExpFloat64() * s.scale
+	}
+}
+
+// uniformOpen draws U in (0, 1): Float64 can return exactly 0, which would
+// blow up the log-based inverse CDFs.
+func (s *sampler) uniformOpen() float64 {
+	for {
+		if u := s.rng.Float64(); u > 0 {
+			return u
+		}
+	}
+}
+
+// gamma draws Gamma(k, 1) via Marsaglia–Tsang squeeze (with the standard
+// k < 1 boost), the same algorithm production samplers use: rejection on a
+// transformed normal, ~1.03 draws per sample for k >= 1.
+func (s *sampler) gamma(k float64) float64 {
+	if k < 1 {
+		// Boost: Gamma(k) = Gamma(k+1) · U^(1/k).
+		return s.gamma(k+1) * math.Pow(s.uniformOpen(), 1/k)
+	}
+	d := k - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := s.rng.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := s.uniformOpen()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func dists() []ArrivalSpec {
+	return []ArrivalSpec{
+		{Dist: Poisson, Rate: 100},
+		{Dist: Gamma, Rate: 100, Shape: 0.5},
+		{Dist: Gamma, Rate: 100, Shape: 3},
+		{Dist: Weibull, Rate: 100, Shape: 0.7},
+		{Dist: Weibull, Rate: 100, Shape: 2},
+	}
+}
+
+// TestArrivalDeterministicAcrossRuns: the same (seed, client name, arrival
+// spec) must yield the identical gap sequence on every run — the bedrock of
+// trace reproducibility.
+func TestArrivalDeterministicAcrossRuns(t *testing.T) {
+	for _, spec := range dists() {
+		draw := func() []float64 {
+			s := newSampler(spec, clientRNG(42, "client-a"))
+			out := make([]float64, 200)
+			for i := range out {
+				out[i] = s.next()
+			}
+			return out
+		}
+		a, b := draw(), draw()
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s/%v: draw %d differs across identical runs: %v vs %v",
+					spec.Dist, spec.Shape, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestArrivalStreamsDoNotAlias: different client names (same seed) and
+// different seeds (same name) must produce different streams.
+func TestArrivalStreamsDoNotAlias(t *testing.T) {
+	spec := ArrivalSpec{Dist: Poisson, Rate: 100}
+	draw := func(seed int64, name string) []float64 {
+		s := newSampler(spec, clientRNG(seed, name))
+		out := make([]float64, 50)
+		for i := range out {
+			out[i] = s.next()
+		}
+		return out
+	}
+	same := func(a, b []float64) bool {
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if same(draw(42, "client-a"), draw(42, "client-b")) {
+		t.Fatal("two clients with different names share one RNG stream")
+	}
+	if same(draw(42, "client-a"), draw(43, "client-a")) {
+		t.Fatal("two seeds produced the same stream for one client")
+	}
+}
+
+// TestArrivalMeanRate: every distribution is calibrated so the empirical
+// mean inter-arrival gap is 1/rate — Dist and Shape shape the variance, not
+// the throughput. 200k draws puts the sample mean well within 2%.
+func TestArrivalMeanRate(t *testing.T) {
+	const n = 200_000
+	for _, spec := range dists() {
+		s := newSampler(spec, clientRNG(7, "rate-check"))
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += s.next()
+		}
+		mean := sum / n
+		want := 1 / spec.Rate
+		if rel := math.Abs(mean-want) / want; rel > 0.02 {
+			t.Errorf("%s shape=%v: mean gap %.6fs, want %.6fs (off %.1f%%)",
+				spec.Dist, spec.Shape, mean, want, 100*rel)
+		}
+	}
+}
+
+// TestArrivalGapsPositiveFinite guards the inverse-CDF edge cases (U == 0
+// would produce +Inf).
+func TestArrivalGapsPositiveFinite(t *testing.T) {
+	for _, spec := range dists() {
+		s := newSampler(spec, clientRNG(1, "edge"))
+		for i := 0; i < 10_000; i++ {
+			g := s.next()
+			if !(g > 0) || math.IsInf(g, 0) || math.IsNaN(g) {
+				t.Fatalf("%s shape=%v: draw %d produced %v", spec.Dist, spec.Shape, i, g)
+			}
+		}
+	}
+}
+
+// TestJainIndex pins the fairness formula on known vectors.
+func TestJainIndex(t *testing.T) {
+	cases := []struct {
+		xs   []float64
+		want float64
+	}{
+		{[]float64{10, 10, 10, 10}, 1},
+		{[]float64{1, 0, 0, 0}, 0.25},
+		{[]float64{}, 0},
+		{[]float64{0, 0}, 0},
+		{[]float64{4, 2}, (6 * 6) / (2 * 20.0)},
+	}
+	for _, c := range cases {
+		if got := Jain(c.xs); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Jain(%v) = %v, want %v", c.xs, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,213 @@
+package workload
+
+import (
+	"bytes"
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"nnlqp/internal/models"
+	"nnlqp/internal/slo"
+)
+
+// Outcome classifies one request's result — the error taxonomy the report
+// counts. Every request lands in exactly one bucket.
+type Outcome string
+
+const (
+	OutcomeOK          Outcome = "ok"           // 200
+	OutcomeShed        Outcome = "shed"         // 429: admission control refused
+	OutcomeBadRequest  Outcome = "bad_request"  // other 4xx: the harness's fault
+	OutcomeServerError Outcome = "server_error" // 500/502
+	OutcomeUnavailable Outcome = "unavailable"  // 503
+	OutcomeTimeout     Outcome = "timeout"      // 504 or context deadline
+	OutcomeNetwork     Outcome = "network"      // transport failure
+)
+
+// classify maps an HTTP status (or transport error) onto the taxonomy.
+func classify(status int, err error) Outcome {
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			return OutcomeTimeout
+		}
+		return OutcomeNetwork
+	}
+	switch {
+	case status == http.StatusOK:
+		return OutcomeOK
+	case status == http.StatusTooManyRequests:
+		return OutcomeShed
+	case status == http.StatusGatewayTimeout:
+		return OutcomeTimeout
+	case status == http.StatusServiceUnavailable:
+		return OutcomeUnavailable
+	case status >= 500:
+		return OutcomeServerError
+	case status >= 400:
+		return OutcomeBadRequest
+	}
+	return OutcomeOK
+}
+
+// Result is one dispatched record's outcome.
+type Result struct {
+	Record    Record
+	Status    int
+	Outcome   Outcome
+	LatencyNS int64
+}
+
+// Target executes one trace record and reports the HTTP status (or a
+// transport error). Implementations must be safe for concurrent use — the
+// driver is open-loop and dispatches without waiting for completions.
+type Target interface {
+	Do(ctx context.Context, rec Record) (status int, err error)
+}
+
+// HTTPTarget drives the public wire API of an nnlqp-server or cluster
+// router. Request bodies are built once per (model, platform, batch) and
+// cached, so the driver's dispatch cost is one POST, not one graph encode.
+type HTTPTarget struct {
+	BaseURL string
+	// HTTP is the client used for every request (default: 30s timeout).
+	HTTP *http.Client
+
+	mu     sync.Mutex
+	bodies map[string][]byte
+}
+
+// NewHTTPTarget builds a target for baseURL (e.g. "http://127.0.0.1:8080").
+func NewHTTPTarget(baseURL string) *HTTPTarget {
+	return &HTTPTarget{
+		BaseURL: baseURL,
+		HTTP:    &http.Client{Timeout: 30 * time.Second},
+		bodies:  make(map[string][]byte),
+	}
+}
+
+// body returns the cached JSON request body for a record's model variant.
+// Variant i is SqueezeNet v1.1 with the fire-module widths scaled by the
+// index, so distinct indices are distinct graphs with distinct cache keys.
+func (t *HTTPTarget) body(rec Record) ([]byte, error) {
+	key := fmt.Sprintf("%d|%s|%d", rec.Model, rec.Platform, rec.Batch)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if b, ok := t.bodies[key]; ok {
+		return b, nil
+	}
+	cfg := models.BaseSqueezeNet(maxInt(1, rec.Batch))
+	for j := range cfg.Squeeze {
+		cfg.Squeeze[j] += rec.Model
+		cfg.Expand[j] += 8 * rec.Model
+	}
+	raw, err := models.BuildSqueezeNet(cfg).EncodeBinary()
+	if err != nil {
+		return nil, err
+	}
+	b, err := json.Marshal(map[string]any{
+		"model":      base64.StdEncoding.EncodeToString(raw),
+		"platform":   rec.Platform,
+		"batch_size": rec.Batch,
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.bodies[key] = b
+	return b, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Do executes one record against the wire API.
+func (t *HTTPTarget) Do(ctx context.Context, rec Record) (int, error) {
+	path := "/query"
+	var body []byte
+	switch rec.Op {
+	case OpPredict:
+		path = "/predict"
+	case OpCheckpoint:
+		path = "/checkpoint"
+	}
+	if rec.Op != OpCheckpoint {
+		var err error
+		if body, err = t.body(rec); err != nil {
+			return 0, err
+		}
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, t.BaseURL+path, bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(slo.Header, string(rec.Class))
+	resp, err := t.HTTP.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+// RunOptions tunes a driver run.
+type RunOptions struct {
+	// PerRequestDeadline applies each record's SLO-class deadline as its
+	// request context deadline (off by default: the report measures how
+	// long answers actually took instead of cutting them off).
+	PerRequestDeadline bool
+}
+
+// Run drives the trace open-loop against the target: each record is
+// dispatched at its scheduled offset regardless of whether earlier requests
+// have completed — exactly how independent production clients behave, and
+// the property that makes overload visible instead of self-throttling.
+// Returns one Result per record, in trace order.
+func Run(ctx context.Context, tr *Trace, target Target, opts RunOptions) ([]Result, error) {
+	results := make([]Result, len(tr.Records))
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i, rec := range tr.Records {
+		due := start.Add(time.Duration(rec.OffsetNS))
+		if d := time.Until(due); d > 0 {
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		wg.Add(1)
+		go func(i int, rec Record) {
+			defer wg.Done()
+			rctx := ctx
+			if opts.PerRequestDeadline {
+				if dl := rec.Class.Deadline(); dl > 0 {
+					var cancel context.CancelFunc
+					rctx, cancel = context.WithTimeout(ctx, dl)
+					defer cancel()
+				}
+			}
+			t0 := time.Now()
+			status, err := target.Do(rctx, rec)
+			results[i] = Result{
+				Record:    rec,
+				Status:    status,
+				Outcome:   classify(status, err),
+				LatencyNS: time.Since(t0).Nanoseconds(),
+			}
+		}(i, rec)
+	}
+	wg.Wait()
+	return results, nil
+}

@@ -1,0 +1,260 @@
+package workload
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"nnlqp/internal/chaos"
+	"nnlqp/internal/core"
+	"nnlqp/internal/db"
+	"nnlqp/internal/server"
+	"nnlqp/internal/slo"
+)
+
+// -load.out: when set, BenchmarkLoadHarness writes its full report there
+// (the make bench-load target points it at BENCH_load.json).
+var loadOut = flag.String("load.out", "", "write the load-harness benchmark report to this path")
+
+var (
+	tinyOnce sync.Once
+	tinyPred *core.Predictor
+	tinyErr  error
+)
+
+// sharedPredictor trains the cheap real predictor once per test binary.
+func sharedPredictor(tb testing.TB) *core.Predictor {
+	tb.Helper()
+	tinyOnce.Do(func() { tinyPred, tinyErr = chaos.TinyPredictor(1) })
+	if tinyErr != nil {
+		tb.Fatalf("train tiny predictor: %v", tinyErr)
+	}
+	return tinyPred
+}
+
+// startLoadServer brings up a full serving core (in-memory store, local
+// device farm, real predictor) with the given admission config; rate 0
+// leaves admission off.
+func startLoadServer(tb testing.TB, admit server.AdmissionConfig) (*HTTPTarget, *server.Server) {
+	tb.Helper()
+	store, err := db.OpenStore("")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tb.Cleanup(func() { store.Close() })
+	srv := server.NewCore(server.NewStorageRole(store, 0, 0),
+		server.NewLocalMeasurementRole(2), sharedPredictor(tb))
+	if admit.Rate > 0 {
+		srv.ConfigureAdmission(admit)
+	}
+	addr, stop, err := srv.Serve("127.0.0.1:0")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tb.Cleanup(func() { stop() })
+	return NewHTTPTarget("http://" + addr), srv
+}
+
+// smokeSpec is the pinned 2-second three-class workload `make check` drives
+// end to end.
+func smokeSpec() Spec {
+	return Spec{
+		Seed:        20260807,
+		DurationSec: 2,
+		Clients: []ClientSpec{
+			{
+				Name:    "fe",
+				Class:   slo.Interactive,
+				Arrival: ArrivalSpec{Dist: Poisson, Rate: 25},
+				Mix:     OpMix{Predict: 1},
+				Models:  3,
+			},
+			{
+				Name:    "sweep",
+				Class:   slo.Batch,
+				Arrival: ArrivalSpec{Dist: Gamma, Rate: 20, Shape: 0.5},
+				Mix:     OpMix{Query: 1, Predict: 1, Checkpoint: 0.05},
+				Models:  3,
+			},
+			{
+				Name:    "fill",
+				Arrival: ArrivalSpec{Dist: Weibull, Rate: 15, Shape: 0.8},
+				Mix:     OpMix{Query: 1},
+				Models:  2,
+			},
+		},
+	}
+}
+
+// TestLoadSmokeDeterministic is the end-to-end smoke: generate the pinned
+// 2s spec, drive it open-loop against a real server, and check the report
+// accounts for every record with the right class attribution.
+func TestLoadSmokeDeterministic(t *testing.T) {
+	target, _ := startLoadServer(t, server.AdmissionConfig{})
+	tr, err := Generate(smokeSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Records) == 0 {
+		t.Fatal("smoke spec generated no records")
+	}
+
+	start := time.Now()
+	results, err := Run(context.Background(), tr, target, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := BuildReport(results, time.Since(start))
+
+	if rep.Total != int64(len(tr.Records)) {
+		t.Fatalf("report total %d != trace records %d", rep.Total, len(tr.Records))
+	}
+	var outcomes int64
+	for _, n := range rep.Outcomes {
+		outcomes += n
+	}
+	if outcomes != rep.Total {
+		t.Fatalf("outcome counts sum to %d, want %d", outcomes, rep.Total)
+	}
+	for class, n := range tr.ClassCounts() {
+		if got := rep.ByClass[class].Sent; got != int64(n) {
+			t.Fatalf("class %s: report sent %d, trace has %d", class, got, n)
+		}
+	}
+	// No admission control and a healthy server: everything should succeed.
+	if rep.Outcomes[OutcomeOK] != rep.Total {
+		t.Fatalf("outcomes %v, want all %d ok", rep.Outcomes, rep.Total)
+	}
+	if rep.JainFairness <= 0 || rep.JainFairness > 1 {
+		t.Fatalf("Jain fairness %v outside (0, 1]", rep.JainFairness)
+	}
+	for class := range tr.ClassCounts() {
+		cm := rep.ByClass[class]
+		if cm.P50MS <= 0 || cm.P95MS < cm.P50MS || cm.P99MS < cm.P95MS || cm.MaxMS < cm.P99MS {
+			t.Fatalf("class %s has non-monotone percentiles: %+v", class, cm)
+		}
+	}
+}
+
+// TestLoadOverRateSheds pins the overload contract end to end: offered load
+// far above the admission rate must be answered with fast 429 sheds — a
+// bounded number of admits, not an unbounded queue.
+func TestLoadOverRateSheds(t *testing.T) {
+	const admitRate, burst = 30.0, 5.0
+	target, srv := startLoadServer(t, server.AdmissionConfig{Rate: admitRate, Burst: burst, QueueCap: 4})
+	tr, err := Generate(Spec{
+		Seed:        7,
+		DurationSec: 1,
+		Clients: []ClientSpec{{
+			Name:    "flood",
+			Class:   slo.BestEffort,
+			Arrival: ArrivalSpec{Dist: Poisson, Rate: 200},
+			Mix:     OpMix{Predict: 1},
+			Models:  1,
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	start := time.Now()
+	results, err := Run(context.Background(), tr, target, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wall := time.Since(start)
+	rep := BuildReport(results, wall)
+
+	if rep.Outcomes[OutcomeShed] == 0 {
+		t.Fatalf("200 rps against a %v rps bucket shed nothing: %v", admitRate, rep.Outcomes)
+	}
+	if rep.Outcomes[OutcomeOK] == 0 {
+		t.Fatalf("overload shed everything: %v", rep.Outcomes)
+	}
+	// The hard cap: ok answers can never exceed rate*wall + burst (+1 for
+	// the fractional token at the cut). If this fails the server queued
+	// unboundedly instead of shedding.
+	cap := admitRate*wall.Seconds() + burst + 1
+	if float64(rep.Outcomes[OutcomeOK]) > cap {
+		t.Fatalf("%d admitted > rate*wall+burst = %.1f — queueing, not shedding", rep.Outcomes[OutcomeOK], cap)
+	}
+	ast := srv.Admission().Stats()
+	if ast.Requests != ast.Admitted+ast.Shed {
+		t.Fatalf("server admission invariant broken: %d != %d + %d", ast.Requests, ast.Admitted, ast.Shed)
+	}
+	if ast.Requests != rep.Total {
+		t.Fatalf("server saw %d admission decisions, harness sent %d", ast.Requests, rep.Total)
+	}
+}
+
+// benchReport is the BENCH_load.json layout.
+type benchReport struct {
+	Description string  `json:"description"`
+	Date        string  `json:"date"`
+	Seed        int64   `json:"seed"`
+	DurationSec float64 `json:"duration_sec"`
+	AdmitRate   float64 `json:"admit_rate"`
+	AdmitBurst  float64 `json:"admit_burst"`
+	ShedRate    float64 `json:"shed_rate"`
+	Report      *Report `json:"report"`
+}
+
+// BenchmarkLoadHarness is the pinned-seed 10s load smoke `make bench-load`
+// runs: three SLO classes against an admission-limited server, reporting
+// goodput as the benchmark metric and (with -load.out) writing the full
+// per-class report to BENCH_load.json.
+func BenchmarkLoadHarness(b *testing.B) {
+	const admitRate, burst = 60.0, 10.0
+	spec := Spec{
+		Seed:        20260807,
+		DurationSec: 10,
+		Clients: []ClientSpec{
+			{Name: "fe", Class: slo.Interactive, Arrival: ArrivalSpec{Dist: Poisson, Rate: 30}, Mix: OpMix{Predict: 1}, Models: 3},
+			{Name: "sweep", Class: slo.Batch, Arrival: ArrivalSpec{Dist: Gamma, Rate: 25, Shape: 0.5}, Mix: OpMix{Query: 1, Predict: 1}, Models: 3},
+			{Name: "fill", Arrival: ArrivalSpec{Dist: Weibull, Rate: 25, Shape: 0.8}, Mix: OpMix{Predict: 1}, Models: 2},
+		},
+	}
+	target, _ := startLoadServer(b, server.AdmissionConfig{Rate: admitRate, Burst: burst, QueueCap: 32})
+	tr, err := Generate(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var rep *Report
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		results, err := Run(context.Background(), tr, target, RunOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep = BuildReport(results, time.Since(start))
+	}
+	b.StopTimer()
+	b.ReportMetric(rep.GoodputRPS, "goodput_rps")
+	b.ReportMetric(float64(rep.Outcomes[OutcomeShed])/float64(rep.Total), "shed_frac")
+	b.ReportMetric(rep.JainFairness, "jain")
+
+	if *loadOut != "" {
+		out := benchReport{
+			Description: "Production load harness 10s pinned-seed smoke: 3 SLO classes (poisson/gamma/weibull arrivals) against one serving core with admission control.",
+			Date:        time.Now().UTC().Format("2006-01-02"),
+			Seed:        spec.Seed,
+			DurationSec: spec.DurationSec,
+			AdmitRate:   admitRate,
+			AdmitBurst:  burst,
+			ShedRate:    float64(rep.Outcomes[OutcomeShed]) / float64(rep.Total),
+			Report:      rep,
+		}
+		data, err := json.MarshalIndent(out, "", " ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile(*loadOut, append(data, '\n'), 0o644); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

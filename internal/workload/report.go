@@ -1,0 +1,145 @@
+package workload
+
+import (
+	"encoding/json"
+	"os"
+	"sort"
+	"time"
+
+	"nnlqp/internal/slo"
+)
+
+// ClassMetrics summarizes one SLO class's results.
+type ClassMetrics struct {
+	// Sent counts every dispatched request in the class.
+	Sent int64 `json:"sent"`
+	// OK counts 200 answers; GoodputRPS is OK over the wall-clock run time.
+	OK         int64   `json:"ok"`
+	GoodputRPS float64 `json:"goodput_rps"`
+	// SLOMet counts OK answers inside the class deadline (every OK answer,
+	// for the deadline-less best-effort class).
+	SLOMet int64 `json:"slo_met"`
+	// Latency percentiles over OK answers, milliseconds.
+	P50MS float64 `json:"p50_ms"`
+	P95MS float64 `json:"p95_ms"`
+	P99MS float64 `json:"p99_ms"`
+	MaxMS float64 `json:"max_ms"`
+}
+
+// ClientMetrics summarizes one traffic source (the fairness input).
+type ClientMetrics struct {
+	Sent int64 `json:"sent"`
+	OK   int64 `json:"ok"`
+}
+
+// Report is the harness output: per-class latency and goodput, the error
+// taxonomy, and fairness across clients.
+type Report struct {
+	WallSec    float64                    `json:"wall_sec"`
+	Total      int64                      `json:"total"`
+	GoodputRPS float64                    `json:"goodput_rps"`
+	Outcomes   map[Outcome]int64          `json:"outcomes"`
+	ByClass    map[slo.Class]ClassMetrics `json:"by_class"`
+	ByClient   map[string]ClientMetrics   `json:"by_client"`
+	// JainFairness is Jain's index over per-client OK counts: 1.0 when
+	// every client got equal service, 1/n when one client got everything.
+	JainFairness float64 `json:"jain_fairness"`
+}
+
+// percentile returns the q-quantile (0 < q <= 1) of sorted by the
+// nearest-rank method; 0 for an empty slice.
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(float64(len(sorted))*q+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// Jain computes Jain's fairness index over the allocation vector:
+// (Σx)² / (n·Σx²), 1 for perfectly equal shares. An empty or all-zero
+// vector reports 0.
+func Jain(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}
+
+// BuildReport folds run results into the report. wall is the run's
+// wall-clock duration (goodput denominator).
+func BuildReport(results []Result, wall time.Duration) *Report {
+	rep := &Report{
+		WallSec:  wall.Seconds(),
+		Total:    int64(len(results)),
+		Outcomes: map[Outcome]int64{},
+		ByClass:  map[slo.Class]ClassMetrics{},
+		ByClient: map[string]ClientMetrics{},
+	}
+	latencies := map[slo.Class][]float64{}
+	var totalOK int64
+	for _, r := range results {
+		rep.Outcomes[r.Outcome]++
+		cm := rep.ByClass[r.Record.Class]
+		cm.Sent++
+		cl := rep.ByClient[r.Record.Client]
+		cl.Sent++
+		if r.Outcome == OutcomeOK {
+			totalOK++
+			cm.OK++
+			cl.OK++
+			ms := float64(r.LatencyNS) / 1e6
+			latencies[r.Record.Class] = append(latencies[r.Record.Class], ms)
+			if dl := r.Record.Class.Deadline(); dl == 0 || r.LatencyNS <= dl.Nanoseconds() {
+				cm.SLOMet++
+			}
+		}
+		rep.ByClass[r.Record.Class] = cm
+		rep.ByClient[r.Record.Client] = cl
+	}
+	secs := wall.Seconds()
+	if secs <= 0 {
+		secs = 1e-9
+	}
+	rep.GoodputRPS = float64(totalOK) / secs
+	for class, ls := range latencies {
+		sort.Float64s(ls)
+		cm := rep.ByClass[class]
+		cm.GoodputRPS = float64(cm.OK) / secs
+		cm.P50MS = percentile(ls, 0.50)
+		cm.P95MS = percentile(ls, 0.95)
+		cm.P99MS = percentile(ls, 0.99)
+		cm.MaxMS = ls[len(ls)-1]
+		rep.ByClass[class] = cm
+	}
+	okByClient := make([]float64, 0, len(rep.ByClient))
+	for _, cl := range rep.ByClient {
+		okByClient = append(okByClient, float64(cl.OK))
+	}
+	rep.JainFairness = Jain(okByClient)
+	return rep
+}
+
+// Save writes the report as indented JSON. encoding/json sorts map keys, so
+// the output is deterministic given equal results.
+func (r *Report) Save(path string) error {
+	data, err := json.MarshalIndent(r, "", " ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,162 @@
+package workload
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+
+	"nnlqp/internal/slo"
+)
+
+// Record is one scheduled request in a trace. Offsets are integer
+// nanoseconds from the trace start — never floats — so a recorded trace
+// replays bit-exactly: serialize, load, replay, and every request fires at
+// the same offset in the same order.
+type Record struct {
+	// Seq is the global dispatch order (0-based, assigned after the
+	// per-client streams are merged).
+	Seq int `json:"seq"`
+	// OffsetNS is the dispatch time in nanoseconds from trace start.
+	OffsetNS int64 `json:"offset_ns"`
+	// Client names the originating traffic source.
+	Client string `json:"client"`
+	// ClientSeq is this record's index within its client's stream.
+	ClientSeq int `json:"client_seq"`
+	// Class is the SLO class the request is tagged with.
+	Class slo.Class `json:"class"`
+	// Op is the request kind.
+	Op Op `json:"op"`
+	// Model is the model-variant index (query/predict ops).
+	Model int `json:"model"`
+	// Platform targets the simulator platform (query/predict ops).
+	Platform string `json:"platform"`
+	// Batch is the request batch size.
+	Batch int `json:"batch"`
+}
+
+// Trace is a fully materialized workload: the spec that generated it (for
+// provenance) and the merged, globally ordered request records.
+type Trace struct {
+	Spec    Spec     `json:"spec"`
+	Records []Record `json:"records"`
+}
+
+// Generate materializes the spec into a trace. Deterministic: the same spec
+// always yields the same trace, and each client's records depend only on
+// (spec.Seed, its own ClientSpec) — never on the other clients.
+func Generate(spec Spec) (*Trace, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	tr := &Trace{Spec: spec}
+	horizon := int64(math.Round(spec.DurationSec * 1e9))
+	for _, c := range spec.Clients {
+		rng := clientRNG(spec.Seed, c.Name)
+		smp := newSampler(c.Arrival, rng)
+		mix := c.Mix.withDefaults()
+		class := c.Class
+		if class == "" {
+			class = slo.BestEffort
+		}
+		platform := c.Platform
+		if platform == "" {
+			platform = DefaultPlatform
+		}
+		nModels := c.Models
+		if nModels == 0 {
+			nModels = defaultModels
+		}
+		var t float64
+		for i := 0; ; i++ {
+			t += smp.next()
+			off := int64(math.Round(t * 1e9))
+			if off >= horizon {
+				break
+			}
+			rec := Record{
+				OffsetNS:  off,
+				Client:    c.Name,
+				ClientSeq: i,
+				Class:     class,
+				Op:        mix.pick(rng.Float64()),
+				Platform:  platform,
+				Batch:     c.Batch,
+			}
+			rec.Model = rng.Intn(nModels)
+			tr.Records = append(tr.Records, rec)
+		}
+	}
+	// Merge the per-client streams into one global order. The sort key is
+	// total — (offset, client, client seq) — so the merged order is unique
+	// and stable regardless of the per-client generation order above.
+	sort.Slice(tr.Records, func(i, j int) bool {
+		a, b := tr.Records[i], tr.Records[j]
+		if a.OffsetNS != b.OffsetNS {
+			return a.OffsetNS < b.OffsetNS
+		}
+		if a.Client != b.Client {
+			return a.Client < b.Client
+		}
+		return a.ClientSeq < b.ClientSeq
+	})
+	for i := range tr.Records {
+		tr.Records[i].Seq = i
+	}
+	return tr, nil
+}
+
+// Encode serializes the trace to canonical JSON bytes: field order is fixed
+// by the struct definitions and there are no maps, so equal traces encode to
+// equal bytes — the property the record/replay round-trip test pins.
+func (tr *Trace) Encode() ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(tr); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Save writes the trace to path.
+func (tr *Trace) Save(path string) error {
+	data, err := tr.Encode()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// LoadTrace reads a trace written by Save.
+func LoadTrace(path string) (*Trace, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var tr Trace
+	if err := json.Unmarshal(data, &tr); err != nil {
+		return nil, fmt.Errorf("workload: parse trace %s: %w", path, err)
+	}
+	return &tr, nil
+}
+
+// ClassCounts tallies trace records per SLO class.
+func (tr *Trace) ClassCounts() map[slo.Class]int {
+	out := map[slo.Class]int{}
+	for _, r := range tr.Records {
+		out[r.Class]++
+	}
+	return out
+}
+
+// OpCounts tallies trace records per operation.
+func (tr *Trace) OpCounts() map[Op]int {
+	out := map[Op]int{}
+	for _, r := range tr.Records {
+		out[r.Op]++
+	}
+	return out
+}

@@ -1,0 +1,191 @@
+package workload
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"nnlqp/internal/slo"
+)
+
+// mixedSpec is a three-client, three-class, mixed-op spec producing ~500
+// records (3 clients × ~85/s × 2s virtual).
+func mixedSpec(seed int64) Spec {
+	return Spec{
+		Seed:        seed,
+		DurationSec: 2,
+		Clients: []ClientSpec{
+			{
+				Name:    "interactive-fe",
+				Class:   slo.Interactive,
+				Arrival: ArrivalSpec{Dist: Poisson, Rate: 90},
+				Mix:     OpMix{Query: 1, Predict: 3},
+			},
+			{
+				Name:    "batch-sweep",
+				Class:   slo.Batch,
+				Arrival: ArrivalSpec{Dist: Gamma, Rate: 85, Shape: 0.5},
+				Mix:     OpMix{Query: 2, Predict: 1, Checkpoint: 0.05},
+			},
+			{
+				Name:    "background-fill",
+				Arrival: ArrivalSpec{Dist: Weibull, Rate: 80, Shape: 0.8},
+			},
+		},
+	}
+}
+
+// TestGenerateDeterministic: same spec → byte-identical encoded traces.
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(mixedSpec(1234))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(mixedSpec(1234))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ea, err := a.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb, err := b.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ea, eb) {
+		t.Fatal("two generations of the same spec encode differently")
+	}
+	c, err := Generate(mixedSpec(1235))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ec, err := c.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(ea, ec) {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+// TestGenerateClientIndependence: removing one client must not move another
+// client's arrivals — each stream depends only on (seed, own spec).
+func TestGenerateClientIndependence(t *testing.T) {
+	full := mixedSpec(99)
+	solo := full
+	solo.Clients = full.Clients[:1]
+
+	a, err := Generate(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(solo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	name := full.Clients[0].Name
+	var fromFull, fromSolo []Record
+	for _, r := range a.Records {
+		if r.Client == name {
+			fromFull = append(fromFull, r)
+		}
+	}
+	fromSolo = append(fromSolo, b.Records...)
+	if len(fromFull) != len(fromSolo) {
+		t.Fatalf("client %q emitted %d records alone vs %d in the full spec", name, len(fromSolo), len(fromFull))
+	}
+	for i := range fromFull {
+		x, y := fromFull[i], fromSolo[i]
+		if x.OffsetNS != y.OffsetNS || x.Op != y.Op || x.Model != y.Model {
+			t.Fatalf("record %d moved when other clients were removed: %+v vs %+v", i, x, y)
+		}
+	}
+}
+
+// TestTraceRoundTrip is the record/replay satellite: ~500 mixed records,
+// save → load → save must be byte-identical, ordering and class mix intact.
+func TestTraceRoundTrip(t *testing.T) {
+	tr, err := Generate(mixedSpec(4242))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(tr.Records); n < 400 || n > 700 {
+		t.Fatalf("mixed spec produced %d records, want ~500", n)
+	}
+
+	dir := t.TempDir()
+	p1 := filepath.Join(dir, "trace.json")
+	p2 := filepath.Join(dir, "trace2.json")
+	if err := tr.Save(p1); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadTrace(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loaded.Save(p2); err != nil {
+		t.Fatal(err)
+	}
+	b1, err := tr.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := loaded.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("trace round-trip through disk is not byte-identical")
+	}
+
+	// The loaded trace must preserve global ordering and the class mix.
+	for i := 1; i < len(loaded.Records); i++ {
+		a, b := loaded.Records[i-1], loaded.Records[i]
+		if a.OffsetNS > b.OffsetNS {
+			t.Fatalf("records %d,%d out of offset order after reload", i-1, i)
+		}
+		if loaded.Records[i].Seq != i {
+			t.Fatalf("record %d has seq %d after reload", i, loaded.Records[i].Seq)
+		}
+	}
+	want := tr.ClassCounts()
+	got := loaded.ClassCounts()
+	for _, class := range []slo.Class{slo.Interactive, slo.Batch, slo.BestEffort} {
+		if want[class] == 0 {
+			t.Fatalf("mixed spec produced no %s records", class)
+		}
+		if got[class] != want[class] {
+			t.Fatalf("class %s: %d records after reload, want %d", class, got[class], want[class])
+		}
+	}
+	ops := tr.OpCounts()
+	if ops[OpQuery] == 0 || ops[OpPredict] == 0 {
+		t.Fatalf("mixed spec produced op counts %v, want both queries and predicts", ops)
+	}
+}
+
+// TestSpecValidation rejects the malformed specs a CLI user will produce.
+func TestSpecValidation(t *testing.T) {
+	bad := []Spec{
+		{DurationSec: 1},
+		{DurationSec: 0, Clients: []ClientSpec{{Name: "a", Arrival: ArrivalSpec{Rate: 1}}}},
+		{DurationSec: 1, Clients: []ClientSpec{{Arrival: ArrivalSpec{Rate: 1}}}},
+		{DurationSec: 1, Clients: []ClientSpec{{Name: "a", Arrival: ArrivalSpec{Rate: 0}}}},
+		{DurationSec: 1, Clients: []ClientSpec{{Name: "a", Arrival: ArrivalSpec{Rate: 1, Dist: "zipf"}}}},
+		{DurationSec: 1, Clients: []ClientSpec{{Name: "a", Class: "gold", Arrival: ArrivalSpec{Rate: 1}}}},
+		{DurationSec: 1, Clients: []ClientSpec{
+			{Name: "a", Arrival: ArrivalSpec{Rate: 1}},
+			{Name: "a", Arrival: ArrivalSpec{Rate: 1}},
+		}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("spec %d validated but should not have: %+v", i, s)
+		}
+	}
+	good := mixedSpec(1)
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+}

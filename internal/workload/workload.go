@@ -1,0 +1,148 @@
+// Package workload is the production load harness: it turns a declarative
+// multi-client Spec — per-client arrival process (Poisson, Gamma or Weibull),
+// SLO class and operation mix — into a deterministic request Trace, drives
+// the trace open-loop against a serving endpoint (a single nnlqp-server or a
+// cluster router; the harness cannot tell them apart, by design), and folds
+// the outcomes into a Report with per-SLO-class latency percentiles, goodput,
+// an error taxonomy and a Jain fairness index across clients.
+//
+// Everything is seeded: each client draws from its own RNG stream derived
+// from (spec seed, client name), so the same Spec always generates the same
+// Trace byte for byte, traces can be recorded to disk and replayed exactly,
+// and adding or removing one client never perturbs another client's
+// arrivals.
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"nnlqp/internal/slo"
+)
+
+// Op is one request kind in the traffic mix.
+type Op string
+
+const (
+	OpQuery      Op = "query"      // POST /query: measured (or cached) latency
+	OpPredict    Op = "predict"    // POST /predict: model prediction
+	OpCheckpoint Op = "checkpoint" // POST /checkpoint: storage admin op
+)
+
+// OpMix weighs the operation kinds for one client; weights are relative
+// (they need not sum to 1) and zero-weight ops never occur. The zero value
+// defaults to queries only.
+type OpMix struct {
+	Query      float64 `json:"query"`
+	Predict    float64 `json:"predict"`
+	Checkpoint float64 `json:"checkpoint"`
+}
+
+func (m OpMix) withDefaults() OpMix {
+	if m.Query <= 0 && m.Predict <= 0 && m.Checkpoint <= 0 {
+		m.Query = 1
+	}
+	return m
+}
+
+func (m OpMix) total() float64 { return m.Query + m.Predict + m.Checkpoint }
+
+// pick maps a uniform draw in [0,1) onto the mix.
+func (m OpMix) pick(u float64) Op {
+	x := u * m.total()
+	if x < m.Query {
+		return OpQuery
+	}
+	if x < m.Query+m.Predict {
+		return OpPredict
+	}
+	return OpCheckpoint
+}
+
+// ClientSpec describes one traffic source.
+type ClientSpec struct {
+	// Name identifies the client in the trace and report, and seeds its
+	// private RNG stream (required, unique within the Spec).
+	Name string `json:"name"`
+	// Class tags every request with an SLO class (default best-effort).
+	Class slo.Class `json:"class,omitempty"`
+	// Arrival is the inter-arrival process (required rate).
+	Arrival ArrivalSpec `json:"arrival"`
+	// Mix weighs query/predict/checkpoint traffic (default all queries).
+	Mix OpMix `json:"mix,omitempty"`
+	// Models is how many distinct model variants this client cycles through
+	// (default 4); each request picks one uniformly.
+	Models int `json:"models,omitempty"`
+	// Platform is the target platform for query/predict ops (default the
+	// harness default platform).
+	Platform string `json:"platform,omitempty"`
+	// Batch is the request batch size (default 0 = server default).
+	Batch int `json:"batch,omitempty"`
+}
+
+// DefaultPlatform is used when a ClientSpec names none. It matches the
+// simulator's dataset platform so measured and predicted latencies exist for
+// every model.
+const DefaultPlatform = "gpu-gtx1660-trt7.1-fp32"
+
+const defaultModels = 4
+
+// Spec is a full workload: a seed, a duration, and the client set.
+type Spec struct {
+	// Seed roots every client's RNG stream. The same Seed (with the same
+	// clients) generates the same trace, always.
+	Seed int64 `json:"seed"`
+	// DurationSec bounds the generated trace: arrivals past this offset are
+	// not emitted.
+	DurationSec float64 `json:"duration_sec"`
+	// Clients are the traffic sources (at least one).
+	Clients []ClientSpec `json:"clients"`
+}
+
+// Validate checks the spec and fills nothing in — generation applies
+// defaults per field so the spec on disk stays exactly what the user wrote.
+func (s *Spec) Validate() error {
+	if s.DurationSec <= 0 {
+		return fmt.Errorf("workload: duration_sec must be > 0 (got %v)", s.DurationSec)
+	}
+	if len(s.Clients) == 0 {
+		return fmt.Errorf("workload: at least one client required")
+	}
+	seen := map[string]bool{}
+	for i, c := range s.Clients {
+		if c.Name == "" {
+			return fmt.Errorf("workload: client %d has no name", i)
+		}
+		if seen[c.Name] {
+			return fmt.Errorf("workload: duplicate client name %q", c.Name)
+		}
+		seen[c.Name] = true
+		if c.Class != "" && !c.Class.Valid() {
+			return fmt.Errorf("workload: client %q: unknown SLO class %q", c.Name, c.Class)
+		}
+		if err := c.Arrival.validate(); err != nil {
+			return fmt.Errorf("workload: client %q: %w", c.Name, err)
+		}
+		if c.Models < 0 {
+			return fmt.Errorf("workload: client %q: models must be >= 0", c.Name)
+		}
+	}
+	return nil
+}
+
+// LoadSpec reads a Spec from a JSON file.
+func LoadSpec(path string) (*Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Spec
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("workload: parse %s: %w", path, err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
