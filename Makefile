@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race chaos check fmt vet bench bench-db bench-query bench-predict bench-retrain bench-cluster bench-load
+.PHONY: build test race chaos check fmt vet bench bench-db bench-query bench-predict bench-retrain bench-cluster bench-load bench-kernels profile
 
 build:
 	$(GO) build ./...
@@ -74,6 +74,26 @@ bench-cluster:
 	$(GO) test ./internal/server -run '^$$' \
 		-bench 'BenchmarkRouterOverhead|BenchmarkClusterPolicyL1' \
 		-benchmem -benchtime 1s
+
+# Inference-kernel baselines (BENCH_kernels.json): the packed register-blocked
+# matmul microkernel on synthetic shapes, the compiled-plan and plan-less
+# serving entry points it feeds, and the allocation-lean L2 point read against
+# the legacy record-materializing probe.
+bench-kernels:
+	$(GO) test ./internal/tensor -run '^$$' -bench 'BenchmarkMatmul' -benchmem -benchtime 1s
+	$(GO) test ./internal/core -run '^$$' \
+		-bench 'BenchmarkPredictPlanned|BenchmarkPredictSteadyState' -benchmem -benchtime 1s
+	$(GO) test ./internal/db -run '^$$' -bench 'BenchmarkPointRead' -benchmem -benchtime 1s
+
+# Profile the serving hot path (the pinned-seed planned-predict loop): CPU and
+# allocation pprof captures, then the top-10 cumulative frames of each. The
+# kernel/fusion/plan work in DESIGN.md §15 was steered by exactly this view;
+# rerun it after touching tensor/gnn/core hot paths to see where time moved.
+profile:
+	$(GO) test ./internal/core -run '^$$' -bench 'BenchmarkPredictPlanned' -benchtime 2s \
+		-cpuprofile $(CURDIR)/cpu.prof -memprofile $(CURDIR)/mem.prof
+	$(GO) tool pprof -top -nodecount=10 -cum $(CURDIR)/cpu.prof
+	$(GO) tool pprof -top -nodecount=10 -sample_index=alloc_objects $(CURDIR)/mem.prof
 
 # Production load-harness smoke (BENCH_load.json): a pinned-seed 10s
 # three-SLO-class workload (poisson/gamma/weibull arrivals) against one

@@ -20,6 +20,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -81,6 +82,7 @@ func (c Config) withDefaults() Config {
 type StatusResponse struct {
 	Policy        string         `json:"policy"`
 	Requests      int64          `json:"requests"`
+	Coalesced     int64          `json:"coalesced"`
 	Retries       int64          `json:"retries"`
 	RetriesDenied int64          `json:"retries_denied"`
 	NoHealthy     int64          `json:"no_healthy"`
@@ -100,6 +102,7 @@ type Router struct {
 	httpc   *http.Client
 
 	requests      atomic.Int64
+	coalesced     atomic.Int64
 	retries       atomic.Int64
 	retriesDenied atomic.Int64
 	noHealthy     atomic.Int64
@@ -109,6 +112,14 @@ type Router struct {
 
 	budgetMu sync.Mutex
 	budget   float64
+
+	// flights coalesces byte-identical concurrent proxy requests: one leader
+	// dispatches to a replica, followers share its response. This is the
+	// router-side complement of the replica's own single-flight layer — N
+	// clients racing the same cold key through the router cost the cluster
+	// one replica round trip, not N.
+	flightMu sync.Mutex
+	flights  map[string]*routerFlight
 
 	stopMu         sync.Mutex
 	stopCh, doneCh chan struct{}
@@ -123,6 +134,7 @@ func New(cfg Config) *Router {
 		members: NewMembership(cfg.Health),
 		httpc:   &http.Client{},
 		budget:  cfg.RetryBudget,
+		flights: make(map[string]*routerFlight),
 	}
 }
 
@@ -260,9 +272,56 @@ func retryable(res *attemptResult, err error) (retry, blame bool) {
 	return false, false
 }
 
-// handleProxy routes one /query or /predict request: derive the key, order
-// the healthy set by policy, try members in order with retry-on-next under
-// the token budget, and relay the winning (or final) replica response.
+// routerFlight is one in-flight proxied request shared by coalesced callers.
+// Exactly one of res/perr is set once done closes.
+type routerFlight struct {
+	done chan struct{}
+	res  *attemptResult
+	perr *proxyError
+}
+
+// proxyError is a dispatch outcome the router itself must answer (no replica
+// response to relay).
+type proxyError struct {
+	status int
+	msg    string
+}
+
+// flightKey identifies byte-identical concurrent proxy requests: same
+// endpoint, same forwarded X-NNLQP-* header set (two requests differing in
+// SLO class must not share an admission outcome), same body bytes. Keying on
+// the full bytes rather than a hash rules out collisions handing a caller
+// someone else's answer.
+func flightKey(path string, header http.Header, body []byte) string {
+	var sb strings.Builder
+	sb.Grow(len(path) + len(body) + 16)
+	sb.WriteString(path)
+	var keys []string
+	for k := range header {
+		if strings.HasPrefix(k, forwardHeaderPrefix) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		sb.WriteByte(0)
+		sb.WriteString(k)
+		for _, v := range header[k] {
+			sb.WriteByte(1)
+			sb.WriteString(v)
+		}
+	}
+	sb.WriteByte(0)
+	sb.Write(body)
+	return sb.String()
+}
+
+// handleProxy routes one /query or /predict request. Byte-identical
+// concurrent requests coalesce: the first becomes the leader and runs the
+// dispatch loop; the rest wait on its flight and share the outcome (counted
+// in /cluster as coalesced). The flight retires before its result is
+// published, so a request arriving after the leader finished starts fresh —
+// by then the replica's own cache holds the answer.
 func (rt *Router) handleProxy(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeErr(w, http.StatusMethodNotAllowed, "POST required")
@@ -278,11 +337,41 @@ func (rt *Router) handleProxy(w http.ResponseWriter, r *http.Request) {
 	_ = json.Unmarshal(body, &req) // malformed bodies route anywhere; the replica 400s them
 	key := requestKey(req.Model, req.Platform, req.BatchSize)
 
+	fkey := flightKey(r.URL.Path, r.Header, body)
+	rt.flightMu.Lock()
+	if fl, ok := rt.flights[fkey]; ok {
+		rt.flightMu.Unlock()
+		rt.coalesced.Add(1)
+		select {
+		case <-r.Context().Done():
+			// This waiter's own deadline, not the leader's outcome.
+			writeErr(w, http.StatusGatewayTimeout, r.Context().Err().Error())
+		case <-fl.done:
+			rt.finish(w, fl.res, fl.perr)
+		}
+		return
+	}
+	fl := &routerFlight{done: make(chan struct{})}
+	rt.flights[fkey] = fl
+	rt.flightMu.Unlock()
+
+	res, perr := rt.dispatch(r.Context(), r.URL.Path, r.Header, key, body)
+	fl.res, fl.perr = res, perr
+	rt.flightMu.Lock()
+	delete(rt.flights, fkey)
+	rt.flightMu.Unlock()
+	close(fl.done)
+	rt.finish(w, res, perr)
+}
+
+// dispatch runs one request's attempt loop: order the healthy set by policy,
+// try members in order with retry-on-next under the token budget, and return
+// either the replica response to relay or the router's own error answer.
+func (rt *Router) dispatch(ctx context.Context, path string, header http.Header, key uint64, body []byte) (*attemptResult, *proxyError) {
 	healthy := rt.members.Healthy()
 	if len(healthy) == 0 {
 		rt.noHealthy.Add(1)
-		writeErr(w, http.StatusServiceUnavailable, "no healthy replicas")
-		return
+		return nil, &proxyError{http.StatusServiceUnavailable, "no healthy replicas"}
 	}
 	order := rt.cfg.Policy.Order(key, healthy)
 	attempts := rt.cfg.MaxAttempts
@@ -301,12 +390,11 @@ func (rt *Router) handleProxy(w http.ResponseWriter, r *http.Request) {
 			rt.retries.Add(1)
 		}
 		m := order[i]
-		res, err := rt.forward(r.Context(), m, r.URL.Path, r.Header, body)
-		if r.Context().Err() != nil {
+		res, err := rt.forward(ctx, m, path, header, body)
+		if ctx.Err() != nil {
 			// The client went away (or its deadline expired): not the
 			// replica's fault, and no point trying the next one.
-			writeErr(w, http.StatusGatewayTimeout, r.Context().Err().Error())
-			return
+			return nil, &proxyError{http.StatusGatewayTimeout, ctx.Err().Error()}
 		}
 		retry, blame := retryable(res, err)
 		if blame {
@@ -319,17 +407,24 @@ func (rt *Router) handleProxy(w http.ResponseWriter, r *http.Request) {
 			if i == 0 {
 				rt.refund()
 			}
-			rt.relay(w, res)
-			return
+			return res, nil
 		}
 		last, lastErr = res, err
 	}
 	rt.exhausted.Add(1)
 	if last != nil {
-		rt.relay(w, last)
+		return last, nil
+	}
+	return nil, &proxyError{http.StatusBadGateway, fmt.Sprintf("all replicas failed: %v", lastErr)}
+}
+
+// finish writes one dispatch outcome to one caller (leader or follower).
+func (rt *Router) finish(w http.ResponseWriter, res *attemptResult, perr *proxyError) {
+	if perr != nil {
+		writeErr(w, perr.status, perr.msg)
 		return
 	}
-	writeErr(w, http.StatusBadGateway, fmt.Sprintf("all replicas failed: %v", lastErr))
+	rt.relay(w, res)
 }
 
 // relay copies a replica response through to the client, preserving the
@@ -594,6 +689,7 @@ func (rt *Router) Status() StatusResponse {
 	st := StatusResponse{
 		Policy:        rt.cfg.Policy.Name(),
 		Requests:      rt.requests.Load(),
+		Coalesced:     rt.coalesced.Load(),
 		Retries:       rt.retries.Load(),
 		RetriesDenied: rt.retriesDenied.Load(),
 		NoHealthy:     rt.noHealthy.Load(),

@@ -19,9 +19,10 @@ type fakeReplica struct {
 	queries atomic.Int64 // POSTs to /query or /predict received
 
 	mu        sync.Mutex
-	failWith  int    // non-zero: answer /query//predict with this status
-	statsJSON string // body served on /stats ("" = minimal valid stats)
-	statsFail bool   // answer /stats with 500
+	failWith  int           // non-zero: answer /query//predict with this status
+	delay     time.Duration // sleep before answering /query//predict
+	statsJSON string        // body served on /stats ("" = minimal valid stats)
+	statsFail bool          // answer /stats with 500
 }
 
 func newFakeReplica(t *testing.T) *fakeReplica {
@@ -31,8 +32,11 @@ func newFakeReplica(t *testing.T) *fakeReplica {
 	proxy := func(w http.ResponseWriter, r *http.Request) {
 		f.queries.Add(1)
 		f.mu.Lock()
-		code := f.failWith
+		code, delay := f.failWith, f.delay
 		f.mu.Unlock()
+		if delay > 0 {
+			time.Sleep(delay)
+		}
 		if code != 0 {
 			w.WriteHeader(code)
 			fmt.Fprintf(w, `{"error":"scripted %d"}`, code)
@@ -67,6 +71,12 @@ func (f *fakeReplica) addr() string { return strings.TrimPrefix(f.srv.URL, "http
 func (f *fakeReplica) setFail(code int) {
 	f.mu.Lock()
 	f.failWith = code
+	f.mu.Unlock()
+}
+
+func (f *fakeReplica) setDelay(d time.Duration) {
+	f.mu.Lock()
+	f.delay = d
 	f.mu.Unlock()
 }
 
@@ -213,7 +223,9 @@ func TestLeastLoadedNeverRoutesToEjected(t *testing.T) {
 		go func(w int) {
 			defer wg.Done()
 			for i := 0; i < 8; i++ {
-				body := fmt.Sprintf(`{"model":"AA%02d=","platform":"p"}`, (w*8+i)%7)
+				// Bodies are unique so no two requests coalesce — this test
+				// counts dispatches, so every request must reach a replica.
+				body := fmt.Sprintf(`{"model":"AA%02d=","platform":"p"}`, w*8+i)
 				if rec := postQuery(t, h, body); rec.Code != http.StatusOK {
 					select {
 					case errs <- fmt.Sprintf("status %d", rec.Code):
@@ -421,5 +433,99 @@ func TestRouterServeEndToEnd(t *testing.T) {
 	}
 	if err := stop(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRouterCoalescesIdenticalConcurrentRequests: N clients racing one
+// byte-identical body through the router must cost the cluster a single
+// replica dispatch — the leader's — with the other N-1 sharing its response
+// and counted as coalesced in /cluster.
+func TestRouterCoalescesIdenticalConcurrentRequests(t *testing.T) {
+	f := newFakeReplica(t)
+	f.setDelay(150 * time.Millisecond) // hold the leader in flight while followers pile on
+	rt := New(Config{})
+	rt.AddReplica("only", f.addr())
+	h := rt.Handler()
+
+	const n = 8
+	var wg sync.WaitGroup
+	codes := make([]int, n)
+	bodies := make([]string, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rec := postQuery(t, h, `{"model":"AA==","platform":"p"}`)
+			codes[i], bodies[i] = rec.Code, rec.Body.String()
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if codes[i] != http.StatusOK {
+			t.Fatalf("request %d: status %d body %s", i, codes[i], bodies[i])
+		}
+		if bodies[i] != bodies[0] {
+			t.Fatalf("coalesced responses diverge: %q vs %q", bodies[i], bodies[0])
+		}
+	}
+	st := rt.Status()
+	if st.Requests != n {
+		t.Fatalf("requests = %d, want %d", st.Requests, n)
+	}
+	if q := f.queries.Load(); q+st.Coalesced != n || st.Coalesced == 0 {
+		t.Fatalf("dispatches %d + coalesced %d != %d (or nothing coalesced)", q, st.Coalesced, n)
+	}
+	if q := f.queries.Load(); q != 1 {
+		t.Fatalf("replica saw %d dispatches for identical concurrent requests, want 1", q)
+	}
+
+	// Sequential repeats never coalesce: the flight retires before its
+	// result is published.
+	before := f.queries.Load()
+	for i := 0; i < 2; i++ {
+		if rec := postQuery(t, h, `{"model":"AA==","platform":"p"}`); rec.Code != http.StatusOK {
+			t.Fatalf("sequential repeat: status %d", rec.Code)
+		}
+	}
+	if got := f.queries.Load() - before; got != 2 {
+		t.Fatalf("sequential repeats dispatched %d times, want 2", got)
+	}
+}
+
+// TestRouterCoalescingKeysOnHeaders: identical bodies under different
+// X-NNLQP-* headers must not share a flight — an SLO class difference means
+// a different admission outcome at the replica.
+func TestRouterCoalescingKeysOnHeaders(t *testing.T) {
+	f := newFakeReplica(t)
+	f.setDelay(150 * time.Millisecond)
+	rt := New(Config{})
+	rt.AddReplica("only", f.addr())
+	h := rt.Handler()
+
+	post := func(class string) int {
+		req := httptest.NewRequest(http.MethodPost, "/query", strings.NewReader(`{"model":"AA==","platform":"p"}`))
+		if class != "" {
+			req.Header.Set("X-NNLQP-Class", class)
+		}
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		return w.Code
+	}
+	var wg sync.WaitGroup
+	for _, class := range []string{"", "interactive", "batch"} {
+		wg.Add(1)
+		go func(c string) {
+			defer wg.Done()
+			if code := post(c); code != http.StatusOK {
+				t.Errorf("class %q: status %d", c, code)
+			}
+		}(class)
+	}
+	wg.Wait()
+	if q := f.queries.Load(); q != 3 {
+		t.Fatalf("distinct-header requests dispatched %d times, want 3", q)
+	}
+	if st := rt.Status(); st.Coalesced != 0 {
+		t.Fatalf("coalesced = %d, want 0", st.Coalesced)
 	}
 }

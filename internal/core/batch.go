@@ -31,7 +31,7 @@ import (
 type batchState struct {
 	sc      *tensor.Scratch
 	x       *tensor.Matrix         // packed (Σ nodes)×FeatureDim node features
-	adj     [][]int                // packed block-diagonal adjacency
+	csr     gnn.CSR                // packed block-diagonal adjacency, flattened
 	segs    []int                  // per-graph row offsets, len B+1
 	statics []float64              // packed B×StaticDim static features
 	gfs     []*feats.GraphFeatures // extracted features per graph (borrowed)
@@ -129,12 +129,7 @@ func (p *Predictor) predictPacked(dst []float64, st *batchState, platform string
 	}
 	x.Rows, x.Cols = total, feats.FeatureDim
 	x.Data = x.Data[:total*feats.FeatureDim]
-	if cap(st.adj) < total {
-		adj := make([][]int, total)
-		copy(adj, st.adj)
-		st.adj = adj
-	}
-	st.adj = st.adj[:total]
+	st.csr.Reset()
 	st.segs = append(st.segs[:0], 0)
 	if cap(st.statics) < b*feats.StaticDim {
 		st.statics = make([]float64, b*feats.StaticDim)
@@ -143,13 +138,7 @@ func (p *Predictor) predictPacked(dst []float64, st *batchState, platform string
 	off := 0
 	for gi, gf := range st.gfs {
 		copy(x.Data[off*feats.FeatureDim:], gf.X.Data)
-		for i, nb := range gf.Adj {
-			row := st.adj[off+i][:0]
-			for _, j := range nb {
-				row = append(row, j+off)
-			}
-			st.adj[off+i] = row
-		}
+		st.csr.AppendGraph(gf.Adj, off)
 		static := st.statics[gi*feats.StaticDim : (gi+1)*feats.StaticDim]
 		copy(static, gf.Static)
 		p.norm.ApplyStatic(static)
@@ -166,7 +155,8 @@ func (p *Predictor) predictPacked(dst []float64, st *batchState, platform string
 	case !p.cfg.UseNodeFeats:
 		// static only
 	case p.cfg.UseGNN:
-		h := p.enc.ForwardInfer(x, st.adj, sc)
+		wp := p.weightPlanCurrent()
+		h := p.enc.ForwardInferCSR(x, &st.csr, wp.stacked, sc)
 		pooled = gnn.SumPoolSegmentsScratch(h, st.segs, sc)
 	default:
 		pooled = gnn.SumPoolSegmentsScratch(x, st.segs, sc)

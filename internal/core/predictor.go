@@ -17,6 +17,7 @@ import (
 
 	"nnlqp/internal/feats"
 	"nnlqp/internal/gnn"
+	"nnlqp/internal/graphhash"
 	"nnlqp/internal/onnx"
 	"nnlqp/internal/tensor"
 	"nnlqp/internal/train"
@@ -156,14 +157,22 @@ type Predictor struct {
 	// nothing; see batch.go.
 	batchPool sync.Pool
 
+	// wplan caches the encoder's stacked [W1;W2] fused-inference weights,
+	// rebuilt once per generation; plans caches per-graph compiled request
+	// state (normalized features + CSR adjacency). See plan.go.
+	wplan   atomic.Pointer[weightPlan]
+	wplanMu sync.Mutex
+	plans   *planCache
+
 	// epochHook observes per-epoch training metrics. Not serialized.
 	epochHook func(train.EpochMetrics)
 }
 
 // predictState is one goroutine's pooled inference workspace.
 type predictState struct {
-	sc *tensor.Scratch
-	gf *feats.GraphFeatures
+	sc  *tensor.Scratch
+	gf  *feats.GraphFeatures
+	csr gnn.CSR
 }
 
 // Generation returns the predictor's current generation. Values are unique
@@ -188,6 +197,7 @@ func New(cfg Config) *Predictor {
 		tgt:   make(map[string]targetStats),
 		rng:   rand.New(rand.NewSource(cfg.Seed)),
 		opt:   tensor.NewAdam(cfg.LR),
+		plans: newPlanCache(defaultPlanEntries),
 	}
 	p.bumpGeneration()
 	p.infPool.New = func() any {
@@ -591,26 +601,29 @@ func (p *Predictor) backwardEmbed(c *embedCaches, dIn *tensor.Matrix, gb *tensor
 	}
 }
 
-// embedInfer computes the head input for one (already normalized) sample on
-// the inference-only path: no backward caches, no goroutine fan-out, no
-// intermediate parts slice — every matrix comes from sc, so with a warm
-// Scratch the call is allocation-free. The head input is bit-identical to
-// embed's (same kernels, same operation order).
-func (p *Predictor) embedInfer(gf *feats.GraphFeatures, sc *tensor.Scratch) *tensor.Matrix {
+// embedFused computes the head input from already-normalized features on
+// the inference-only path: the fused CSR forward with per-generation
+// stacked weights, no backward caches, no goroutine fan-out — every matrix
+// comes from sc, so with a warm Scratch the call is allocation-free. The
+// head input is bit-identical to embed's (same kernels, same per-element
+// accumulation order; fusion only halves kernel invocations). csr may be
+// nil when the configuration does not run the GNN.
+func (p *Predictor) embedFused(x *tensor.Matrix, csr *gnn.CSR, static []float64, sc *tensor.Scratch) *tensor.Matrix {
 	var pooled *tensor.Matrix
 	switch {
 	case !p.cfg.UseNodeFeats:
 		// static only
 	case p.cfg.UseGNN:
-		h := p.enc.ForwardInfer(gf.X, gf.Adj, sc)
+		wp := p.weightPlanCurrent()
+		h := p.enc.ForwardInferCSR(x, csr, wp.stacked, sc)
 		pooled = gnn.SumPoolScratch(h, sc)
 		if p.cfg.MeanPool && h.Rows > 0 {
 			pooled.Scale(1 / float64(h.Rows))
 		}
 	default:
-		pooled = gnn.SumPoolScratch(gf.X, sc)
-		if p.cfg.MeanPool && gf.X.Rows > 0 {
-			pooled.Scale(1 / float64(gf.X.Rows))
+		pooled = gnn.SumPoolScratch(x, sc)
+		if p.cfg.MeanPool && x.Rows > 0 {
+			pooled.Scale(1 / float64(x.Rows))
 		}
 	}
 	dim := 0
@@ -619,7 +632,7 @@ func (p *Predictor) embedInfer(gf *feats.GraphFeatures, sc *tensor.Scratch) *ten
 	}
 	withStatic := p.cfg.UseStatic || dim == 0
 	if withStatic {
-		dim += len(gf.Static)
+		dim += len(static)
 	}
 	headIn := sc.Get(1, dim)
 	row := headIn.Row(0)
@@ -628,15 +641,16 @@ func (p *Predictor) embedInfer(gf *feats.GraphFeatures, sc *tensor.Scratch) *ten
 		row = row[pooled.Cols:]
 	}
 	if withStatic {
-		copy(row, gf.Static)
+		copy(row, static)
 	}
 	return headIn
 }
 
 // PredictSample predicts latency (ms) for a prepared sample's features.
-// Steady state is allocation-free: the feature clone, normalization and every
-// forward intermediate run on a pooled per-goroutine workspace, and the
-// forward pass itself builds no backward caches. gf is only read.
+// Steady state is allocation-free: the feature clone, normalization,
+// adjacency flattening and every forward intermediate run on a pooled
+// per-goroutine workspace, and the forward pass itself builds no backward
+// caches. gf is only read.
 func (p *Predictor) PredictSample(gf *feats.GraphFeatures, platform string) (float64, error) {
 	if p.norm == nil {
 		return 0, fmt.Errorf("core: predictor not fitted")
@@ -648,7 +662,13 @@ func (p *Predictor) PredictSample(gf *feats.GraphFeatures, platform string) (flo
 	st := p.infPool.Get().(*predictState)
 	st.gf.CopyFrom(gf)
 	p.norm.Apply(st.gf)
-	headIn := p.embedInfer(st.gf, st.sc)
+	var csr *gnn.CSR
+	if p.cfg.UseNodeFeats && p.cfg.UseGNN {
+		st.csr.Reset()
+		st.csr.AppendGraph(st.gf.Adj, 0)
+		csr = &st.csr
+	}
+	headIn := p.embedFused(st.gf.X, csr, st.gf.Static, st.sc)
 	pred := h.ForwardInfer(headIn, st.sc)
 	out := p.decodeTarget(pred.At(0, 0), platform)
 	st.sc.Reset()
@@ -658,11 +678,16 @@ func (p *Predictor) PredictSample(gf *feats.GraphFeatures, platform string) (flo
 
 // Predict extracts features (memoized on the graph) and predicts latency
 // (ms). Repeat predictions for the same *onnx.Graph skip extraction
-// entirely; see feats.ExtractCached for the mutation caveat.
+// entirely (see feats.ExtractCached for the mutation caveat), and known
+// graph hashes hit the compiled plan cache, skipping normalization and
+// adjacency flattening too.
 func (p *Predictor) Predict(g *onnx.Graph, platform string) (float64, error) {
 	gf, err := feats.ExtractCached(g, p.cfg.elemSize())
 	if err != nil {
 		return 0, err
+	}
+	if key, kerr := graphhash.GraphKey(g); kerr == nil {
+		return p.predictPlanned(uint64(key), gf, platform)
 	}
 	return p.PredictSample(gf, platform)
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 
 	"nnlqp/internal/graphhash"
 	"nnlqp/internal/onnx"
@@ -130,7 +131,18 @@ type LatencyRecord struct {
 }
 
 func latencyKey(modelID, platformID uint64, batch int) string {
-	return fmt.Sprintf("%d|%d|%d", modelID, platformID, batch)
+	return string(appendLatencyKey(nil, modelID, platformID, batch))
+}
+
+// appendLatencyKey renders the latency lookup key ("model|platform|batch")
+// into dst, byte-identical to latencyKey but without forcing a heap string —
+// the point-read path renders into a stack buffer.
+func appendLatencyKey(dst []byte, modelID, platformID uint64, batch int) []byte {
+	dst = strconv.AppendUint(dst, modelID, 10)
+	dst = append(dst, '|')
+	dst = strconv.AppendUint(dst, platformID, 10)
+	dst = append(dst, '|')
+	return strconv.AppendInt(dst, int64(batch), 10)
 }
 
 // InsertModel stores a model (idempotently: an existing graph hash returns
@@ -167,6 +179,21 @@ func (s *Store) FindModelByHash(key graphhash.Key) (*ModelRecord, bool, error) {
 		return nil, false, nil
 	}
 	return decodeModelRow(row)
+}
+
+// ModelIDByHash resolves a graph hash to its model primary key without
+// materializing the record. FindModelByHash decodes the stored ONNX binary —
+// hundreds of allocations for a typical graph — which the serving path's
+// (model, platform, batch) probe never needs; this reads only the id column
+// in place.
+func (s *Store) ModelIDByHash(key graphhash.Key) (uint64, bool, error) {
+	t, err := s.db.Table(TableModel)
+	if err != nil {
+		return 0, false, err
+	}
+	var id uint64
+	ok := t.ViewUniqueUint64("graph_hash", uint64(key), func(row Row) { id = row[0].(uint64) })
+	return id, ok, nil
 }
 
 // GetModel retrieves a model by primary key.
@@ -224,6 +251,19 @@ func (s *Store) FindPlatformByName(name string) (*PlatformRecord, bool, error) {
 		ID: row[0].(uint64), Name: row[1].(string), Hardware: row[2].(string),
 		Software: row[3].(string), DataType: row[4].(string),
 	}, true, nil
+}
+
+// PlatformIDByName resolves a platform name to its primary key without
+// materializing the record (the serving path caches the id and only needs
+// the resolution once per platform anyway).
+func (s *Store) PlatformIDByName(name string) (uint64, bool, error) {
+	t, err := s.db.Table(TablePlatform)
+	if err != nil {
+		return 0, false, err
+	}
+	var id uint64
+	ok := t.ViewUniqueString("name", name, func(row Row) { id = row[0].(uint64) })
+	return id, ok, nil
 }
 
 // Platforms returns every platform record, ordered by primary key, from a
@@ -293,6 +333,32 @@ func (s *Store) FindLatency(modelID, platformID uint64, batch int) (*LatencyReco
 		return nil, false, nil
 	}
 	return decodeLatencyRow(row), true, nil
+}
+
+// LatencyValue is FindLatency by value: the lookup key is rendered into a
+// stack buffer and the row decoded in place under the table read-lock, so
+// the steady-state point read — the single-row probe every L1 miss performs —
+// allocates nothing.
+func (s *Store) LatencyValue(modelID, platformID uint64, batch int) (LatencyRecord, bool, error) {
+	t, err := s.db.Table(TableLatency)
+	if err != nil {
+		return LatencyRecord{}, false, err
+	}
+	var buf [48]byte // fits two uint64s, an int64 and two separators
+	key := appendLatencyKey(buf[:0], modelID, platformID, batch)
+	var rec LatencyRecord
+	ok := t.ViewUniqueKey("lookup_key", key, func(row Row) {
+		rec = LatencyRecord{
+			ID:           row[0].(uint64),
+			ModelID:      row[1].(uint64),
+			PlatformID:   row[2].(uint64),
+			BatchSize:    int(row[3].(int64)),
+			LatencyMS:    row[4].(float64),
+			Runs:         int(row[5].(int64)),
+			PeakMemBytes: row[6].(int64),
+		}
+	})
+	return rec, ok, nil
 }
 
 // LatenciesForPlatform returns every latency record for a platform, read

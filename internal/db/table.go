@@ -367,6 +367,64 @@ func (t *Table) FindUnique(column string, value any) (Row, bool) {
 	return append(Row(nil), t.rows[id]...), true
 }
 
+// ViewUniqueUint64 looks a row up by a uint64 unique index and, when found,
+// calls fn with the stored row while the table read-lock is held. Unlike
+// FindUnique no copy is made: rows are immutable once stored (mutations go
+// through cowLocked), so reading in place is safe, but fn must not retain or
+// mutate the row — or any slice/byte value inside it — past its return.
+func (t *Table) ViewUniqueUint64(column string, value uint64, fn func(Row)) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	bt, ok := t.uniqBT[column]
+	if !ok {
+		return false
+	}
+	id, found := bt.Get(value)
+	if !found {
+		return false
+	}
+	fn(t.rows[id])
+	return true
+}
+
+// ViewUniqueKey is ViewUniqueUint64 for the encoded-key unique indexes
+// (string/bytes columns). The key is the raw index key material — for a
+// string column, the string's bytes. The map probe converts without
+// allocating, so a caller rendering the key into a stack buffer performs the
+// whole lookup garbage-free. The no-retain contract of ViewUniqueUint64
+// applies to fn.
+func (t *Table) ViewUniqueKey(column string, key []byte, fn func(Row)) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	idx, ok := t.uniq[column]
+	if !ok {
+		return false
+	}
+	id, found := idx[string(key)]
+	if !found {
+		return false
+	}
+	fn(t.rows[id])
+	return true
+}
+
+// ViewUniqueString is ViewUniqueKey for callers that already hold the key as
+// a string (encodeIndexKey of a string column is the string itself).
+func (t *Table) ViewUniqueString(column string, key string, fn func(Row)) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	idx, ok := t.uniq[column]
+	if !ok {
+		return false
+	}
+	id, found := idx[key]
+	if !found {
+		return false
+	}
+	fn(t.rows[id])
+	return true
+}
+
 // FindMulti returns all rows matching a non-unique index value.
 func (t *Table) FindMulti(column string, value any) []Row {
 	t.mu.RLock()

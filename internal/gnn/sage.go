@@ -149,27 +149,11 @@ func (l *SAGEConv) ForwardScratch(x *tensor.Matrix, adj [][]int, sc *tensor.Scra
 // so varying batch compositions stay allocation-free once the arena has
 // seen the widest one.
 func (l *SAGEConv) ForwardInfer(x *tensor.Matrix, adj [][]int, sc *tensor.Scratch) *tensor.Matrix {
-	mx := meanAggregateInto(sc.GetAtLeast(x.Rows, x.Cols), x, adj)
-	h := tensor.MatMulIntoPooled(sc.GetAtLeast(x.Rows, l.Out), x, l.W1.Value)
-	tensor.MatMulAddIntoPooled(h, mx, l.W2.Value)
-	if l.NoNorm {
-		return h
-	}
-	for i := 0; i < h.Rows; i++ {
-		r := h.Row(i)
-		var s float64
-		for _, v := range r {
-			s += v * v
-		}
-		n := math.Sqrt(s)
-		if n < normEps {
-			continue
-		}
-		inv := 1 / n
-		for j := range r {
-			r[j] *= inv
-		}
-	}
+	csr := csrPool.Get().(*CSR)
+	csr.Reset()
+	csr.AppendGraph(adj, 0)
+	h := l.ForwardInferCSR(x, csr, nil, sc)
+	csrPool.Put(csr)
 	return h
 }
 
@@ -291,10 +275,11 @@ func (e *Encoder) ForwardScratch(x *tensor.Matrix, adj [][]int, sc *tensor.Scrat
 // rows except along adjacency edges, so a block-diagonal batch keeps every
 // graph's rows bit-identical to its solo forward.
 func (e *Encoder) ForwardInfer(x *tensor.Matrix, adj [][]int, sc *tensor.Scratch) *tensor.Matrix {
-	h := x
-	for _, l := range e.Layers {
-		h = l.ForwardInfer(h, adj, sc)
-	}
+	csr := csrPool.Get().(*CSR)
+	csr.Reset()
+	csr.AppendGraph(adj, 0)
+	h := e.ForwardInferCSR(x, csr, nil, sc)
+	csrPool.Put(csr)
 	return h
 }
 

@@ -1,0 +1,156 @@
+package tensor
+
+import "sync"
+
+// This file holds the register-blocked matmul microkernel behind
+// matMulRange. The scalar tile kernel in matrix.go computes one output
+// element at a time with a re-sliced b row per k step; this kernel instead
+//
+//  1. packs the current kc×jc panel of b into a contiguous column-major
+//     scratch buffer once per tile, so the inner loops stream unit-stride
+//     columns instead of striding across b rows, and
+//  2. accumulates microJ output columns simultaneously in independent
+//     register accumulators, turning the inner loop into microJ parallel
+//     multiply-add chains with one shared a-value load.
+//
+// Bit-identity invariant (the same one matrix.go documents): for every
+// output element out[i][j] the a[i,k]*b[k,j] terms are accumulated in
+// strictly ascending k, each accumulator is initialized from the current
+// output value (so a tile's partial sum continues the previous tile's,
+// never re-associates it), and zero a-elements are skipped exactly like the
+// scalar kernel. The microJ-wide unrolling runs *independent* accumulators
+// — it never sums across columns — so unrolling width cannot change any
+// element's floating-point sequence. kernel_test.go pins all of this
+// against the naive reference.
+//
+// The dispatch is per row, on whether the row carries zeros. The two kernels
+// skip-or-not identically, but their branch economics differ: the scalar
+// kernel tests a[i,k] once per k and a hit skips the entire j sweep, while
+// the quad kernel would pay that test once per column block — jw/microJ
+// times as many branches for the same skips. Zero-bearing rows (one-hot
+// feature rows, post-ReLU activations) therefore take the scalar kernel;
+// zero-free rows take a branch-free quad kernel, which is exactly where the
+// register blocking pays. The b panel is packed lazily, on the first
+// zero-free row of the tile.
+//
+// Packing costs one pass over the panel, amortized across the rows of the
+// range; below packMinRows the scalar tile kernel is cheaper and runs
+// instead (both kernels are bit-identical, so the threshold is purely a
+// performance knob).
+
+const (
+	// packMinRows is the minimum row count for which packing the b panel
+	// pays for itself. 1-row head matmuls and tiny fan-out chunks take the
+	// scalar tile kernel.
+	packMinRows = 4
+	// microJ is the register-block width: output columns accumulated
+	// simultaneously per k sweep. 4 float64 accumulators plus the packed
+	// column pointers fit comfortably in registers on amd64/arm64.
+	microJ = 4
+)
+
+// panelBuf is one goroutine's packing scratch for the column-major b panel.
+// Pooled so concurrent row-range workers never share (or allocate) one.
+type panelBuf struct {
+	panel []float64 // column-major kc×jc panel of b
+}
+
+var panelPool = sync.Pool{New: func() any { return new(panelBuf) }}
+
+// matMulRangePacked accumulates rows [lo,hi) of out += a·b through the
+// packed register-blocked kernel. Tile visit order matches matMulRange's
+// scalar path exactly (k panels ascending, j panels ascending within each).
+func matMulRangePacked(a, b, out *Matrix, lo, hi int) {
+	n, m := a.Cols, b.Cols
+	pb := panelPool.Get().(*panelBuf)
+	if n <= matmulKC && m <= matmulJC {
+		matMulTilePacked(a, b, out, lo, hi, 0, n, 0, m, pb)
+	} else {
+		for k0 := 0; k0 < n; k0 += matmulKC {
+			k1 := min(k0+matmulKC, n)
+			for j0 := 0; j0 < m; j0 += matmulJC {
+				matMulTilePacked(a, b, out, lo, hi, k0, k1, j0, min(j0+matmulJC, m), pb)
+			}
+		}
+	}
+	panelPool.Put(pb)
+}
+
+// matMulTilePacked accumulates out[lo:hi, j0:j1] += a[lo:hi, k0:k1]·b[k0:k1, j0:j1],
+// dispatching each row to the branch-free quad kernel (zero-free rows, over
+// the lazily packed panel) or the scalar skip kernel (rows with zeros).
+func matMulTilePacked(a, b, out *Matrix, lo, hi, k0, k1, j0, j1 int, pb *panelBuf) {
+	kw, jw := k1-k0, j1-j0
+	if kw <= 0 || jw <= 0 {
+		return
+	}
+	var panel []float64
+	for i := lo; i < hi; i++ {
+		ar := a.Row(i)[k0:k1]
+		if rowHasZero(ar) {
+			// One branch per k skips a whole j sweep here; the quad kernel
+			// would pay jw/microJ branches for the same skip.
+			matMulTile(a, b, out, i, i+1, k0, k1, j0, j1)
+			continue
+		}
+		if panel == nil {
+			// Pack column-major on the first zero-free row: b column j0+j
+			// lands contiguous at panel[j*kw:(j+1)*kw]. An all-sparse range
+			// never pays for packing.
+			if cap(pb.panel) < kw*jw {
+				pb.panel = make([]float64, kw*jw)
+			}
+			panel = pb.panel[:kw*jw]
+			for k := 0; k < kw; k++ {
+				br := b.Row(k0 + k)[j0:j1]
+				pc := panel[k:]
+				for j, v := range br {
+					pc[j*kw] = v
+				}
+			}
+		}
+		matMulRowPacked(out.Row(i)[j0:j1], ar, panel, kw)
+	}
+}
+
+// rowHasZero reports whether any element is exactly zero — the rows on which
+// the scalar kernel's skip branch can fire at all.
+func rowHasZero(ar []float64) bool {
+	for _, v := range ar {
+		if v == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// matMulRowPacked accumulates one zero-free output row slice against the
+// packed panel: microJ columns at a time, each with its own accumulator
+// seeded from the current output value and swept in ascending k — the
+// identical per-element floating-point sequence as the scalar kernel, whose
+// av == 0 skip cannot fire on a zero-free row.
+func matMulRowPacked(or, ar, panel []float64, kw int) {
+	j := 0
+	for ; j+microJ <= len(or); j += microJ {
+		c0 := panel[j*kw : (j+1)*kw]
+		c1 := panel[(j+1)*kw : (j+2)*kw]
+		c2 := panel[(j+2)*kw : (j+3)*kw]
+		c3 := panel[(j+3)*kw : (j+4)*kw]
+		acc0, acc1, acc2, acc3 := or[j], or[j+1], or[j+2], or[j+3]
+		for k, av := range ar {
+			acc0 += av * c0[k]
+			acc1 += av * c1[k]
+			acc2 += av * c2[k]
+			acc3 += av * c3[k]
+		}
+		or[j], or[j+1], or[j+2], or[j+3] = acc0, acc1, acc2, acc3
+	}
+	for ; j < len(or); j++ {
+		c := panel[j*kw : (j+1)*kw]
+		acc := or[j]
+		for k, av := range ar {
+			acc += av * c[k]
+		}
+		or[j] = acc
+	}
+}

@@ -1,0 +1,177 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// TestPackedKernelBitIdentical drives matMulRangePacked directly (bypassing
+// the packMinRows dispatch, so short ranges are covered too) across shapes on
+// both sides of the tile boundaries, with microJ-remainder column counts,
+// partial row ranges, and sparse inputs, requiring exact bitwise equality
+// with the naive ascending-k reference.
+func TestPackedKernelBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	cases := []struct {
+		rows, inner, cols int
+		sparsity          float64
+	}{
+		{1, 1, 1, 0},
+		{2, 9, 3, 0},          // cols < microJ: remainder loop only
+		{4, 33, 6, 0.4},       // cols = microJ + 2: both loops
+		{3, 16, 4, 0},         // cols exactly microJ
+		{7, 128, 512, 0},      // exactly one tile
+		{5, 129, 513, 0.3},    // straddles both tile boundaries
+		{6, 300, 600, 0.5},    // multiple tiles in both k and j
+		{16, 257, 1030, 0.95}, // one-hot-ish rows
+		{12, 40, 23, 0.9},     // ragged GNN-layer shape, microJ remainder 3
+	}
+	for _, c := range cases {
+		a := randMatrix(rng, c.rows, c.inner, c.sparsity)
+		b := randMatrix(rng, c.inner, c.cols, 0)
+		want := naiveMatMulRef(a, b)
+
+		got := NewMatrix(c.rows, c.cols)
+		matMulRangePacked(a, b, got, 0, c.rows)
+		for i := range got.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("shape (%d,%d,%d) sparsity %.2f: packed[%d] = %v, naive = %v (must be bit-identical)",
+					c.rows, c.inner, c.cols, c.sparsity, i, got.Data[i], want.Data[i])
+			}
+		}
+
+		// A partial row range must only touch its rows, identically.
+		if c.rows >= 3 {
+			part := NewMatrix(c.rows, c.cols)
+			matMulRangePacked(a, b, part, 1, c.rows-1)
+			for i := 0; i < c.rows; i++ {
+				for j, v := range part.Row(i) {
+					if i == 0 || i == c.rows-1 {
+						if v != 0 {
+							t.Fatalf("shape (%d,%d,%d): packed range wrote outside [1,%d) at row %d",
+								c.rows, c.inner, c.cols, c.rows-1, i)
+						}
+					} else if v != want.Row(i)[j] {
+						t.Fatalf("shape (%d,%d,%d): packed partial range diverges at (%d,%d)",
+							c.rows, c.inner, c.cols, i, j)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPackedKernelDegenerateShapes pins the zero-dimension cases: no rows,
+// no columns, and an empty inner dimension must all be no-ops.
+func TestPackedKernelDegenerateShapes(t *testing.T) {
+	for _, c := range [][3]int{{0, 5, 7}, {5, 0, 7}, {5, 7, 0}} {
+		a := NewMatrix(c[0], c[1])
+		b := NewMatrix(c[1], c[2])
+		out := NewMatrix(c[0], c[2])
+		matMulRangePacked(a, b, out, 0, c[0]) // must not panic
+		for _, v := range out.Data {
+			if v != 0 {
+				t.Fatalf("degenerate shape %v produced nonzero output", c)
+			}
+		}
+	}
+}
+
+// TestPackedKernelSpecialValues pins NaN/Inf handling: the nonzero
+// compaction keeps NaN a-values (NaN != 0, same branch the scalar kernel
+// takes), so poison propagates bit-identically to the reference.
+func TestPackedKernelSpecialValues(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := randMatrix(rng, 6, 20, 0.3)
+	b := randMatrix(rng, 20, 11, 0)
+	a.Set(1, 3, math.NaN())
+	a.Set(2, 0, math.Inf(1))
+	b.Set(7, 2, math.NaN())
+	b.Set(4, 9, math.Inf(-1))
+
+	want := naiveMatMulRef(a, b)
+	got := NewMatrix(6, 11)
+	matMulRangePacked(a, b, got, 0, 6)
+	for i := range got.Data {
+		w, g := want.Data[i], got.Data[i]
+		if g != w && !(math.IsNaN(g) && math.IsNaN(w)) {
+			t.Fatalf("special values: packed[%d] = %v, naive = %v", i, g, w)
+		}
+	}
+}
+
+// TestPackedKernelAccumulates pins that the packed kernel continues an
+// existing partial sum (accumulators seeded from the output) rather than
+// overwriting — the invariant that makes multi-tile k panels bit-identical.
+func TestPackedKernelAccumulates(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	a := randMatrix(rng, 8, 150, 0.4)
+	b := randMatrix(rng, 150, 37, 0)
+	base := randMatrix(rng, 8, 37, 0)
+
+	want := base.Clone()
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		orow := want.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+
+	got := base.Clone()
+	matMulRangePacked(a, b, got, 0, a.Rows)
+	for i := range got.Data {
+		if got.Data[i] != want.Data[i] {
+			t.Fatalf("packed accumulate[%d] = %v, want %v", i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+// TestMatMulSingleCoreAllocs is the satellite guard for the GOMAXPROCS=1
+// regression: with one effective worker, both the per-call fan-out entry
+// point (MatMulInto) and the pooled one (MatMulIntoPooled) must dispatch
+// straight to the in-place kernel with zero goroutine fan-out and 0
+// allocs/op, even above parallelThreshold.
+func TestMatMulSingleCoreAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc counts differ under -race")
+	}
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+
+	rng := rand.New(rand.NewSource(3))
+	x := randMatrix(rng, 64, 256, 0.3) // 64*256*256 » parallelThreshold
+	w := randMatrix(rng, 256, 256, 0)
+	out := NewMatrix(64, 256)
+
+	if n := testing.AllocsPerRun(10, func() { MatMulInto(out, x, w) }); n != 0 {
+		t.Fatalf("MatMulInto at GOMAXPROCS=1: %v allocs/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(10, func() { MatMulIntoPooled(out, x, w) }); n != 0 {
+		t.Fatalf("MatMulIntoPooled at GOMAXPROCS=1: %v allocs/op, want 0", n)
+	}
+}
+
+// BenchmarkMatmulPooled is the pooled entry point on the same multiply as
+// BenchmarkMatmulBlocked/Parallel — the bench guard for the single-core
+// dispatch fix (at GOMAXPROCS=1 all three must now be within noise of each
+// other and 0 allocs/op).
+func BenchmarkMatmulPooled(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := randMatrix(rng, 64, 256, 0.3)
+	w := randMatrix(rng, 256, 256, 0)
+	out := NewMatrix(64, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulIntoPooled(out, x, w)
+	}
+}

@@ -139,11 +139,13 @@ func checkMatMulInto(out, a, b *Matrix) {
 // product is large enough to amortize them.
 func matMulAdd(out, a, b *Matrix) *Matrix {
 	work := a.Rows * a.Cols * b.Cols
-	if work < parallelThreshold {
+	workers := runtime.GOMAXPROCS(0)
+	if work < parallelThreshold || workers <= 1 {
+		// Small product, or a single-core process: goroutine fan-out can only
+		// add scheduling overhead and allocations over the in-place kernel.
 		matMulRange(a, b, out, 0, a.Rows)
 		return out
 	}
-	workers := runtime.GOMAXPROCS(0)
 	if workers > a.Rows {
 		workers = a.Rows
 	}
@@ -180,7 +182,10 @@ const (
 // matMulRange accumulates rows [lo,hi) of out += a·b with a blocked/tiled
 // kernel. b is processed in kc×jc panels so the same panel is reused by
 // every row of the range before moving on (the naive ikj order re-streams
-// all of b once per row, which thrashes for b larger than L2).
+// all of b once per row, which thrashes for b larger than L2). Ranges tall
+// enough to amortize packing the panel take the register-blocked kernel in
+// kernel.go; short ranges stay on the scalar tile kernel below. Both are
+// bit-identical, so the split is invisible to callers.
 //
 // Bit-identity invariant: for every output element out[i][j] the k index
 // advances strictly ascending — k panels are visited in order and the inner
@@ -188,6 +193,10 @@ const (
 // therefore the result, is exactly that of the naive ikj kernel. The
 // property test in matrix_test.go pins this.
 func matMulRange(a, b, out *Matrix, lo, hi int) {
+	if hi-lo >= packMinRows {
+		matMulRangePacked(a, b, out, lo, hi)
+		return
+	}
 	n, m := a.Cols, b.Cols
 	if n <= matmulKC && m <= matmulJC {
 		// Single tile: the plain ikj kernel without blocking overhead.

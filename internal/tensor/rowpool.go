@@ -73,7 +73,11 @@ func MatMulAddIntoPooled(out, a, b *Matrix) *Matrix {
 // matMulPooled accumulates a·b into out, fanning rows across the persistent
 // pool when the product is large enough to amortize the handoff.
 func matMulPooled(out, a, b *Matrix) {
-	if a.Rows*a.Cols*b.Cols < parallelThreshold || a.Rows < 2 {
+	if a.Rows*a.Cols*b.Cols < parallelThreshold || a.Rows < 2 ||
+		runtime.GOMAXPROCS(0) <= 1 {
+		// Below the fan-out threshold — or on a single-core process, where a
+		// worker handoff is pure overhead (the pool worker and the caller
+		// would just take turns on the one P): run in place, 0 allocs/op.
 		matMulRange(a, b, out, 0, a.Rows)
 		return
 	}

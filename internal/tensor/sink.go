@@ -202,6 +202,37 @@ func (s *Scratch) GetAtLeast(rows, cols int) *Matrix {
 	return m
 }
 
+// GetAtLeastRaw is GetAtLeast without the zeroing pass: the returned
+// matrix's contents are undefined. For buffers whose every element is about
+// to be overwritten anyway (a concat fill, or a MatMulIntoPooled target that
+// zeroes internally) the Zero in GetAtLeast is a second full pass over the
+// data for nothing.
+func (s *Scratch) GetAtLeastRaw(rows, cols int) *Matrix {
+	if s == nil {
+		return NewMatrix(rows, cols)
+	}
+	p := s.caps[cols]
+	if p == nil {
+		p = &shapePool{}
+		s.caps[cols] = p
+	}
+	if p.next < len(p.bufs) {
+		m := p.bufs[p.next]
+		p.next++
+		need := rows * cols
+		if cap(m.Data) < need {
+			m.Data = make([]float64, need)
+		}
+		m.Data = m.Data[:need]
+		m.Rows, m.Cols = rows, cols
+		return m
+	}
+	m := NewMatrix(rows, cols)
+	p.bufs = append(p.bufs, m)
+	p.next++
+	return m
+}
+
 // Reset reclaims every matrix handed out since the previous Reset. Matrices
 // obtained before Reset must not be used afterwards.
 func (s *Scratch) Reset() {
